@@ -1,0 +1,73 @@
+// Reproduces Fig. 6(h)-(i): APair runtime on synthetic data as |G_D| grows
+// with G fixed (h), and as |G| grows with G_D fixed (i).
+//
+// Expected shape (paper): runtime increases roughly linearly in either
+// size (candidate generation is blocked; verification touches reachable
+// subgraphs).
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace her;
+using namespace her::bench;
+
+double TimeApair(BenchSystem& bs, uint32_t workers) {
+  bs.system->SetParams(bs.system->params());
+  return bs.system->APairParallel(workers).simulated_seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace her;
+  using namespace her::bench;
+  const uint32_t workers = 8;
+
+  std::printf("=== Fig. 6(h): APair seconds vs |G_D| (G fixed) ===\n");
+  {
+    // Grow the tuple side while the graph side stays ~constant: extra
+    // entities have no graph counterpart.
+    const int graph_side = 400;
+    std::vector<std::string> cols;
+    std::vector<double> row;
+    std::vector<double> sizes;
+    for (const int tuples : {400, 800, 1600, 3200}) {
+      DatasetSpec spec = ScalingSpec(tuples, 171);
+      spec.distractor_ratio = 0.0;
+      spec.unmatched_tuple_ratio =
+          1.0 - static_cast<double>(graph_side) / tuples;
+      // Pin the shared-entity pools so |G| really stays constant.
+      spec.num_brands = 40;
+      spec.num_categories = 12;
+      BenchSystem bs(spec);
+      cols.push_back("|Vd|=" + std::to_string(
+                                   bs.data.canonical.graph().num_vertices()));
+      row.push_back(TimeApair(bs, workers));
+      sizes.push_back(static_cast<double>(bs.data.g.num_vertices()));
+    }
+    PrintHeader("", cols);
+    PrintRow("seconds", row);
+    PrintRow("|V(G)|", sizes);  // sanity: should stay ~constant
+  }
+
+  std::printf("=== Fig. 6(i): APair seconds vs |G| (G_D fixed) ===\n");
+  {
+    std::vector<std::string> cols;
+    std::vector<double> row;
+    std::vector<double> gd_sizes;
+    for (const double distractors : {0.0, 1.0, 3.0, 7.0}) {
+      DatasetSpec spec = ScalingSpec(400, 172);
+      spec.distractor_ratio = distractors;
+      BenchSystem bs(spec);
+      cols.push_back("|V|=" + std::to_string(bs.data.g.num_vertices()));
+      row.push_back(TimeApair(bs, workers));
+      gd_sizes.push_back(
+          static_cast<double>(bs.data.canonical.graph().num_vertices()));
+    }
+    PrintHeader("", cols);
+    PrintRow("seconds", row);
+    PrintRow("|V(Gd)|", gd_sizes);  // sanity: constant
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Fig. 6(j)-(o): parallel APair runtime as a function of k
+// (j, k), sigma (l, m) and delta (n, o), on two dataset profiles each.
+//
+// Expected shape (paper): time grows with k (more path pairs inspected),
+// shrinks with sigma (more candidates pruned early), grows with delta
+// (more path pairs must be checked to reach the threshold).
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace her;
+using namespace her::bench;
+
+double TimeApair(BenchSystem& bs, const SimulationParams& p,
+                 uint32_t workers) {
+  bs.system->SetParams(p);
+  return bs.system->APairParallel(workers).simulated_seconds;
+}
+
+void SweepParam(const char* title, std::vector<BenchSystem*> systems,
+                const std::vector<std::string>& names,
+                const std::vector<double>& xs,
+                const std::function<SimulationParams(const SimulationParams&,
+                                                     double)>& apply) {
+  const uint32_t workers = 8;
+  std::printf("--- %s ---\n", title);
+  std::vector<std::string> cols;
+  for (const double x : xs) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", x);
+    cols.push_back(buf);
+  }
+  PrintHeader("dataset", cols);
+  for (size_t s = 0; s < systems.size(); ++s) {
+    const SimulationParams tuned = systems[s]->system->params();
+    std::vector<double> row;
+    for (const double x : xs) {
+      row.push_back(TimeApair(*systems[s], apply(tuned, x), workers));
+    }
+    systems[s]->system->SetParams(tuned);
+    PrintRow(names[s], row);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace her;
+  using namespace her::bench;
+
+  std::printf("=== Fig. 6(j)-(o): APair seconds vs k / sigma / delta ===\n");
+  DatasetSpec fbwiki = FbwikiSpec();
+  fbwiki.num_entities = 350;
+  DatasetSpec dblp = DblpSpec();
+  dblp.num_entities = 350;
+  DatasetSpec dbpedia = DbpediaSpec();
+  dbpedia.num_entities = 350;
+  BenchSystem bs_fbwiki(fbwiki);
+  BenchSystem bs_dblp(dblp);
+  BenchSystem bs_dbpedia(dbpedia);
+
+  // (j, k): vary k.
+  SweepParam("Fig 6(j,k): seconds vs k", {&bs_fbwiki, &bs_dblp},
+             {"FBWIKI", "DBLP"}, {2, 4, 8, 12, 16, 24},
+             [](const SimulationParams& p, double x) {
+               SimulationParams q = p;
+               q.k = static_cast<int>(x);
+               return q;
+             });
+
+  // (l, m): vary sigma.
+  SweepParam("Fig 6(l,m): seconds vs sigma", {&bs_dbpedia, &bs_fbwiki},
+             {"DBpediaP", "FBWIKI"}, {0.75, 0.80, 0.85, 0.90, 0.95},
+             [](const SimulationParams& p, double x) {
+               SimulationParams q = p;
+               q.sigma = x;
+               return q;
+             });
+
+  // (n, o): vary delta. The paper sweeps dataset-specific ranges below the
+  // typical aggregate score; past that point the MaxSco early termination
+  // prunes candidates outright and the trend reverses.
+  SweepParam("Fig 6(n,o): seconds vs delta", {&bs_fbwiki, &bs_dbpedia},
+             {"FBWIKI", "DBpediaP"}, {0.2, 0.4, 0.6, 0.8, 1.0},
+             [](const SimulationParams& p, double x) {
+               SimulationParams q = p;
+               q.delta = x;
+               return q;
+             });
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Fig. 6(d)-(g): parallel scalability of APair — runtime as the
+// number n of workers grows — on DBpediaP, FBWIKI, DBLP profiles and a
+// larger synthetic dataset.
+//
+// Expected shape (paper): APair gets ~2.6-3.8x faster as n goes 4 -> 16.
+// We sweep n in {1, 2, 4, 8, 16} and report the simulated cluster
+// makespan (sum over supersteps of the slowest worker's thread-CPU time):
+// the host may have fewer cores than workers, in which case wall time
+// would only measure oversubscription.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace her;
+using namespace her::bench;
+
+void RunProfile(const std::string& name, BenchSystem& bs,
+                const std::vector<uint32_t>& workers) {
+  std::vector<double> row;
+  for (const uint32_t n : workers) {
+    bs.system->SetParams(bs.system->params());  // reset pair caches
+    const ParallelResult r = bs.system->APairParallel(n);
+    row.push_back(r.simulated_seconds);
+  }
+  PrintRow(name, row);
+}
+
+}  // namespace
+
+int main() {
+  using namespace her;
+  using namespace her::bench;
+
+  const std::vector<uint32_t> workers = {1, 2, 4, 8, 16};
+  std::printf("=== Fig. 6(d)-(g): APair seconds vs workers n ===\n");
+  std::vector<std::string> cols;
+  for (const uint32_t n : workers) cols.push_back("n=" + std::to_string(n));
+  PrintHeader("dataset", cols);
+
+  {
+    DatasetSpec spec = DbpediaSpec();
+    spec.num_entities = 400;
+    BenchSystem bs(spec);
+    RunProfile("DBpediaP", bs, workers);
+  }
+  {
+    DatasetSpec spec = FbwikiSpec();
+    spec.num_entities = 400;
+    BenchSystem bs(spec);
+    RunProfile("FBWIKI", bs, workers);
+  }
+  {
+    DatasetSpec spec = DblpSpec();
+    spec.num_entities = 400;
+    BenchSystem bs(spec);
+    RunProfile("DBLP", bs, workers);
+  }
+  {
+    DatasetSpec spec = ScalingSpec(1200);
+    spec.name = "synthetic";
+    BenchSystem bs(spec);
+    RunProfile("synthetic", bs, workers);
+  }
+  return 0;
+}

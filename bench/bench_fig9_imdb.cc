@@ -1,0 +1,89 @@
+// Reproduces Fig. 9 (Appendix H): APair on the IMDB profile — (a) runtime
+// vs workers, (b)-(d) runtime vs k / sigma / delta with 8 workers.
+//
+// Expected shape (paper): more workers -> faster (2.3x from 4 to 16);
+// larger k or delta -> slower; larger sigma -> faster.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace her;
+using namespace her::bench;
+
+double TimeApair(BenchSystem& bs, const SimulationParams& p,
+                 uint32_t workers) {
+  bs.system->SetParams(p);
+  return bs.system->APairParallel(workers).simulated_seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace her;
+  using namespace her::bench;
+
+  std::printf("=== Fig. 9: APair on IMDB ===\n");
+  DatasetSpec spec = ImdbSpec();
+  spec.num_entities = 400;
+  BenchSystem bs(spec);
+  const SimulationParams tuned = bs.system->params();
+
+  {
+    std::printf("--- Fig 9(a): seconds vs workers ---\n");
+    const std::vector<uint32_t> workers = {1, 2, 4, 8, 16};
+    std::vector<std::string> cols;
+    std::vector<double> row;
+    for (const uint32_t n : workers) {
+      cols.push_back("n=" + std::to_string(n));
+      row.push_back(TimeApair(bs, tuned, n));
+    }
+    PrintHeader("", cols);
+    PrintRow("IMDB", row);
+  }
+  {
+    std::printf("--- Fig 9(b): seconds vs k ---\n");
+    std::vector<std::string> cols;
+    std::vector<double> row;
+    for (const int k : {2, 4, 8, 12, 16, 24}) {
+      SimulationParams p = tuned;
+      p.k = k;
+      cols.push_back("k=" + std::to_string(k));
+      row.push_back(TimeApair(bs, p, 8));
+    }
+    PrintHeader("", cols);
+    PrintRow("IMDB", row);
+  }
+  {
+    std::printf("--- Fig 9(c): seconds vs sigma ---\n");
+    std::vector<std::string> cols;
+    std::vector<double> row;
+    for (const double s : {0.75, 0.80, 0.85, 0.90, 0.95}) {
+      SimulationParams p = tuned;
+      p.sigma = s;
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.2f", s);
+      cols.push_back(buf);
+      row.push_back(TimeApair(bs, p, 8));
+    }
+    PrintHeader("", cols);
+    PrintRow("IMDB", row);
+  }
+  {
+    std::printf("--- Fig 9(d): seconds vs delta ---\n");
+    std::vector<std::string> cols;
+    std::vector<double> row;
+    for (const double d : {0.4, 0.8, 1.2, 1.8, 2.4}) {
+      SimulationParams p = tuned;
+      p.delta = d;
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.1f", d);
+      cols.push_back(buf);
+      row.push_back(TimeApair(bs, p, 8));
+    }
+    PrintHeader("", cols);
+    PrintRow("IMDB", row);
+  }
+  bs.system->SetParams(tuned);
+  return 0;
+}

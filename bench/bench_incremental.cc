@@ -1,0 +1,81 @@
+// Extension bench (Section VI remark (2)): incremental entity linking in
+// response to updates to G. After an edge update, UpdateGraph re-ranks
+// only the affected vertices and retracts only the affected verdicts;
+// re-answering the workload then reuses every surviving verdict. Compared
+// against recomputing the workload with a cold cache.
+//
+// Expected shape: incremental time is a small fraction of the cold
+// recompute, and both report identical verdicts.
+
+#include "bench/bench_util.h"
+#include "learn/metrics.h"
+
+namespace {
+
+using namespace her;
+using namespace her::bench;
+
+Graph RemoveOneEdge(const Graph& g, VertexId src, size_t edge_idx) {
+  GraphBuilder b;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) b.AddVertex(g.label(v));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto edges = g.OutEdges(v);
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (v == src && i == edge_idx) continue;
+      b.AddEdge(v, edges[i].dst, g.EdgeLabelName(edges[i].label));
+    }
+  }
+  return std::move(b).Build();
+}
+
+double AnswerWorkload(HerSystem& system, size_t* out_matches = nullptr) {
+  WallTimer w;
+  const auto pi = system.APair();
+  if (out_matches != nullptr) *out_matches = pi.size();
+  return w.Seconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace her;
+  using namespace her::bench;
+
+  std::printf("=== Incremental updates (extension; remark (2)) ===\n");
+  DatasetSpec spec = UkgovSpec(301);
+  spec.num_entities = 250;
+  HerConfig cfg;
+  cfg.learn.train_lstm = false;  // deterministic ranker rebinds
+  BenchSystem bs(spec, cfg);
+
+  // Warm workload: the full APair pass populates the verdict cache.
+  const double t_warmup = AnswerWorkload(*bs.system);
+  std::printf("initial APair (cold):           %.4fs\n", t_warmup);
+
+  // One structural update: drop the first edge of a matched entity.
+  const VertexId victim = bs.data.true_matches.front().second;
+  const Graph updated = RemoveOneEdge(bs.data.g, victim, 0);
+
+  // Incremental path: retract affected verdicts, re-answer APair.
+  WallTimer w_inc;
+  bs.system->UpdateGraph(updated);
+  const double t_update = w_inc.Seconds();
+  size_t inc_matches = 0;
+  const double t_requery = AnswerWorkload(*bs.system, &inc_matches);
+  std::printf("incremental: update %.4fs + re-APair %.4fs = %.4fs\n",
+              t_update, t_requery, t_update + t_requery);
+
+  // Cold-recompute reference with identical models and thresholds.
+  BenchSystem cold(spec, cfg, /*train=*/true);
+  cold.system->SetParams(bs.system->params());
+  WallTimer w_cold;
+  cold.system->UpdateGraph(updated);
+  cold.system->SetParams(bs.system->params());  // drop every verdict
+  size_t cold_matches = 0;
+  const double t_cold =
+      w_cold.Seconds() + AnswerWorkload(*cold.system, &cold_matches);
+  std::printf("cold recompute APair:           %.4fs\n", t_cold);
+  std::printf("matches: incremental %zu vs cold %zu (must agree)\n",
+              inc_matches, cold_matches);
+  return 0;
+}

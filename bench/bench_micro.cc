@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark) of HER's hot primitives: h_v scoring,
+// M_rho scoring (trained and memoized), h_r top-k selection (PRA and
+// LSTM), and ParaMatch cold vs warm. Not a paper table; supports the
+// complexity discussion in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace her;
+using namespace her::bench;
+
+/// One shared trained system (building costs seconds; benchmarks must not
+/// pay it per iteration).
+BenchSystem& Shared() {
+  static BenchSystem* bs = [] {
+    DatasetSpec spec = UkgovSpec(201);
+    spec.num_entities = 150;
+    return new BenchSystem(spec);
+  }();
+  return *bs;
+}
+
+void BM_VertexScore(benchmark::State& state) {
+  BenchSystem& bs = Shared();
+  const auto& ctx = bs.system->context();
+  const VertexId u = bs.data.canonical.TupleVertices().front();
+  VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.hv->Score(u, v));
+    v = (v + 1) % bs.data.g.num_vertices();
+  }
+}
+BENCHMARK(BM_VertexScore);
+
+void BM_PathScoreTrained(benchmark::State& state) {
+  BenchSystem& bs = Shared();
+  const auto& ctx = bs.system->context();
+  const int a = ctx.vocab->FindToken("color");
+  const int b = ctx.vocab->FindToken("hasColor");
+  const std::vector<int> p1 = {a};
+  const std::vector<int> p2 = {b};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.mrho->Score(p1, p2));
+  }
+}
+BENCHMARK(BM_PathScoreTrained);
+
+void BM_RankerTopK(benchmark::State& state) {
+  BenchSystem& bs = Shared();
+  const auto& ctx = bs.system->context();
+  const auto items = ItemVertices(bs.data.g);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ctx.hr->TopK(1, items[i % items.size()], ctx.params.k));
+    ++i;
+  }
+}
+BENCHMARK(BM_RankerTopK);
+
+void BM_SPairWarm(benchmark::State& state) {
+  BenchSystem& bs = Shared();
+  const auto& test = bs.split.test;
+  // Warm every pair once.
+  for (const Annotation& a : test) bs.system->SPairVertex(a.u, a.v);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Annotation& a = test[i % test.size()];
+    benchmark::DoNotOptimize(bs.system->SPairVertex(a.u, a.v));
+    ++i;
+  }
+}
+BENCHMARK(BM_SPairWarm);
+
+void BM_SPairCold(benchmark::State& state) {
+  BenchSystem& bs = Shared();
+  const auto& test = bs.split.test;
+  size_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    bs.system->SetParams(bs.system->params());  // drop pair caches
+    state.ResumeTiming();
+    const Annotation& a = test[i % test.size()];
+    benchmark::DoNotOptimize(bs.system->SPairVertex(a.u, a.v));
+    ++i;
+  }
+}
+BENCHMARK(BM_SPairCold)->Unit(benchmark::kMicrosecond);
+
+void BM_VPairBlocked(benchmark::State& state) {
+  BenchSystem& bs = Shared();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [t, v] = bs.data.true_matches[i % bs.data.true_matches.size()];
+    benchmark::DoNotOptimize(bs.system->VPair(t));
+    ++i;
+    (void)v;
+  }
+}
+BENCHMARK(BM_VPairBlocked)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Catalog synchronization (Example 1, case (3) and the periodic cross
+// check): compute ALL matches across the order database D and the product
+// graph G — APair — on the parallel BSP runtime, and derive the schema
+// alignment between the relational attributes and the graph predicates.
+//
+// Build: cmake --build build && ./build/examples/catalog_sync
+
+#include <cstdio>
+#include <set>
+
+#include "datagen/dataset.h"
+#include "learn/her_system.h"
+#include "learn/metrics.h"
+
+using namespace her;
+
+int main() {
+  DatasetSpec spec = DbpediaSpec(77);
+  spec.name = "catalog";
+  spec.num_entities = 300;
+  const GeneratedDataset data = Generate(spec);
+  const AnnotationSplit split = SplitAnnotations(data.annotations);
+
+  HerConfig config;
+  HerSystem her(data.canonical, data.g, config);
+  her.Train(data.path_pairs, split.validation);
+
+  // APair on 1, 4 and 8 workers; results are identical, the simulated
+  // makespan shrinks.
+  std::vector<MatchPair> matches;
+  for (const uint32_t n : {1u, 4u, 8u}) {
+    her.SetParams(her.params());  // reset verdict caches between runs
+    const ParallelResult r = her.APairParallel(n);
+    matches = r.matches;
+    std::printf(
+        "APair with %2u workers: %zu matches, %zu supersteps, %zu messages, "
+        "simulated %.3fs\n",
+        n, r.matches.size(), r.supersteps, r.messages, r.simulated_seconds);
+  }
+
+  // Precision/recall of the item matches against the generator's truth.
+  std::set<MatchPair> truth;
+  for (const auto& [t, v] : data.true_matches) {
+    truth.emplace(data.canonical.VertexOf(t), v);
+  }
+  size_t tp = 0;
+  size_t found_items = 0;
+  for (const MatchPair& m : matches) {
+    if (data.canonical.graph().label(m.first) != "item") continue;
+    ++found_items;
+    tp += truth.count(m);
+  }
+  std::printf("\nitem matches: %zu found, %zu correct, %zu expected\n",
+              found_items, tp, truth.size());
+
+  // Schema alignment: for one matched pair, which graph path encodes each
+  // relational attribute?
+  for (const MatchPair& m : matches) {
+    const auto t = data.canonical.TupleOf(m.first);
+    if (!t.has_value() ||
+        data.canonical.graph().label(m.first) != "item") {
+      continue;
+    }
+    const auto gamma = her.SchemaMatchesOf(*t, m.second);
+    if (gamma.empty()) continue;
+    std::printf("\nschema alignment derived from tuple %s:\n",
+                data.db.relation(t->relation).tuple(t->row).key.c_str());
+    for (const SchemaMatch& sm : gamma) {
+      std::printf("  %-12s -> (", sm.attribute.c_str());
+      for (size_t i = 0; i < sm.g_path.size(); ++i) {
+        std::printf("%s%s", i ? ", " : "",
+                    data.g.EdgeLabelName(sm.g_path[i]).c_str());
+      }
+      std::printf(")  M_rho=%.2f\n", sm.score);
+    }
+    break;
+  }
+  return 0;
+}

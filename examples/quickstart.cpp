@@ -1,0 +1,196 @@
+// Quickstart: the paper's running example (Tables I & II + the knowledge
+// graph of Fig. 1), end to end:
+//
+//   1. build the procurement database D (relations item, brand);
+//   2. build company A's knowledge graph G;
+//   3. convert D to the canonical graph G_D with RDB2RDF;
+//   4. train the parameter functions (M_v, M_rho, M_r) on a handful of
+//      annotated path pairs, as module Learn does;
+//   5. run the three modes: SPair (is tuple t1 vertex v1?), VPair (all
+//      matches of t1) — plus the explanation and the schema matches Gamma.
+//
+// Build: cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "datagen/dataset.h"
+#include "learn/her_system.h"
+#include "rdb2rdf/rdb2rdf.h"
+
+using namespace her;
+
+namespace {
+
+/// Tables I and II of the paper.
+Database BuildProcurementDb() {
+  Database db;
+  HER_CHECK(db.AddRelation(RelationSchema("brand",
+                                          {{"name", false, ""},
+                                           {"country", false, ""},
+                                           {"manufacturer", false, ""},
+                                           {"made_in", false, ""}}))
+                .ok());
+  HER_CHECK(db.AddRelation(RelationSchema("item",
+                                          {{"item", false, ""},
+                                           {"material", false, ""},
+                                           {"color", false, ""},
+                                           {"type", false, ""},
+                                           {"brand", true, "brand"},
+                                           {"qty", false, ""}}))
+                .ok());
+  HER_CHECK(db.Insert("brand", {"b1",
+                                {"Addidas Originals", "Germany", "Addidas AG",
+                                 "Can Duoc, VN"}})
+                .ok());
+  HER_CHECK(db.Insert("brand", {"b2",
+                                {"Addidas", "Germany", "Addidas AG",
+                                 "Long An, Vietnam"}})
+                .ok());
+  HER_CHECK(db.Insert("item", {"t1",
+                               {"Dame Basketball Shoes D7", "phylon foam",
+                                "white", "Dame 7", "b1", "500"}})
+                .ok());
+  HER_CHECK(db.Insert("item", {"t2",
+                               {"Lightweight Running Shoes", "synthetic",
+                                "red", "DD8505", "b1", "100"}})
+                .ok());
+  HER_CHECK(db.Insert("item", {"t3",
+                               {"Mid-cut Basketball Shoes Ultra Comfortable",
+                                "phylon foam", "red",
+                                std::string(kNullValue), "b2", "200"}})
+                .ok());
+  return db;
+}
+
+/// The relevant part of the knowledge graph G of Fig. 1. Vertex variables
+/// follow the paper's numbering.
+struct Fig1Graph {
+  Graph g;
+  VertexId v1 = 0;  // the item matching t1
+  VertexId v3 = 0;  // the red mid-cut item
+};
+
+Fig1Graph BuildKnowledgeGraph() {
+  GraphBuilder b;
+  const VertexId v2 = b.AddVertex("Basketball Shoes");  // shared category
+  // Brand entity v10 with path-encoded made_in.
+  const VertexId v10 = b.AddVertex("brand");
+  const VertexId v18 = b.AddVertex("Addidas Originals");
+  const VertexId v20 = b.AddVertex("Germany");
+  const VertexId v17 = b.AddVertex("Addidas AG");
+  const VertexId v15 = b.AddVertex("Can Duoc Factory");
+  const VertexId v19 = b.AddVertex("Long An");
+  const VertexId v9 = b.AddVertex("VN");
+  b.AddEdge(v10, v18, "type");
+  b.AddEdge(v10, v20, "brandCountry");
+  b.AddEdge(v10, v17, "belongsTo");
+  b.AddEdge(v10, v15, "factorySite");
+  b.AddEdge(v15, v19, "isIn");
+  b.AddEdge(v19, v9, "isIn");
+  // Item v1 — "Dame Basketball Shoes" / "Dame Gen 7".
+  const VertexId v1 = b.AddVertex("item");
+  const VertexId v0 = b.AddVertex("Dame Basketball Shoes");
+  const VertexId v6 = b.AddVertex("phylon foam");
+  const VertexId v8 = b.AddVertex("Dame Gen 7");
+  const VertexId v12 = b.AddVertex("white");
+  b.AddEdge(v1, v0, "names");
+  b.AddEdge(v1, v2, "IsA");
+  b.AddEdge(v1, v6, "soleMadeBy");
+  b.AddEdge(v1, v8, "typeNo");
+  b.AddEdge(v1, v10, "brandName");
+  b.AddEdge(v1, v12, "hasColor");
+  // Item v3 — the other basketball shoe.
+  const VertexId v3 = b.AddVertex("item");
+  const VertexId v3n = b.AddVertex("Mid-cut Basketball Shoes");
+  const VertexId v3c = b.AddVertex("red");
+  const VertexId v3m = b.AddVertex("phylon foam");
+  b.AddEdge(v3, v3n, "names");
+  b.AddEdge(v3, v2, "IsA");
+  b.AddEdge(v3, v3c, "hasColor");
+  b.AddEdge(v3, v3m, "soleMadeBy");
+  b.AddEdge(v3, v10, "brandName");
+  return {std::move(b).Build(), v1, v3};
+}
+
+/// The annotated path pairs a user of HER would provide to train M_rho
+/// (Section IV): relational attribute paths against graph predicate paths.
+std::vector<PathPairExample> AnnotatedPathPairs() {
+  const std::vector<std::pair<std::vector<std::string>,
+                              std::vector<std::string>>>
+      aligned = {
+          {{"item"}, {"names"}},
+          {{"material"}, {"soleMadeBy"}},
+          {{"color"}, {"hasColor"}},
+          {{"type"}, {"typeNo"}},
+          {{"brand"}, {"brandName"}},
+          {{"name"}, {"type"}},
+          {{"country"}, {"brandCountry"}},
+          {{"manufacturer"}, {"belongsTo"}},
+          {{"made_in"}, {"factorySite", "isIn", "isIn"}},
+      };
+  std::vector<PathPairExample> out;
+  for (const auto& [r, g] : aligned) out.push_back({r, g, true});
+  for (size_t a = 0; a < aligned.size(); ++a) {
+    for (size_t b = 0; b < aligned.size(); ++b) {
+      if (a == b) continue;
+      out.push_back({aligned[a].first, aligned[b].second, false});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Database db = BuildProcurementDb();
+  const Fig1Graph kg = BuildKnowledgeGraph();
+
+  // RDB2RDF: D -> G_D (Section II).
+  auto canonical = Rdb2Rdf(db);
+  HER_CHECK(canonical.ok());
+  std::printf("G_D: %zu vertices, %zu edges | G: %zu vertices, %zu edges\n",
+              canonical->graph().num_vertices(),
+              canonical->graph().num_edges(), kg.g.num_vertices(),
+              kg.g.num_edges());
+
+  // Learn the parameter functions; thresholds set by hand (a real
+  // deployment tunes them on a validation set — see the benches).
+  HerConfig config;
+  config.tune_params = false;
+  config.params = {.sigma = 0.7, .delta = 1.2, .k = 5};
+  HerSystem her(*canonical, kg.g, config);
+  her.Train(AnnotatedPathPairs(), {});
+
+  const uint32_t item_rel = *db.FindRelation("item");
+  const TupleRef t1{item_rel, 0};
+  const TupleRef t3{item_rel, 2};
+
+  // --- SPair: scenario (1) of Example 1 ------------------------------
+  std::printf("\nSPair(t1, v1) = %s   (expected: MATCH)\n",
+              her.SPair(t1, kg.v1) ? "true" : "false");
+  std::printf("SPair(t3, v1) = %s   (expected: no match)\n",
+              her.SPair(t3, kg.v1) ? "true" : "false");
+  std::printf("SPair(t3, v3) = %s   (expected: MATCH)\n",
+              her.SPair(t3, kg.v3) ? "true" : "false");
+
+  // Why does (t1, v1) match? The witness Pi with its scores.
+  std::printf("\n%s", her.Explain(t1, kg.v1).c_str());
+
+  // --- VPair: scenario (2) — all matches of t1 ------------------------
+  const auto matches = her.VPair(t1);
+  std::printf("\nVPair(t1): %zu match(es):", matches.size());
+  for (const VertexId v : matches) std::printf(" v%u", v);
+  std::printf("\n");
+
+  // --- Schema matches Gamma (Appendix D) ------------------------------
+  std::printf("\nSchema matches for (t1, v1):\n");
+  for (const SchemaMatch& sm : her.SchemaMatchesOf(t1, kg.v1)) {
+    std::printf("  %-10s -> (", sm.attribute.c_str());
+    for (size_t i = 0; i < sm.g_path.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  kg.g.EdgeLabelName(sm.g_path[i]).c_str());
+    }
+    std::printf(")  score=%.2f\n", sm.score);
+  }
+  return 0;
+}

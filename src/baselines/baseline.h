@@ -1,0 +1,56 @@
+#ifndef HER_BASELINES_BASELINE_H_
+#define HER_BASELINES_BASELINE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "graph/graph.h"
+#include "rdb2rdf/rdb2rdf.h"
+
+namespace her {
+
+/// What every baseline sees: the canonical graph G_D (u-side) and G
+/// (v-side). Relational baselines flatten graph vertices into pseudo-tuples
+/// (Section VII: "we took v along with its 2-hop neighbors and flattened
+/// them into a tuple t_v").
+struct BaselineInput {
+  const CanonicalGraph* canonical = nullptr;
+  const Graph* g = nullptr;
+};
+
+/// Interface shared by the competitor systems of Section VII. Train may be
+/// a no-op for rule-based methods. Predict answers SPair; VPair/APair are
+/// driven by the bench harness over candidate lists.
+class Baseline {
+ public:
+  virtual ~Baseline() = default;
+  virtual std::string name() const = 0;
+
+  /// Fits the baseline on the training annotations (same data HER gets).
+  virtual void Train(const BaselineInput& input,
+                     std::span<const Annotation> train) = 0;
+
+  /// SPair: does tuple vertex u match graph vertex v?
+  virtual bool Predict(VertexId u, VertexId v) const = 0;
+
+  /// Some baselines refuse to run at scale (Bsim reports OM in the paper).
+  virtual bool out_of_memory() const { return false; }
+
+  /// VPair over explicit candidates (shared scan driver).
+  std::vector<VertexId> VPair(VertexId u,
+                              std::span<const VertexId> candidates) const;
+};
+
+/// Flattens a vertex and its descendants within `hops` into one text
+/// document (labels joined by spaces) — the pseudo-tuple used by the
+/// relational baselines.
+std::string FlattenVertex(const Graph& g, VertexId v, int hops);
+
+/// Direct attribute values (child labels) of a vertex, in edge order.
+std::vector<std::string> ChildValues(const Graph& g, VertexId v);
+
+}  // namespace her
+
+#endif  // HER_BASELINES_BASELINE_H_

@@ -1,0 +1,103 @@
+#include "baselines/bsim.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+
+namespace her {
+
+void BsimBaseline::Train(const BaselineInput& input,
+                         std::span<const Annotation> train) {
+  (void)train;  // unsupervised
+  input_ = input;
+  const Graph& gd = input_.canonical->graph();
+  const Graph& g = *input_.g;
+  const size_t nu = gd.num_vertices();
+  const size_t nv = g.num_vertices();
+
+  // Footprint estimate: the dense relation plus the reachability balls.
+  size_t ball_total = 0;
+  for (VertexId v = 0; v < nv; ++v) {
+    // Upper-bound ball size by degree expansion (avoids the actual BFS
+    // when we are only estimating).
+    size_t est = 1;
+    size_t frontier = g.OutDegree(v);
+    for (int b = 0; b < bound_ && frontier > 0; ++b) {
+      est += frontier;
+      frontier *= 4;  // average expansion guess
+    }
+    ball_total += std::min<size_t>(est, nv);
+  }
+  estimated_bytes_ = nu * nv / 8 + ball_total * sizeof(VertexId);
+  if (estimated_bytes_ > memory_limit_) {
+    oom_ = true;
+    sim_.clear();
+    return;
+  }
+
+  // Embeddings for the label-similarity seed relation.
+  std::vector<Vec> eu(nu);
+  std::vector<Vec> ev(nv);
+  for (VertexId u = 0; u < nu; ++u) eu[u] = embedder_->Embed(gd.label(u));
+  for (VertexId v = 0; v < nv; ++v) ev[v] = embedder_->Embed(g.label(v));
+
+  // Dense membership mask + sparse rows.
+  std::vector<std::vector<char>> in_sim(nu, std::vector<char>(nv, 0));
+  sim_.assign(nu, {});
+  for (VertexId u = 0; u < nu; ++u) {
+    for (VertexId v = 0; v < nv; ++v) {
+      if (CosineToUnit(Cosine(eu[u], ev[v])) >= sigma_) {
+        in_sim[u][v] = 1;
+        sim_[u].push_back(v);
+      }
+    }
+  }
+
+  // Reachability balls within `bound_` hops.
+  std::vector<std::vector<VertexId>> ball(nv);
+  for (VertexId v = 0; v < nv; ++v) {
+    ball[v] = ReachableFrom(g, v, static_cast<size_t>(bound_));
+  }
+
+  // Fixpoint removal.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId u = 0; u < nu; ++u) {
+      if (gd.IsLeaf(u) || sim_[u].empty()) continue;
+      std::vector<VertexId> kept;
+      for (const VertexId v : sim_[u]) {
+        bool ok = true;
+        for (const Edge& e : gd.OutEdges(u)) {
+          const VertexId u2 = e.dst;
+          bool found = false;
+          for (const VertexId v2 : ball[v]) {
+            if (in_sim[u2][v2]) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          kept.push_back(v);
+        } else {
+          in_sim[u][v] = 0;
+          changed = true;
+        }
+      }
+      sim_[u] = std::move(kept);
+    }
+  }
+}
+
+bool BsimBaseline::Predict(VertexId u, VertexId v) const {
+  if (oom_ || sim_.empty()) return false;
+  const auto& row = sim_[u];
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+}  // namespace her

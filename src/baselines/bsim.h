@@ -1,0 +1,55 @@
+#ifndef HER_BASELINES_BSIM_H_
+#define HER_BASELINES_BSIM_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "ml/text_embedder.h"
+
+namespace her {
+
+/// Bounded simulation (Bsim, Section VII baseline (2)): G_D is the graph
+/// pattern; the maximum bounded simulation relation R from G_D to G is
+/// computed by fixpoint removal — (u, v) survives only if EVERY child u'
+/// of u has a match v' within `bound` hops of v with (u', v') in R.
+///
+/// The relation needs |V_D| x |V| state plus per-vertex reachability
+/// balls; Train() estimates the footprint first and reports out-of-memory
+/// instead of computing when it exceeds `memory_limit_bytes` — the paper
+/// reports OM for Bsim on every dataset at their scale.
+class BsimBaseline : public Baseline {
+ public:
+  explicit BsimBaseline(double sigma = 0.8, int bound = 2,
+                        size_t memory_limit_bytes = size_t{1} << 30)
+      : sigma_(sigma), bound_(bound), memory_limit_(memory_limit_bytes) {
+    embedder_ = std::make_unique<HashedTextEmbedder>();
+  }
+
+  std::string name() const override { return "Bsim"; }
+
+  void Train(const BaselineInput& input,
+             std::span<const Annotation> train) override;
+
+  bool Predict(VertexId u, VertexId v) const override;
+
+  bool out_of_memory() const override { return oom_; }
+
+  /// Estimated bytes the computation would need (for reporting).
+  size_t estimated_bytes() const { return estimated_bytes_; }
+
+ private:
+  double sigma_;
+  int bound_;
+  size_t memory_limit_;
+  bool oom_ = false;
+  size_t estimated_bytes_ = 0;
+  BaselineInput input_;
+  std::unique_ptr<HashedTextEmbedder> embedder_;
+  // R as per-u sorted candidate lists (sparse rows of the relation).
+  std::vector<std::vector<VertexId>> sim_;
+};
+
+}  // namespace her
+
+#endif  // HER_BASELINES_BSIM_H_

@@ -1,0 +1,40 @@
+#include "baselines/deep_matcher.h"
+
+#include "common/rng.h"
+
+namespace her {
+
+Vec DeepBaseline::PairInput(VertexId u, VertexId v) const {
+  const Vec eu =
+      embedder_->Embed(FlattenVertex(input_.canonical->graph(), u, 2));
+  const Vec ev = embedder_->Embed(FlattenVertex(*input_.g, v, 2));
+  return PairFeatures(eu, ev);
+}
+
+void DeepBaseline::Train(const BaselineInput& input,
+                         std::span<const Annotation> train) {
+  input_ = input;
+  classifier_ = std::make_unique<Mlp>(
+      std::vector<size_t>{4 * embedder_->dim(), 64, 1}, 0xdee9);
+  classifier_->set_learning_rate(0.01);
+  struct Row {
+    Vec x;
+    double y;
+  };
+  std::vector<Row> rows;
+  for (const Annotation& a : train) {
+    rows.push_back({PairInput(a.u, a.v), a.is_match ? 1.0 : 0.0});
+  }
+  Rng rng(0xdee9);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    rng.Shuffle(rows);
+    for (const Row& r : rows) classifier_->StepBce(r.x, r.y);
+  }
+}
+
+bool DeepBaseline::Predict(VertexId u, VertexId v) const {
+  if (classifier_ == nullptr) return false;
+  return classifier_->Predict(PairInput(u, v)) >= 0.5;
+}
+
+}  // namespace her

@@ -1,0 +1,43 @@
+#ifndef HER_BASELINES_DEEP_MATCHER_H_
+#define HER_BASELINES_DEEP_MATCHER_H_
+
+#include <memory>
+
+#include "baselines/baseline.h"
+#include "ml/mlp.h"
+#include "ml/text_embedder.h"
+
+namespace her {
+
+/// DeepMatcher-style (DEEP) neural matcher (Section VII baseline (5)):
+/// embeds the flattened pseudo-tuples with a (large) text encoder and
+/// classifies the pair features with a neural network, trained on the
+/// annotated pairs. The heavy per-pair encoding is what makes DEEP the
+/// slowest baseline in Table VI — embeddings are computed per query, as
+/// the original system runs its encoder per candidate pair.
+class DeepBaseline : public Baseline {
+ public:
+  explicit DeepBaseline(size_t embed_dim = 256) {
+    TextEmbedderConfig cfg;
+    cfg.dim = embed_dim;
+    embedder_ = std::make_unique<HashedTextEmbedder>(cfg);
+  }
+
+  std::string name() const override { return "DEEP"; }
+
+  void Train(const BaselineInput& input,
+             std::span<const Annotation> train) override;
+
+  bool Predict(VertexId u, VertexId v) const override;
+
+ private:
+  Vec PairInput(VertexId u, VertexId v) const;
+
+  BaselineInput input_;
+  std::unique_ptr<HashedTextEmbedder> embedder_;
+  std::unique_ptr<Mlp> classifier_;
+};
+
+}  // namespace her
+
+#endif  // HER_BASELINES_DEEP_MATCHER_H_

@@ -1,0 +1,29 @@
+#include "baselines/jedai.h"
+
+namespace her {
+
+void JedaiBaseline::Train(const BaselineInput& input,
+                          std::span<const Annotation> train) {
+  (void)train;  // rule-based: no supervised fitting beyond corpus DF
+  input_ = input;
+  std::vector<std::string> corpus;
+  const Graph& gd = input_.canonical->graph();
+  for (const VertexId u : input_.canonical->TupleVertices()) {
+    corpus.push_back(FlattenVertex(gd, u, 2));
+  }
+  for (VertexId v = 0; v < input_.g->num_vertices(); ++v) {
+    if (!input_.g->IsLeaf(v)) {
+      corpus.push_back(FlattenVertex(*input_.g, v, 2));
+    }
+  }
+  vectorizer_.Fit(corpus);
+}
+
+bool JedaiBaseline::Predict(VertexId u, VertexId v) const {
+  // Profiles are built per query (the toolkit's profile-comparison path).
+  const std::string pu = FlattenVertex(input_.canonical->graph(), u, 2);
+  const std::string pv = FlattenVertex(*input_.g, v, 2);
+  return vectorizer_.Similarity(pu, pv) >= threshold_;
+}
+
+}  // namespace her

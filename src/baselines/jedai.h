@@ -1,0 +1,32 @@
+#ifndef HER_BASELINES_JEDAI_H_
+#define HER_BASELINES_JEDAI_H_
+
+#include "baselines/baseline.h"
+#include "ml/tfidf.h"
+
+namespace her {
+
+/// JedAI-style rule-based ER (Section VII baseline (3)): entities become
+/// name-value profiles; similarity is cosine over TF-IDF-weighted character
+/// 4-grams; a fixed threshold decides (the paper's "budget- and
+/// schema-agnostic workflow ... requires no parameter fine-tuning").
+class JedaiBaseline : public Baseline {
+ public:
+  explicit JedaiBaseline(double threshold = 0.5) : threshold_(threshold) {}
+
+  std::string name() const override { return "JedAI"; }
+
+  void Train(const BaselineInput& input,
+             std::span<const Annotation> train) override;
+
+  bool Predict(VertexId u, VertexId v) const override;
+
+ private:
+  double threshold_;
+  BaselineInput input_;
+  TfidfVectorizer vectorizer_{4};
+};
+
+}  // namespace her
+
+#endif  // HER_BASELINES_JEDAI_H_

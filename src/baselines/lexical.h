@@ -1,0 +1,59 @@
+#ifndef HER_BASELINES_LEXICAL_H_
+#define HER_BASELINES_LEXICAL_H_
+
+#include "baselines/baseline.h"
+
+namespace her {
+
+/// LexMa-style (Section VII baseline, SemTab challenger): maps each cell of
+/// a tuple to graph values independently by exact normalized-label lookup.
+/// A pair is declared a match if any cell value equals any attribute value
+/// of the vertex — the paper's critique applies verbatim: shared values
+/// ("London", colors) map cells of one tuple to disconnected entities,
+/// yielding low precision, while noisy renderings of the discriminative
+/// cells miss exact lookup, hurting recall.
+class LexmaBaseline : public Baseline {
+ public:
+  std::string name() const override { return "LexMa"; }
+
+  void Train(const BaselineInput& input,
+             std::span<const Annotation> train) override;
+
+  bool Predict(VertexId u, VertexId v) const override;
+
+ private:
+  BaselineInput input_;
+};
+
+/// Stand-in for the spell-checker-assisted SemTab systems (MTab, bbw,
+/// LinkingPark): per-cell matching with an edit-distance-tolerant
+/// comparison (absorbing 2T's typos) and a voting fraction tuned on the
+/// training annotations. This is what beats HER on the CEA task in
+/// Table V (bottom).
+class SpellCheckCellBaseline : public Baseline {
+ public:
+  explicit SpellCheckCellBaseline(std::string display_name = "MTab",
+                                  double fuzzy_threshold = 0.7)
+      : display_name_(std::move(display_name)),
+        fuzzy_threshold_(fuzzy_threshold) {}
+
+  std::string name() const override { return display_name_; }
+
+  void Train(const BaselineInput& input,
+             std::span<const Annotation> train) override;
+
+  bool Predict(VertexId u, VertexId v) const override;
+
+ private:
+  /// Fraction of u's cells with a fuzzy partner among v's 2-hop values.
+  double VoteFraction(VertexId u, VertexId v) const;
+
+  std::string display_name_;
+  double fuzzy_threshold_;
+  double vote_threshold_ = 0.5;
+  BaselineInput input_;
+};
+
+}  // namespace her
+
+#endif  // HER_BASELINES_LEXICAL_H_

@@ -1,0 +1,98 @@
+#include "baselines/magellan.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace her {
+
+namespace {
+
+/// Count of shared lowercase tokens between two docs.
+double SharedTokenRatio(const std::string& a, const std::string& b) {
+  const auto ta = WordTokens(a);
+  const auto tb = WordTokens(b);
+  if (ta.empty() || tb.empty()) return 0.0;
+  std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  size_t shared = 0;
+  for (const auto& t : tb) shared += sa.count(t);
+  return static_cast<double>(shared) /
+         static_cast<double>(std::max(ta.size(), tb.size()));
+}
+
+/// Best normalized edit similarity between any value of a and any of b —
+/// an attribute-alignment-free analogue of per-attribute features.
+double BestValueEditSim(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  double best = 0.0;
+  for (const auto& x : a) {
+    for (const auto& y : b) {
+      best = std::max(best, NormalizedEditSimilarity(ToLower(x), ToLower(y)));
+    }
+  }
+  return best;
+}
+
+/// Fraction of a's values with a near-equal (>= 0.85) partner in b.
+double ValueOverlap(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  if (a.empty()) return 0.0;
+  size_t hit = 0;
+  for (const auto& x : a) {
+    for (const auto& y : b) {
+      if (NormalizedEditSimilarity(ToLower(x), ToLower(y)) >= 0.85) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(a.size());
+}
+
+}  // namespace
+
+Vec MagellanBaseline::Features(VertexId u, VertexId v) const {
+  const Graph& gd = input_.canonical->graph();
+  const Graph& g = *input_.g;
+  const std::string du = FlattenVertex(gd, u, 2);
+  const std::string dv = FlattenVertex(g, v, 2);
+  const auto vu = ChildValues(gd, u);
+  const auto vv = ChildValues(g, v);
+  Vec f;
+  f.push_back(static_cast<float>(vectorizer_.Similarity(du, dv)));
+  f.push_back(static_cast<float>(SharedTokenRatio(du, dv)));
+  f.push_back(static_cast<float>(TokenJaccard(du, dv)));
+  f.push_back(static_cast<float>(BestValueEditSim(vu, vv)));
+  f.push_back(static_cast<float>(ValueOverlap(vu, vv)));
+  f.push_back(static_cast<float>(ValueOverlap(vv, vu)));
+  f.push_back(static_cast<float>(vu.size()) / 16.0f);
+  f.push_back(static_cast<float>(vv.size()) / 16.0f);
+  f.push_back(static_cast<float>(
+      NormalizedEditSimilarity(ToLower(gd.label(u)), ToLower(g.label(v)))));
+  return f;
+}
+
+void MagellanBaseline::Train(const BaselineInput& input,
+                             std::span<const Annotation> train) {
+  input_ = input;
+  std::vector<std::string> corpus;
+  for (const VertexId u : input_.canonical->TupleVertices()) {
+    corpus.push_back(FlattenVertex(input_.canonical->graph(), u, 2));
+  }
+  vectorizer_.Fit(corpus);
+  std::vector<Vec> x;
+  std::vector<int> y;
+  for (const Annotation& a : train) {
+    x.push_back(Features(a.u, a.v));
+    y.push_back(a.is_match ? 1 : 0);
+  }
+  if (!x.empty()) forest_.Train(x, y, {});
+}
+
+bool MagellanBaseline::Predict(VertexId u, VertexId v) const {
+  if (!forest_.trained()) return false;
+  return forest_.Predict(Features(u, v));
+}
+
+}  // namespace her

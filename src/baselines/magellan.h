@@ -1,0 +1,34 @@
+#ifndef HER_BASELINES_MAGELLAN_H_
+#define HER_BASELINES_MAGELLAN_H_
+
+#include "baselines/baseline.h"
+#include "ml/random_forest.h"
+#include "ml/tfidf.h"
+
+namespace her {
+
+/// Magellan-style (MAG) relational matcher (Section VII baseline (4)):
+/// the graph vertex is flattened with its 2-hop neighbors into a pseudo-
+/// tuple; a feature table of string similarities feeds a random forest.
+class MagellanBaseline : public Baseline {
+ public:
+  std::string name() const override { return "MAG"; }
+
+  void Train(const BaselineInput& input,
+             std::span<const Annotation> train) override;
+
+  bool Predict(VertexId u, VertexId v) const override;
+
+ private:
+  /// The feature table row for a pair (computed fresh per call, as the
+  /// system recomputes features per candidate pair).
+  Vec Features(VertexId u, VertexId v) const;
+
+  BaselineInput input_;
+  TfidfVectorizer vectorizer_{3};
+  RandomForest forest_;
+};
+
+}  // namespace her
+
+#endif  // HER_BASELINES_MAGELLAN_H_

@@ -1,0 +1,88 @@
+#include "baselines/magnn.h"
+
+#include <algorithm>
+#include <map>
+
+namespace her {
+
+Vec MagnnBaseline::Aggregate(const Graph& g, VertexId v) const {
+  const size_t d = embedder_->dim();
+  // Own label embedding.
+  Vec own = embedder_->Embed(g.label(v));
+  // Per-edge-label (meta-path) aggregation of 1-hop neighbors, then the
+  // mean across meta-paths; same again for 2-hop.
+  std::map<LabelId, Vec> buckets1;
+  std::map<LabelId, size_t> counts1;
+  Vec hop2(d, 0.0f);
+  size_t n2 = 0;
+  for (const Edge& e : g.OutEdges(v)) {
+    auto [it, fresh] = buckets1.try_emplace(e.label, Vec(d, 0.0f));
+    Axpy(1.0, embedder_->Embed(g.label(e.dst)), it->second);
+    ++counts1[e.label];
+    for (const Edge& e2 : g.OutEdges(e.dst)) {
+      Axpy(1.0, embedder_->Embed(g.label(e2.dst)), hop2);
+      ++n2;
+    }
+  }
+  Vec hop1(d, 0.0f);
+  for (auto& [label, acc] : buckets1) {
+    Scale(acc, 1.0 / static_cast<double>(counts1[label]));
+    Axpy(1.0, acc, hop1);
+  }
+  if (!buckets1.empty()) {
+    Scale(hop1, 1.0 / static_cast<double>(buckets1.size()));
+  }
+  if (n2 > 0) Scale(hop2, 1.0 / static_cast<double>(n2));
+
+  NormalizeL2(own);
+  NormalizeL2(hop1);
+  NormalizeL2(hop2);
+  Vec out;
+  out.reserve(3 * d);
+  out.insert(out.end(), own.begin(), own.end());
+  out.insert(out.end(), hop1.begin(), hop1.end());
+  out.insert(out.end(), hop2.begin(), hop2.end());
+  return out;
+}
+
+void MagnnBaseline::Train(const BaselineInput& input,
+                          std::span<const Annotation> train) {
+  input_ = input;
+  const Graph& gd = input_.canonical->graph();
+  repr_u_.assign(gd.num_vertices(), Vec());
+  for (VertexId u = 0; u < gd.num_vertices(); ++u) {
+    repr_u_[u] = Aggregate(gd, u);
+  }
+  repr_v_.assign(input_.g->num_vertices(), Vec());
+  for (VertexId v = 0; v < input_.g->num_vertices(); ++v) {
+    repr_v_[v] = Aggregate(*input_.g, v);
+  }
+  // Threshold search maximizing F1 on train.
+  double best_f1 = -1.0;
+  for (double th = 0.30; th <= 0.95; th += 0.05) {
+    size_t tp = 0;
+    size_t fp = 0;
+    size_t fn = 0;
+    for (const Annotation& a : train) {
+      const bool pred =
+          CosineToUnit(Cosine(repr_u_[a.u], repr_v_[a.v])) >= th;
+      tp += pred && a.is_match;
+      fp += pred && !a.is_match;
+      fn += !pred && a.is_match;
+    }
+    const double p = tp + fp == 0 ? 0 : static_cast<double>(tp) / (tp + fp);
+    const double r = tp + fn == 0 ? 0 : static_cast<double>(tp) / (tp + fn);
+    const double f1 = p + r == 0 ? 0 : 2 * p * r / (p + r);
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      threshold_ = th;
+    }
+  }
+}
+
+bool MagnnBaseline::Predict(VertexId u, VertexId v) const {
+  if (repr_u_.empty()) return false;
+  return CosineToUnit(Cosine(repr_u_[u], repr_v_[v])) >= threshold_;
+}
+
+}  // namespace her

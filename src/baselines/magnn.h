@@ -1,0 +1,47 @@
+#ifndef HER_BASELINES_MAGNN_H_
+#define HER_BASELINES_MAGNN_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "baselines/baseline.h"
+#include "ml/text_embedder.h"
+
+namespace her {
+
+/// MAGNN-style (Section VII baseline (1)) meta-path aggregated embedding:
+/// a vertex's representation concatenates its own label embedding with
+/// per-meta-path (per-edge-label bucket) means of its 1-hop and 2-hop
+/// neighborhood embeddings — a local-aggregation GNN without HER's
+/// recursive global check. Similarity is cosine; the decision threshold is
+/// tuned on the training annotations (random parameter search per the
+/// paper's configuration).
+class MagnnBaseline : public Baseline {
+ public:
+  explicit MagnnBaseline(size_t embed_dim = 64) {
+    TextEmbedderConfig cfg;
+    cfg.dim = embed_dim;
+    embedder_ = std::make_unique<HashedTextEmbedder>(cfg);
+  }
+
+  std::string name() const override { return "MAGNN"; }
+
+  void Train(const BaselineInput& input,
+             std::span<const Annotation> train) override;
+
+  bool Predict(VertexId u, VertexId v) const override;
+
+ private:
+  Vec Aggregate(const Graph& g, VertexId v) const;
+
+  BaselineInput input_;
+  std::unique_ptr<HashedTextEmbedder> embedder_;
+  double threshold_ = 0.5;
+  // Precomputed vertex representations ("local embeddings").
+  std::vector<Vec> repr_u_;
+  std::vector<Vec> repr_v_;
+};
+
+}  // namespace her
+
+#endif  // HER_BASELINES_MAGNN_H_

@@ -1,0 +1,35 @@
+#ifndef HER_COMMON_CHECK_H_
+#define HER_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace her::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "HER_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace her::internal
+
+/// Aborts with a message when `cond` is false. Used for internal invariants
+/// that indicate a programming error (not recoverable user errors, which are
+/// reported via Status).
+#define HER_CHECK(cond)                                         \
+  do {                                                          \
+    if (!(cond)) ::her::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+/// Like HER_CHECK but compiled out in release builds for hot paths.
+#ifndef NDEBUG
+#define HER_DCHECK(cond) HER_CHECK(cond)
+#else
+#define HER_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // HER_COMMON_CHECK_H_

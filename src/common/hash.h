@@ -1,0 +1,48 @@
+#ifndef HER_COMMON_HASH_H_
+#define HER_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace her {
+
+/// FNV-1a 64-bit over raw bytes; stable across platforms and runs, unlike
+/// std::hash, so it is safe to use for feature hashing in the ML substrate.
+inline uint64_t HashBytes(const void* data, size_t n,
+                          uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s,
+                           uint64_t seed = 0xcbf29ce484222325ULL) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// Combines two hashes (boost-style but 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (Mix64(b) + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+/// Hash functor for std::pair of integral ids, e.g. (u, v) match candidates.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    return static_cast<size_t>(
+        HashCombine(Mix64(static_cast<uint64_t>(p.first)),
+                    static_cast<uint64_t>(p.second)));
+  }
+};
+
+}  // namespace her
+
+#endif  // HER_COMMON_HASH_H_

@@ -1,0 +1,153 @@
+#include "common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <unordered_set>
+
+namespace her {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::vector<std::string> WordTokens(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  };
+  char prev = '\0';
+  for (char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      // camelCase boundary: lower/digit followed by upper starts a new token.
+      if (std::isupper(c) &&
+          (std::islower(static_cast<unsigned char>(prev)) ||
+           std::isdigit(static_cast<unsigned char>(prev)))) {
+        flush();
+      }
+      // letter<->digit boundary also splits ("D7" stays; "gen7" -> gen,7 is
+      // too aggressive, so we only split upper-camel boundaries above).
+      cur += static_cast<char>(std::tolower(c));
+    } else {
+      flush();
+    }
+    prev = raw;
+  }
+  flush();
+  return out;
+}
+
+std::vector<std::string> CharNgrams(std::string_view s, int n) {
+  std::vector<std::string> out;
+  if (n <= 0) return out;
+  const auto tokens = WordTokens(s);
+  if (tokens.empty()) return out;
+  std::string norm = "#";
+  for (const auto& tok : tokens) {
+    norm += tok;
+    norm += '#';
+  }
+  if (static_cast<int>(norm.size()) < n) {
+    out.push_back(norm);
+    return out;
+  }
+  for (size_t i = 0; i + n <= norm.size(); ++i) {
+    out.push_back(norm.substr(i, n));
+  }
+  return out;
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> prev(a.size() + 1);
+  std::vector<size_t> cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      const size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
+  const size_t m = std::max(a.size(), b.size());
+  if (m == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(a, b)) / static_cast<double>(m);
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  const auto ta = WordTokens(a);
+  const auto tb = WordTokens(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  std::unordered_set<std::string> sb(tb.begin(), tb.end());
+  size_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  const size_t uni = sa.size() + sb.size() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace her

@@ -1,0 +1,53 @@
+#ifndef HER_COMMON_STRING_UTIL_H_
+#define HER_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace her {
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lowercased alphanumeric word tokens; camelCase, snake_case and
+/// punctuation boundaries all split ("factorySite" -> {"factory","site"},
+/// "made_in" -> {"made","in"}). This is the canonical tokenizer used by the
+/// ML substrate so that relational attribute names and graph predicates
+/// land in the same token space.
+std::vector<std::string> WordTokens(std::string_view s);
+
+/// Lowercased character n-grams of the concatenated word tokens (padded with
+/// '#'). Used for char-level feature hashing and the JedAI-style baseline.
+std::vector<std::string> CharNgrams(std::string_view s, int n);
+
+/// Levenshtein edit distance (O(len_a * len_b) with two rows).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// 1 - EditDistance / max(len); 1.0 for two empty strings.
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of word-token sets.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Parses a decimal double; returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double compactly (up to 6 significant digits).
+std::string FormatDouble(double v);
+
+}  // namespace her
+
+#endif  // HER_COMMON_STRING_UTIL_H_

@@ -1,0 +1,42 @@
+#ifndef HER_COMMON_TIMER_H_
+#define HER_COMMON_TIMER_H_
+
+#include <ctime>
+
+#include <chrono>
+
+namespace her {
+
+/// Simple wall-clock stopwatch used by the benchmark harness.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// CPU time consumed by the calling thread, in seconds. Immune to
+/// preemption and oversubscription: on hosts with fewer cores than BSP
+/// workers, per-superstep makespans are computed from these clocks
+/// (simulated cluster time), not from wall time.
+inline double ThreadCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace her
+
+#endif  // HER_COMMON_TIMER_H_

@@ -1,0 +1,75 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace her {
+
+namespace {
+
+void FinalizePostings(
+    std::unordered_map<std::string, std::vector<VertexId>>& postings,
+    size_t max_posting);
+
+}  // namespace
+
+InvertedIndex::InvertedIndex(const Graph& g, std::vector<VertexId> vertices,
+                             size_t max_posting) {
+  if (vertices.empty()) {
+    vertices.resize(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) vertices[v] = v;
+  }
+  for (const VertexId v : vertices) {
+    for (const auto& tok : WordTokens(g.label(v))) {
+      postings_[tok].push_back(v);
+    }
+  }
+  FinalizePostings(postings_, max_posting);
+}
+
+InvertedIndex::InvertedIndex(
+    std::vector<std::pair<VertexId, std::string>> docs, size_t max_posting) {
+  for (const auto& [v, doc] : docs) {
+    for (const auto& tok : WordTokens(doc)) {
+      postings_[tok].push_back(v);
+    }
+  }
+  FinalizePostings(postings_, max_posting);
+}
+
+namespace {
+
+void FinalizePostings(
+    std::unordered_map<std::string, std::vector<VertexId>>& postings,
+    size_t max_posting) {
+  if (max_posting > 0) {
+    for (auto it = postings.begin(); it != postings.end();) {
+      if (it->second.size() > max_posting) {
+        it = postings.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& [tok, list] : postings) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+}
+
+}  // namespace
+
+std::vector<VertexId> InvertedIndex::Lookup(std::string_view label) const {
+  std::vector<VertexId> out;
+  for (const auto& tok : WordTokens(label)) {
+    auto it = postings_.find(tok);
+    if (it == postings_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace her

@@ -1,0 +1,102 @@
+#include "core/drivers.h"
+
+#include <algorithm>
+
+namespace her {
+
+namespace {
+
+/// Filters candidate vertices by h_v(u_t, .) >= sigma.
+std::vector<VertexId> FilterBySigma(MatchEngine& engine, VertexId u_t,
+                                    std::span<const VertexId> candidates) {
+  const MatchContext& ctx = engine.context();
+  std::vector<VertexId> out;
+  for (const VertexId v : candidates) {
+    if (ctx.hv->Score(u_t, v) >= ctx.params.sigma) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VertexId> AllVerticesOfG(const MatchEngine& engine) {
+  const Graph& g = *engine.context().g;
+  std::vector<VertexId> all(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  return all;
+}
+
+}  // namespace
+
+std::vector<VertexId> VParaMatch(MatchEngine& engine, VertexId u_t) {
+  const auto all = AllVerticesOfG(engine);
+  return engine.MatchCandidates(u_t, FilterBySigma(engine, u_t, all));
+}
+
+std::vector<VertexId> VParaMatch(MatchEngine& engine, VertexId u_t,
+                                 const InvertedIndex& index) {
+  const auto blocked = index.Lookup(engine.context().gd->label(u_t));
+  return engine.MatchCandidates(u_t, FilterBySigma(engine, u_t, blocked));
+}
+
+std::vector<MatchPair> GenerateCandidates(
+    const MatchContext& ctx, std::span<const VertexId> tuple_vertices,
+    const InvertedIndex* index) {
+  // Fig. 8 lines 1-3: candidate set C across G_D and G.
+  struct Cand {
+    VertexId u, v;
+    size_t degree;  // of v, for the increasing-degree order (line 4)
+  };
+  std::vector<Cand> cands;
+  std::vector<VertexId> all;
+  if (index == nullptr) {
+    all.resize(ctx.g->num_vertices());
+    for (VertexId v = 0; v < ctx.g->num_vertices(); ++v) all[v] = v;
+  }
+  for (const VertexId u : tuple_vertices) {
+    const std::vector<VertexId> pool =
+        index == nullptr ? all : index->Lookup(ctx.gd->label(u));
+    for (const VertexId v : pool) {
+      if (ctx.hv->Score(u, v) >= ctx.params.sigma) {
+        cands.push_back(Cand{u, v, ctx.g->Degree(v)});
+      }
+    }
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.degree != b.degree) return a.degree < b.degree;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  std::vector<MatchPair> out;
+  out.reserve(cands.size());
+  for (const Cand& c : cands) out.emplace_back(c.u, c.v);
+  return out;
+}
+
+namespace {
+
+std::vector<MatchPair> AllParaMatchImpl(
+    MatchEngine& engine, std::span<const VertexId> tuple_vertices,
+    const InvertedIndex* index) {
+  // Line 5 of Fig. 8: verify each candidate as in VParaMatch (cache-aware).
+  std::vector<MatchPair> result;
+  for (const MatchPair& c :
+       GenerateCandidates(engine.context(), tuple_vertices, index)) {
+    if (engine.Match(c.first, c.second)) result.push_back(c);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace
+
+std::vector<MatchPair> AllParaMatch(MatchEngine& engine,
+                                    std::span<const VertexId> tuple_vertices) {
+  return AllParaMatchImpl(engine, tuple_vertices, nullptr);
+}
+
+std::vector<MatchPair> AllParaMatch(MatchEngine& engine,
+                                    std::span<const VertexId> tuple_vertices,
+                                    const InvertedIndex& index) {
+  return AllParaMatchImpl(engine, tuple_vertices, &index);
+}
+
+}  // namespace her

@@ -1,0 +1,44 @@
+#ifndef HER_CORE_DRIVERS_H_
+#define HER_CORE_DRIVERS_H_
+
+#include <span>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/match_engine.h"
+
+namespace her {
+
+/// VParaMatch (Section VI-A, Fig. 5): all vertices v_g of G matching a
+/// given u_t. Candidates are every v with h_v(u_t, v) >= sigma, checked in
+/// increasing degree order; verdicts are cached in `engine` across calls.
+std::vector<VertexId> VParaMatch(MatchEngine& engine, VertexId u_t);
+
+/// VParaMatch with inverted-index blocking: only index candidates are
+/// considered (may miss matches whose labels share no token, as blocking
+/// does by design).
+std::vector<VertexId> VParaMatch(MatchEngine& engine, VertexId u_t,
+                                 const InvertedIndex& index);
+
+/// AllParaMatch (Section VI-A, Fig. 8): the full match set Pi across the
+/// given tuple vertices of G_D and all of G. Candidate pairs are generated
+/// with h_v >= sigma and checked in increasing degree order.
+std::vector<MatchPair> AllParaMatch(MatchEngine& engine,
+                                    std::span<const VertexId> tuple_vertices);
+
+/// AllParaMatch with inverted-index blocking over G.
+std::vector<MatchPair> AllParaMatch(MatchEngine& engine,
+                                    std::span<const VertexId> tuple_vertices,
+                                    const InvertedIndex& index);
+
+/// APair candidate generation (Fig. 8 lines 1-4): all pairs (u_t, v) with
+/// h_v >= sigma, sorted by increasing deg(v). `index` null means an
+/// exhaustive scan of G. Shared by the sequential driver and the BSP
+/// engine, which shards the result by fragment owner of v.
+std::vector<MatchPair> GenerateCandidates(
+    const MatchContext& ctx, std::span<const VertexId> tuple_vertices,
+    const InvertedIndex* index);
+
+}  // namespace her
+
+#endif  // HER_CORE_DRIVERS_H_

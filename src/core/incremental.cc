@@ -1,0 +1,77 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace her {
+
+std::vector<VertexId> ChangedOutVertices(const Graph& before,
+                                         const Graph& after) {
+  HER_CHECK(before.num_vertices() == after.num_vertices());
+  // Compare adjacencies as multisets of (label NAME, dst): the two graph
+  // versions intern labels independently, so both LabelIds and the
+  // (label, dst)-sorted CSR order may differ for semantically identical
+  // neighborhoods.
+  const auto neighborhood = [](const Graph& g, VertexId v) {
+    std::vector<std::pair<std::string, VertexId>> out;
+    for (const Edge& e : g.OutEdges(v)) {
+      out.emplace_back(g.EdgeLabelName(e.label), e.dst);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  std::vector<VertexId> changed;
+  for (VertexId v = 0; v < before.num_vertices(); ++v) {
+    if (neighborhood(before, v) != neighborhood(after, v)) {
+      changed.push_back(v);
+    }
+  }
+  return changed;
+}
+
+std::vector<VertexId> ReverseReach(const Graph& g,
+                                   std::span<const VertexId> sources,
+                                   size_t max_hops) {
+  // Build the reverse adjacency once (the Graph stores out-edges only).
+  std::vector<size_t> offsets(g.num_vertices() + 1, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Edge& e : g.OutEdges(v)) ++offsets[e.dst + 1];
+  }
+  for (size_t i = 0; i < g.num_vertices(); ++i) offsets[i + 1] += offsets[i];
+  std::vector<VertexId> parents(g.num_edges());
+  {
+    std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (const Edge& e : g.OutEdges(v)) parents[cursor[e.dst]++] = v;
+    }
+  }
+
+  std::vector<char> seen(g.num_vertices(), 0);
+  std::deque<std::pair<VertexId, size_t>> queue;
+  std::vector<VertexId> out;
+  for (const VertexId s : sources) {
+    if (seen[s]) continue;
+    seen[s] = 1;
+    out.push_back(s);
+    queue.emplace_back(s, 0);
+  }
+  while (!queue.empty()) {
+    const auto [v, d] = queue.front();
+    queue.pop_front();
+    if (d >= max_hops) continue;
+    for (size_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const VertexId p = parents[i];
+      if (!seen[p]) {
+        seen[p] = 1;
+        out.push_back(p);
+        queue.emplace_back(p, d + 1);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace her

@@ -1,0 +1,35 @@
+#ifndef HER_CORE_INCREMENTAL_H_
+#define HER_CORE_INCREMENTAL_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace her {
+
+/// Support for incremental entity linking under updates to D and G
+/// (Section VI, remark (2): "IncPSim can be extended to incrementally
+/// link entities in response to updates").
+///
+/// The update model: a new version of a graph with the SAME vertex set and
+/// labels but possibly different edges. The helpers below compute which
+/// vertices' h_r properties may have changed, so the engine can drop
+/// exactly the affected verdicts and keep the rest.
+
+/// Vertices whose out-edge lists differ between two same-vertex-set
+/// versions of a graph, ascending.
+std::vector<VertexId> ChangedOutVertices(const Graph& before,
+                                         const Graph& after);
+
+/// Vertices that can reach any of `sources` within `max_hops` edges
+/// (including the sources themselves), ascending. A vertex's ranked paths
+/// can only change if a changed vertex lies within its ranking horizon,
+/// so this is the conservative "affected" set.
+std::vector<VertexId> ReverseReach(const Graph& g,
+                                   std::span<const VertexId> sources,
+                                   size_t max_hops);
+
+}  // namespace her
+
+#endif  // HER_CORE_INCREMENTAL_H_

@@ -1,0 +1,402 @@
+#include "core/match_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace her {
+
+namespace {
+
+std::vector<Property> RankProperties(const MatchContext& ctx, int graph,
+                                     VertexId v, int k) {
+  const auto ranked = ctx.hr->TopK(graph, v, k);
+  std::vector<Property> props;
+  props.reserve(ranked.size());
+  for (const auto& r : ranked) {
+    Property p;
+    p.descendant = r.descendant;
+    p.labels = r.path.labels;
+    p.joint = ctx.vocab->MapPath(graph, r.path.labels);
+    p.pra = r.pra;
+    props.push_back(std::move(p));
+  }
+  return props;
+}
+
+}  // namespace
+
+PropertyTable PropertyTable::Build(const Graph& gd, const Graph& g,
+                                   const DescendantRanker& hr,
+                                   const JointVocab& vocab, size_t threads) {
+  PropertyTable table;
+  MatchContext ctx;  // only hr + vocab are consulted by RankProperties
+  ctx.hr = &hr;
+  ctx.vocab = &vocab;
+  const Graph* graphs[2] = {&gd, &g};
+  for (int gi = 0; gi < 2; ++gi) {
+    auto& out = table.table_[gi];
+    out.assign(graphs[gi]->num_vertices(), {});
+    ParallelFor(out.size(), threads, [&](size_t v) {
+      if (graphs[gi]->IsLeaf(static_cast<VertexId>(v))) return;
+      // Rank without a k cap; engines slice the top-k they need.
+      out[v] = RankProperties(ctx, gi, static_cast<VertexId>(v),
+                              std::numeric_limits<int>::max());
+    });
+  }
+  return table;
+}
+
+std::span<const Property> MatchEngine::PropertiesOf(int graph, VertexId v) {
+  if (ctx_.properties != nullptr) {
+    return ctx_.properties->Get(graph, v, ctx_.params.k);
+  }
+  auto& store = ecache_[graph];
+  auto it = store.find(v);
+  if (it != store.end()) return it->second;
+  // unordered_map is node-based: the reference stays valid across future
+  // insertions, which recursion relies on.
+  return store
+      .emplace(v, RankProperties(ctx_, graph, v, ctx_.params.k))
+      .first->second;
+}
+
+double MatchEngine::HRho(const Property& pu, const Property& pv) {
+  ++stats_.hrho_evaluations;
+  const double m = ctx_.mrho->Score(pu.joint, pv.joint);
+  return m / static_cast<double>(pu.joint.size() + pv.joint.size());
+}
+
+const MatchEngine::CacheEntry* MatchEngine::Lookup(VertexId u,
+                                                   VertexId v) const {
+  auto it = cache_.find(MatchPair{u, v});
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+bool MatchEngine::Match(VertexId u, VertexId v) {
+  if (const CacheEntry* e = Lookup(u, v)) {
+    ++stats_.cache_hits;
+    return e->valid;
+  }
+  return ParaMatch(u, v);
+}
+
+std::vector<VertexId> MatchEngine::MatchCandidates(
+    VertexId u, std::span<const VertexId> candidates) {
+  // VParaMatch line 4: increasing degree order — low-degree vertices settle
+  // candidate verdicts early and their cache entries get reused.
+  std::vector<VertexId> order(candidates.begin(), candidates.end());
+  if (ctx_.enable_degree_sort) {
+    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      const size_t da = ctx_.g->Degree(a);
+      const size_t db = ctx_.g->Degree(b);
+      return da != db ? da < db : a < b;
+    });
+  } else {
+    std::sort(order.begin(), order.end());
+  }
+  std::vector<VertexId> matches;
+  for (const VertexId v : order) {
+    if (Match(u, v)) matches.push_back(v);
+  }
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+bool MatchEngine::ConsumeBudget(const MatchPair& key) {
+  // The paper bounds ParaMatch invocations per candidate at k^2 + 1
+  // (Section V, analysis). We enforce the bound so the quadratic worst
+  // case holds even under adversarial (inconsistent) score functions.
+  const int limit = ctx_.params.k * ctx_.params.k + 4;
+  return ++eval_count_[key] <= limit;
+}
+
+bool MatchEngine::ParaMatch(VertexId u, VertexId v) {
+  if (is_local_ && !is_local_(u, v)) {
+    // PPSim border assumption (Section VI-B): absent the data of v, assume
+    // the pair valid; the owner's verdict arrives as a message.
+    ++stats_.border_assumptions;
+    AssumeValid(u, v);
+    new_assumptions_.emplace_back(u, v);
+    return true;
+  }
+  const MatchPair key{u, v};
+  for (;;) {
+    if (!ConsumeBudget(key)) {
+      ++stats_.budget_exhausted;
+      Store(u, v, false, {});
+      return false;
+    }
+    bool stale = false;
+    const bool result = EvalOnce(u, v, &stale);
+    if (!stale) return result;
+    ++stats_.stale_restarts;
+  }
+}
+
+bool MatchEngine::EvalOnce(VertexId u, VertexId v, bool* stale) {
+  *stale = false;
+  ++stats_.para_match_calls;
+  const double sigma = ctx_.params.sigma;
+  const double delta = ctx_.params.delta;
+
+  // Initial stage (Fig. 4, lines 1-4).
+  if (ctx_.hv->Score(u, v) < sigma) {
+    Store(u, v, false, {});
+    return false;
+  }
+  if (ctx_.gd->IsLeaf(u)) {
+    Store(u, v, true, {});
+    return true;
+  }
+  // Optimistic placeholder so interdependent candidates (cycles) terminate;
+  // the cleanup stage rectifies it if this pair turns out invalid.
+  Store(u, v, true, {});
+
+  const auto& pu = PropertiesOf(0, u);
+  const auto& pv = PropertiesOf(1, v);
+
+  // Lines 6-11: per-descendant candidate lists sorted by descending h_rho.
+  struct Cand {
+    VertexId v2;
+    double hrho;
+  };
+  std::vector<std::vector<Cand>> lists(pu.size());
+  std::vector<double> contrib(pu.size(), 0.0);  // current MaxSco share of u'
+  double maxsco = 0.0;
+  for (size_t i = 0; i < pu.size(); ++i) {
+    auto& list = lists[i];
+    for (size_t j = 0; j < pv.size(); ++j) {
+      if (ctx_.hv->Score(pu[i].descendant, pv[j].descendant) < sigma) continue;
+      list.push_back(Cand{pv[j].descendant, HRho(pu[i], pv[j])});
+    }
+    std::sort(list.begin(), list.end(), [](const Cand& a, const Cand& b) {
+      return a.hrho != b.hrho ? a.hrho > b.hrho : a.v2 < b.v2;
+    });
+    if (!list.empty()) {
+      contrib[i] = list[0].hrho;
+      maxsco += contrib[i];
+    }
+  }
+
+  if (delta <= 0.0) {  // vacuous threshold: the empty lineage set suffices
+    Store(u, v, true, {});
+    return true;
+  }
+  // Lines 12-14: early termination on the optimistic upper bound.
+  if (ctx_.enable_early_termination && maxsco < delta) {
+    Store(u, v, false, {});
+    return false;
+  }
+
+  // Matching stage (lines 15-27).
+  double sum = 0.0;
+  std::vector<MatchPair> witnesses;
+  std::unordered_set<VertexId> used;  // lineage sets are injective mappings
+  for (size_t i = 0; i < pu.size(); ++i) {
+    const VertexId u2 = pu[i].descendant;
+    const auto& list = lists[i];
+    for (size_t idx = 0; idx < list.size(); ++idx) {
+      const Cand& cand = list[idx];
+      if (used.count(cand.v2) != 0) continue;
+      bool m;
+      if (const CacheEntry* e = Lookup(u2, cand.v2)) {
+        ++stats_.cache_hits;
+        m = e->valid;
+      } else {
+        m = ParaMatch(u2, cand.v2);
+      }
+      if (m) {
+        sum += cand.hrho;
+        witnesses.emplace_back(u2, cand.v2);
+        used.insert(cand.v2);
+        if (sum >= delta) {
+          // Deep recursion may have invalidated a pair we consumed as true
+          // before this entry registered as its dependent; verify, and
+          // restart the evaluation if so (bounded by the eval budget).
+          for (const MatchPair& w : witnesses) {
+            const CacheEntry* e = Lookup(w.first, w.second);
+            if (e == nullptr || !e->valid) {
+              *stale = true;
+              return false;
+            }
+          }
+          Store(u, v, true, std::move(witnesses));
+          return true;
+        }
+        break;  // u' found its best match; move to the next property
+      }
+      // Line 25: replace u's share of MaxSco with the next candidate's.
+      double next_hrho = 0.0;
+      for (size_t t = idx + 1; t < list.size(); ++t) {
+        if (used.count(list[t].v2) == 0) {
+          next_hrho = list[t].hrho;
+          break;
+        }
+      }
+      maxsco += next_hrho - contrib[i];
+      contrib[i] = next_hrho;
+      if (ctx_.enable_early_termination && maxsco < delta) {  // lines 26-27
+        Store(u, v, false, {});
+        return false;
+      }
+    }
+  }
+
+  // All properties processed without reaching delta.
+  Store(u, v, false, {});
+  return false;
+}
+
+void MatchEngine::Store(VertexId u, VertexId v, bool valid,
+                        std::vector<MatchPair> witnesses) {
+  const MatchPair key{u, v};
+  bool was_valid = false;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    was_valid = it->second.valid;
+    for (const MatchPair& w : it->second.witnesses) {
+      auto dit = dependents_.find(w);
+      if (dit != dependents_.end()) dit->second.erase(key);
+    }
+  }
+  CacheEntry& entry = cache_[key];
+  entry.valid = valid;
+  entry.witnesses = std::move(witnesses);
+  for (const MatchPair& w : entry.witnesses) dependents_[w].insert(key);
+  if (was_valid && !valid) {
+    newly_invalidated_.push_back(key);
+    RecheckDependents(key);
+  }
+}
+
+void MatchEngine::Unset(const MatchPair& key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return;
+  for (const MatchPair& w : it->second.witnesses) {
+    auto dit = dependents_.find(w);
+    if (dit != dependents_.end()) dit->second.erase(key);
+  }
+  cache_.erase(it);
+}
+
+void MatchEngine::RecheckDependents(const MatchPair& key) {
+  auto dit = dependents_.find(key);
+  if (dit == dependents_.end() || dit->second.empty()) return;
+  // Copy: the rechecks mutate the dependency index.
+  const std::vector<MatchPair> to_check(dit->second.begin(),
+                                        dit->second.end());
+  for (const MatchPair& parent : to_check) {
+    auto it = cache_.find(parent);
+    if (it == cache_.end() || !it->second.valid) continue;
+    ++stats_.cleanup_reruns;
+    Unset(parent);
+    ParaMatch(parent.first, parent.second);
+  }
+}
+
+void PropertyTable::Refresh(int graph, const Graph& g,
+                            std::span<const VertexId> vertices,
+                            const DescendantRanker& hr,
+                            const JointVocab& vocab) {
+  MatchContext ctx;
+  ctx.hr = &hr;
+  ctx.vocab = &vocab;
+  auto& out = table_[graph];
+  HER_CHECK(out.size() == g.num_vertices());
+  for (const VertexId v : vertices) {
+    out[v] = g.IsLeaf(v)
+                 ? std::vector<Property>{}
+                 : RankProperties(ctx, graph, v,
+                                  std::numeric_limits<int>::max());
+  }
+}
+
+void MatchEngine::InvalidateForUpdate(std::span<const VertexId> affected_u,
+                                      std::span<const VertexId> affected_v) {
+  const std::unordered_set<VertexId> su(affected_u.begin(), affected_u.end());
+  const std::unordered_set<VertexId> sv(affected_v.begin(), affected_v.end());
+  std::deque<MatchPair> queue;
+  std::unordered_set<MatchPair, PairHash> doomed;
+  for (const auto& [key, entry] : cache_) {
+    if (su.count(key.first) != 0 || sv.count(key.second) != 0) {
+      if (doomed.insert(key).second) queue.push_back(key);
+    }
+  }
+  while (!queue.empty()) {
+    const MatchPair p = queue.front();
+    queue.pop_front();
+    auto dit = dependents_.find(p);
+    if (dit != dependents_.end()) {
+      for (const MatchPair& dep : dit->second) {
+        if (doomed.insert(dep).second) queue.push_back(dep);
+      }
+    }
+  }
+  for (const MatchPair& p : doomed) {
+    Unset(p);
+    dependents_.erase(p);
+    eval_count_.erase(p);  // fresh re-evaluation budget after the update
+  }
+  for (const VertexId v : affected_u) ecache_[0].erase(v);
+  for (const VertexId v : affected_v) ecache_[1].erase(v);
+}
+
+void MatchEngine::ClearPairCache() {
+  cache_.clear();
+  dependents_.clear();
+  eval_count_.clear();
+  newly_invalidated_.clear();
+}
+
+void MatchEngine::AssumeValid(VertexId u, VertexId v) {
+  Store(u, v, true, {});
+}
+
+void MatchEngine::ForceInvalid(VertexId u, VertexId v) {
+  Store(u, v, false, {});
+}
+
+std::vector<MatchPair> MatchEngine::DrainNewlyInvalidated() {
+  std::vector<MatchPair> out;
+  out.swap(newly_invalidated_);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<MatchPair> MatchEngine::DrainNewAssumptions() {
+  std::vector<MatchPair> out;
+  out.swap(new_assumptions_);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<MatchPair> MatchEngine::Witness(VertexId u, VertexId v) const {
+  const CacheEntry* root = Lookup(u, v);
+  if (root == nullptr || !root->valid) return {};
+  std::vector<MatchPair> out;
+  std::unordered_set<MatchPair, PairHash> seen;
+  std::deque<MatchPair> queue;
+  const MatchPair start{u, v};
+  seen.insert(start);
+  queue.push_back(start);
+  while (!queue.empty()) {
+    const MatchPair cur = queue.front();
+    queue.pop_front();
+    out.push_back(cur);
+    auto it = cache_.find(cur);
+    if (it == cache_.end()) continue;
+    for (const MatchPair& w : it->second.witnesses) {
+      if (seen.insert(w).second) queue.push_back(w);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace her

@@ -1,0 +1,198 @@
+#ifndef HER_CORE_MATCH_ENGINE_H_
+#define HER_CORE_MATCH_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/match_context.h"
+
+namespace her {
+
+/// A candidate match: u in G_D paired with v in G.
+using MatchPair = std::pair<VertexId, VertexId>;
+
+/// One important property selected by h_r, with its path pre-mapped into
+/// the joint token space so M_rho calls need no further translation.
+struct Property {
+  VertexId descendant = kInvalidVertex;
+  std::vector<LabelId> labels;  // per-graph edge labels along the path
+  std::vector<int> joint;       // same path in joint-vocab tokens
+  double pra = 0.0;
+};
+
+/// Offline-precomputed h_r output for every vertex of both graphs, ranked
+/// by PRA. Section IV computes h_r per vertex as part of module Learn;
+/// materializing it once lets the shared-nothing workers read it like the
+/// (immutable) graphs instead of re-ranking shared vertices per fragment.
+/// PropertiesOf then slices the top-k for whatever k is in force.
+class PropertyTable {
+ public:
+  /// Ranks every vertex of gd (graph 0) and g (graph 1) with `hr`,
+  /// translating paths via `vocab`. `threads` parallelizes the build.
+  static PropertyTable Build(const Graph& gd, const Graph& g,
+                             const DescendantRanker& hr,
+                             const JointVocab& vocab, size_t threads = 1);
+
+  std::span<const Property> Get(int graph, VertexId v, int k) const {
+    const auto& all = table_[graph][v];
+    return {all.data(), std::min(all.size(), static_cast<size_t>(k))};
+  }
+
+  /// Re-ranks the listed vertices against an updated graph (incremental
+  /// maintenance; `hr` must already be bound to the new graph version).
+  void Refresh(int graph, const Graph& g, std::span<const VertexId> vertices,
+               const DescendantRanker& hr, const JointVocab& vocab);
+
+ private:
+  std::vector<std::vector<Property>> table_[2];  // [graph][vertex]
+};
+
+/// Implements algorithm ParaMatch of Section V (Fig. 4) plus the
+/// VParaMatch / AllParaMatch drivers of Section VI-A.
+///
+/// The engine owns the two hashmap structures of the paper:
+///  - `ecache`: top-k selected descendants per vertex (computed once);
+///  - `cache`: per candidate pair, [valid?, W] where W is the lineage set
+///    the validity is conditioned on, plus a reverse index so the cleanup
+///    stage can recheck dependents of an invalidated pair.
+///
+/// Matches computed under the optimistic-then-invalidate discipline yield
+/// the unique maximum match relation (Proposition 4 of the paper).
+/// Not thread-safe; the parallel engine gives each worker its own instance.
+class MatchEngine {
+ public:
+  struct CacheEntry {
+    bool valid = false;
+    std::vector<MatchPair> witnesses;  // W: valid iff all of these are
+  };
+
+  struct Stats {
+    size_t para_match_calls = 0;   // recursive invocations
+    size_t cache_hits = 0;         // candidate pairs answered from cache
+    size_t cleanup_reruns = 0;     // dependents rechecked after invalidation
+    size_t stale_restarts = 0;     // evaluations restarted on stale W
+    size_t budget_exhausted = 0;   // pairs conservatively failed at budget
+    size_t hrho_evaluations = 0;   // h_rho computations
+    size_t border_assumptions = 0;  // pairs optimistically assumed (BSP)
+  };
+
+  explicit MatchEngine(const MatchContext& ctx) : ctx_(ctx) {}
+
+  const MatchContext& context() const { return ctx_; }
+
+  /// SPair: does (u, v) match by parametric simulation? Results (and all
+  /// intermediate candidate verdicts) are cached across calls.
+  bool Match(VertexId u, VertexId v);
+
+  /// VPair core loop: checks `candidates` (pairs (u, v_g)) in increasing
+  /// order of deg(v_g) and returns the matching v_g. The candidate set is
+  /// produced by the caller (typically via an inverted index + h_v filter).
+  std::vector<VertexId> MatchCandidates(VertexId u,
+                                        std::span<const VertexId> candidates);
+
+  /// Cached verdict for a pair, if any.
+  const CacheEntry* Lookup(VertexId u, VertexId v) const;
+
+  /// The witness Pi(u, v): every pair transitively referenced from (u, v)
+  /// through lineage sets. Empty if (u, v) is not a cached valid match.
+  std::vector<MatchPair> Witness(VertexId u, VertexId v) const;
+
+  /// Top-k properties of a vertex (`graph` 0 = G_D, 1 = G), from the
+  /// context's precomputed PropertyTable when present, otherwise via the
+  /// lazily-filled ecache.
+  std::span<const Property> PropertiesOf(int graph, VertexId v);
+
+  /// h_rho of Eq. 2 for two selected properties.
+  double HRho(const Property& pu, const Property& pv);
+
+  /// Forgets all pair verdicts (keeps ecache, whose contents are
+  /// parameter-k dependent but graph-determined).
+  void ClearPairCache();
+
+  /// Incremental maintenance: drops every cached verdict involving an
+  /// affected G_D vertex or G vertex — transitively through the
+  /// dependency index, since a dependent's validity was conditioned on
+  /// the dropped pair — and forgets their ecache rows. Other verdicts
+  /// survive; re-querying recomputes only what the update touched.
+  void InvalidateForUpdate(std::span<const VertexId> affected_u,
+                           std::span<const VertexId> affected_v);
+
+  /// --- hooks for the parallel engine (Section VI-B) ---
+
+  /// Installs an unconditional optimistic verdict (border-node assumption
+  /// of PPSim). Overwrites any existing entry.
+  void AssumeValid(VertexId u, VertexId v);
+
+  /// Externally invalidates a pair (message from another worker) and
+  /// reruns the cleanup stage on its dependents.
+  void ForceInvalid(VertexId u, VertexId v);
+
+  /// Pairs whose cached verdict flipped from true to false since the last
+  /// drain; these become the BSP messages.
+  std::vector<MatchPair> DrainNewlyInvalidated();
+
+  /// Restricts this engine to a fragment: pairs failing the predicate are
+  /// not evaluated but optimistically assumed valid (PPSim's border-node
+  /// assumption) and recorded for the assumption drain, unless a verdict
+  /// for them was already installed (e.g. via ForceInvalid).
+  void SetLocalityFilter(std::function<bool(VertexId, VertexId)> is_local) {
+    is_local_ = std::move(is_local);
+  }
+
+  /// Border pairs optimistically assumed valid since the last drain; the
+  /// BSP driver routes them to their owner for authoritative evaluation.
+  std::vector<MatchPair> DrainNewAssumptions();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// One attempt at evaluating (u, v). Returns the verdict; sets *stale if
+  /// a witness consumed as true got invalidated mid-evaluation (in which
+  /// case the verdict must be recomputed).
+  bool EvalOnce(VertexId u, VertexId v, bool* stale);
+
+  /// Full ParaMatch with the stale-restart loop and recheck budget.
+  bool ParaMatch(VertexId u, VertexId v);
+
+  /// Stores a verdict, maintaining the reverse dependency index, and on a
+  /// true->false flip triggers the cleanup stage (lines 29-31 of Fig. 4).
+  void Store(VertexId u, VertexId v, bool valid,
+             std::vector<MatchPair> witnesses);
+
+  /// Removes an entry (without recording an invalidation); used before a
+  /// cleanup rerun.
+  void Unset(const MatchPair& key);
+
+  /// Reruns ParaMatch on every cached pair whose W contains `key`.
+  void RecheckDependents(const MatchPair& key);
+
+  /// Remaining evaluation budget for a pair; the paper bounds re-checks at
+  /// k^2 + 1, which we enforce so termination holds by construction.
+  bool ConsumeBudget(const MatchPair& key);
+
+  const MatchContext& ctx_;
+  Stats stats_;
+
+  std::unordered_map<MatchPair, CacheEntry, PairHash> cache_;
+  std::unordered_map<MatchPair, std::unordered_set<MatchPair, PairHash>,
+                     PairHash>
+      dependents_;
+  std::unordered_map<MatchPair, int, PairHash> eval_count_;
+  std::vector<MatchPair> newly_invalidated_;
+  std::vector<MatchPair> new_assumptions_;
+  // (u, v) -> is this pair owned by this fragment? empty = everything is.
+  std::function<bool(VertexId, VertexId)> is_local_;
+
+  // ecache: [graph] vertex -> properties. Filled lazily via h_r.
+  std::unordered_map<VertexId, std::vector<Property>> ecache_[2];
+};
+
+}  // namespace her
+
+#endif  // HER_CORE_MATCH_ENGINE_H_

@@ -1,0 +1,36 @@
+#ifndef HER_CORE_SCHEMA_MATCH_H_
+#define HER_CORE_SCHEMA_MATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/match_engine.h"
+
+namespace her {
+
+/// One element of the schema match set Gamma(u_t, v_g) (Appendix D): the
+/// relational attribute edge `e` of u_t is encoded in G by the path prefix
+/// `g_path` out of v_g, with M_rho score `score`.
+struct SchemaMatch {
+  std::string attribute;          // edge-label name of e in G_D
+  std::vector<LabelId> g_path;    // matching path prefix labels in G
+  double score = 0.0;             // M_rho(L(e), L(g_path))
+  VertexId u_child = kInvalidVertex;
+  VertexId v_end = kInvalidVertex;  // endpoint of the full witness path
+};
+
+/// Computes Gamma(u_t, v_g) from a cached valid match: for each witness
+/// pair (u', v') of (u_t, v_g) whose G_D path is a single attribute edge e,
+/// picks the prefix of the G path maximizing M_rho(L(e), prefix). Returns
+/// empty if (u_t, v_g) is not a cached valid match.
+std::vector<SchemaMatch> ComputeSchemaMatches(MatchEngine& engine,
+                                              VertexId u_t, VertexId v_g);
+
+/// Renders a human-readable explanation of why (u, v) matched: the witness
+/// pairs with their labels, paths and scores — the paper's explainability
+/// claim (matches are witnessed, not black-box).
+std::string ExplainMatch(MatchEngine& engine, VertexId u, VertexId v);
+
+}  // namespace her
+
+#endif  // HER_CORE_SCHEMA_MATCH_H_

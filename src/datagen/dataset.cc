@@ -1,0 +1,476 @@
+#include "datagen/dataset.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "datagen/words.h"
+
+namespace her {
+
+namespace {
+
+/// Canonical (pre-noise) state of the entity world.
+struct BrandWorld {
+  std::string key;
+  std::string name;
+  std::string country;
+  std::string manufacturer;
+  std::string factory;   // factory site name
+  std::string city;      // made_in city
+  std::string code;      // country code
+  std::string made_in;   // relational rendering: "city, CODE"
+};
+
+struct EntityWorld {
+  std::string key;
+  std::string name;
+  std::string material;
+  std::string color;
+  std::string trim;  // secondary color (trim/accent)
+  std::string type_code;
+  std::string qty;
+  int brand = 0;
+  int category = 0;
+  int family = 0;  // product line; variants differ in color/type only
+  bool has_tuple = false;
+  bool has_vertex = false;
+};
+
+std::string TypeCode(Rng& rng) {
+  std::string s;
+  s += static_cast<char>('A' + rng.Below(26));
+  s += static_cast<char>('A' + rng.Below(26));
+  for (int i = 0; i < 3; ++i) s += static_cast<char>('0' + rng.Below(10));
+  return s;
+}
+
+/// Applies the profile's graph-side noise to a canonical value.
+std::string NoisyValue(const std::string& value, const NoiseProfile& noise,
+                       Rng& rng) {
+  std::string out = value;
+  if (rng.Chance(noise.value_variant_prob)) {
+    switch (rng.Below(3)) {
+      case 0:
+        out = ValueNoise::Abbreviate(out);
+        break;
+      case 1:
+        out = ValueNoise::Reorder(out);
+        break;
+      default:
+        out = ValueNoise::Extend(out, rng);
+        break;
+    }
+  }
+  if (rng.Chance(noise.typo_prob)) {
+    out = ValueNoise::Typos(out, noise.typo_count, rng);
+  }
+  return out;
+}
+
+/// Renames graph predicates to opaque codes when the spec asks for it.
+class PredicateNamer {
+ public:
+  explicit PredicateNamer(bool opaque) : opaque_(opaque) {}
+
+  std::string operator()(const std::string& name) {
+    if (!opaque_) return name;
+    auto it = map_.find(name);
+    if (it == map_.end()) {
+      it = map_.emplace(name, "r" + std::to_string(map_.size())).first;
+    }
+    return it->second;
+  }
+
+ private:
+  bool opaque_;
+  std::unordered_map<std::string, std::string> map_;
+};
+
+}  // namespace
+
+GeneratedDataset Generate(const DatasetSpec& spec) {
+  HER_CHECK(spec.num_entities > 0 && spec.num_brands > 0 &&
+            spec.num_categories > 0);
+  Rng rng(spec.seed);
+  GeneratedDataset out;
+  out.name = spec.name;
+
+  // --- Canonical world -----------------------------------------------------
+  std::vector<std::string> materials;
+  for (int i = 0; i < 10; ++i) materials.push_back(WordMaker::Word(rng));
+  const char* const kColors[] = {"white", "red",    "blue",  "black",
+                                 "green", "yellow", "brown", "grey"};
+  std::vector<std::string> categories;
+  for (int i = 0; i < spec.num_categories; ++i) {
+    categories.push_back(WordMaker::Phrase(rng, 2));
+  }
+
+  std::vector<BrandWorld> brands(spec.num_brands);
+  for (int i = 0; i < spec.num_brands; ++i) {
+    BrandWorld& b = brands[i];
+    b.key = "b" + std::to_string(i);
+    b.name = WordMaker::Phrase(rng, 1 + static_cast<int>(rng.Below(2)));
+    b.country = WordMaker::Name(rng);
+    b.manufacturer = WordMaker::Name(rng) + " AG";
+    b.factory = WordMaker::Name(rng) + " Factory";
+    b.city = WordMaker::Name(rng);
+    b.code = std::string(1, static_cast<char>('A' + rng.Below(26))) +
+             std::string(1, static_cast<char>('A' + rng.Below(26)));
+    b.made_in = b.city + ", " + b.code;
+  }
+
+  const int total_entities = spec.num_entities +
+                             static_cast<int>(spec.num_entities *
+                                              spec.distractor_ratio);
+  // Entities come in product-line families: variants share the name stem,
+  // brand, category and material and differ only in the variant word,
+  // color, type code and qty (Table I's "Dame Basketball Shoes D7" world).
+  // Near-duplicates are what makes heterogeneous ER hard: telling variants
+  // apart requires matching the discriminative properties through the
+  // right paths, not just overlapping bags of values.
+  struct Family {
+    std::string stem;
+    std::string material;
+    int brand;
+    int category;
+  };
+  std::vector<Family> families;
+  std::vector<EntityWorld> entities(total_entities);
+  for (int i = 0; i < total_entities; ++i) {
+    EntityWorld& e = entities[i];
+    // Start a new family or extend the last one (expected size ~2.5).
+    if (families.empty() || !rng.Chance(0.6)) {
+      families.push_back(Family{
+          WordMaker::Phrase(rng, 2 + static_cast<int>(rng.Below(2))),
+          materials[rng.Below(materials.size())],
+          static_cast<int>(rng.Below(static_cast<uint64_t>(spec.num_brands))),
+          static_cast<int>(
+              rng.Below(static_cast<uint64_t>(spec.num_categories)))});
+    }
+    const Family& fam = families.back();
+    const bool extends = (i > 0 && entities[i - 1].family ==
+                                       static_cast<int>(families.size()) - 1);
+    e.family = static_cast<int>(families.size()) - 1;
+    e.key = "t" + std::to_string(i);
+    e.name = fam.stem + " " + TypeCode(rng).substr(0, 2) +
+             std::to_string(rng.Below(10));
+    e.material = fam.material;
+    if (extends && rng.Chance(0.5)) {
+      // Variant with SWAPPED color/trim: the value bags of the two
+      // variants are identical; only the value-to-property association
+      // tells them apart — exactly what path-aware matching checks and
+      // bag-of-values matchers cannot.
+      e.color = entities[i - 1].trim;
+      e.trim = entities[i - 1].color;
+    } else {
+      e.color = kColors[rng.Below(8)];
+      e.trim = kColors[rng.Below(8)];
+    }
+    e.type_code = TypeCode(rng);
+    e.qty = std::to_string(10 + rng.Below(990));
+    e.brand = fam.brand;
+    e.category = fam.category;
+    if (i < spec.num_entities) {
+      e.has_tuple = true;
+      e.has_vertex = !rng.Chance(spec.unmatched_tuple_ratio);
+    } else {
+      e.has_vertex = true;  // graph-only distractor
+    }
+  }
+
+  // --- Relational view -----------------------------------------------------
+  HER_CHECK(out.db
+                .AddRelation(RelationSchema("brand",
+                                            {{"name", false, ""},
+                                             {"country", false, ""},
+                                             {"manufacturer", false, ""},
+                                             {"made_in", false, ""}}))
+                .ok());
+  HER_CHECK(out.db
+                .AddRelation(RelationSchema("item",
+                                            {{"name", false, ""},
+                                             {"material", false, ""},
+                                             {"color", false, ""},
+                                             {"trim", false, ""},
+                                             {"type", false, ""},
+                                             {"category", false, ""},
+                                             {"qty", false, ""},
+                                             {"brand", true, "brand"}}))
+                .ok());
+  for (const BrandWorld& b : brands) {
+    HER_CHECK(out.db
+                  .Insert("brand", {b.key,
+                                    {b.name, b.country, b.manufacturer,
+                                     b.made_in}})
+                  .ok());
+  }
+  for (const EntityWorld& e : entities) {
+    if (!e.has_tuple) continue;
+    HER_CHECK(out.db
+                  .Insert("item", {e.key,
+                                   {e.name, e.material, e.color, e.trim,
+                                    e.type_code, categories[e.category],
+                                    e.qty, brands[e.brand].key}})
+                  .ok());
+  }
+  auto canonical = Rdb2Rdf(out.db);
+  HER_CHECK(canonical.ok());
+  out.canonical = std::move(canonical).value();
+
+  // --- Graph view ----------------------------------------------------------
+  const NoiseProfile& noise = spec.noise;
+  PredicateNamer pred(spec.opaque_predicates);
+  GraphBuilder gb;
+  // Shared category vertices (high-degree hubs, like v2 in Fig. 1).
+  std::vector<VertexId> category_vs;
+  for (const std::string& c : categories) {
+    category_vs.push_back(gb.AddVertex(c));
+  }
+  // Brand entities with path-encoded made_in (factorySite, isIn[, isIn]).
+  std::vector<VertexId> brand_vs;
+  for (const BrandWorld& b : brands) {
+    const VertexId bv = gb.AddVertex("brand");
+    brand_vs.push_back(bv);
+    gb.AddEdge(bv, gb.AddVertex(NoisyValue(b.name, noise, rng)), pred("type"));
+    gb.AddEdge(bv, gb.AddVertex(NoisyValue(b.country, noise, rng)),
+               pred("brandCountry"));
+    gb.AddEdge(bv, gb.AddVertex(NoisyValue(b.manufacturer, noise, rng)),
+               pred("belongsTo"));
+    const VertexId site = gb.AddVertex(NoisyValue(b.factory, noise, rng));
+    gb.AddEdge(bv, site, pred("factorySite"));
+    if (rng.Chance(noise.deep_path_prob)) {
+      const VertexId city = gb.AddVertex(NoisyValue(b.city, noise, rng));
+      gb.AddEdge(site, city, pred("isIn"));
+      gb.AddEdge(city, gb.AddVertex(b.code), pred("isIn"));
+    } else {
+      gb.AddEdge(site, gb.AddVertex(NoisyValue(b.made_in, noise, rng)),
+                 pred("isIn"));
+    }
+  }
+  // Item entities.
+  std::vector<VertexId> entity_vs(total_entities, kInvalidVertex);
+  for (int i = 0; i < total_entities; ++i) {
+    const EntityWorld& e = entities[i];
+    if (!e.has_vertex) continue;
+    const VertexId iv = gb.AddVertex("item");
+    entity_vs[i] = iv;
+    if (!rng.Chance(noise.drop_attr_prob)) {
+      gb.AddEdge(iv, gb.AddVertex(NoisyValue(e.name, noise, rng)), pred("names"));
+    }
+    if (!rng.Chance(noise.drop_attr_prob)) {
+      gb.AddEdge(iv, gb.AddVertex(NoisyValue(e.material, noise, rng)),
+                 pred("soleMadeBy"));
+    }
+    if (!rng.Chance(noise.drop_attr_prob)) {
+      gb.AddEdge(iv, gb.AddVertex(NoisyValue(e.color, noise, rng)),
+                 pred("hasColor"));
+    }
+    if (!rng.Chance(noise.drop_attr_prob)) {
+      gb.AddEdge(iv, gb.AddVertex(NoisyValue(e.trim, noise, rng)),
+                 pred("trimColor"));
+    }
+    if (!rng.Chance(noise.drop_attr_prob)) {
+      gb.AddEdge(iv, gb.AddVertex(NoisyValue(e.type_code, noise, rng)),
+                 pred("typeNo"));
+    }
+    gb.AddEdge(iv, category_vs[e.category], pred("isA"));
+    gb.AddEdge(iv, brand_vs[e.brand], pred("brandName"));
+    // qty is usually absent from knowledge graphs; keep it rarely.
+    if (rng.Chance(0.15)) {
+      gb.AddEdge(iv, gb.AddVertex(e.qty), pred("quantity"));
+    }
+    if (rng.Chance(noise.extra_attr_prob)) {
+      gb.AddEdge(iv, gb.AddVertex(WordMaker::Phrase(rng, 1)),
+                 WordMaker::Word(rng));
+    }
+  }
+  out.g = std::move(gb).Build();
+
+  // --- Ground truth and annotations ---------------------------------------
+  const uint32_t item_rel = out.db.FindRelation("item").value();
+  std::vector<std::pair<VertexId, VertexId>> positives;  // (u_t, v)
+  {
+    uint32_t row = 0;
+    for (int i = 0; i < total_entities; ++i) {
+      const EntityWorld& e = entities[i];
+      if (!e.has_tuple) continue;
+      const TupleRef t{item_rel, row++};
+      if (e.has_vertex) {
+        out.true_matches.emplace_back(t, entity_vs[i]);
+        positives.emplace_back(out.canonical.VertexOf(t), entity_vs[i]);
+      }
+    }
+  }
+
+  // Balanced annotations: positives + hard negatives (half share a brand).
+  std::vector<std::pair<VertexId, VertexId>> pos_pool = positives;
+  rng.Shuffle(pos_pool);
+  const size_t n_pos = std::min<size_t>(
+      pos_pool.size(), static_cast<size_t>(spec.annotations_per_class));
+  for (size_t i = 0; i < n_pos; ++i) {
+    out.annotations.push_back({pos_pool[i].first, pos_pool[i].second, true});
+  }
+  // Hard negatives: half the attempts draw a same-family variant pair
+  // (near-duplicates); the rest are random, as in the paper's sampling.
+  std::unordered_map<int, std::vector<int>> family_members;
+  for (int i = 0; i < total_entities; ++i) {
+    family_members[entities[i].family].push_back(i);
+  }
+  std::unordered_set<uint64_t> used_negatives;
+  size_t guard = 0;
+  while (out.annotations.size() < 2 * n_pos && guard++ < 100 * n_pos) {
+    int i = static_cast<int>(rng.Below(total_entities));
+    int j;
+    if (rng.Chance(0.5)) {
+      const auto& members = family_members[entities[i].family];
+      j = members[rng.Below(members.size())];
+    } else {
+      j = static_cast<int>(rng.Below(total_entities));
+    }
+    if (i == j) continue;
+    const EntityWorld& ei = entities[i];
+    const EntityWorld& ej = entities[j];
+    if (!ei.has_tuple || !ej.has_vertex) continue;
+    const auto row = out.db.relation(item_rel).FindByKey(ei.key);
+    if (!row) continue;
+    const VertexId u = out.canonical.VertexOf(TupleRef{item_rel, *row});
+    const VertexId v = entity_vs[j];
+    const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (!used_negatives.insert(key).second) continue;
+    out.annotations.push_back({u, v, false});
+  }
+  rng.Shuffle(out.annotations);
+
+  // --- Path-pair supervision for M_rho -------------------------------------
+  const std::vector<std::pair<std::vector<std::string>,
+                              std::vector<std::string>>>
+      kAligned = {
+          {{"name"}, {"names"}},
+          {{"material"}, {"soleMadeBy"}},
+          {{"color"}, {"hasColor"}},
+          {{"trim"}, {"trimColor"}},
+          {{"type"}, {"typeNo"}},
+          {{"category"}, {"isA"}},
+          {{"qty"}, {"quantity"}},
+          {{"brand"}, {"brandName"}},
+          // Single-edge pairs seen when ParaMatch recurses to brand level.
+          {{"name"}, {"type"}},
+          {{"country"}, {"brandCountry"}},
+          {{"manufacturer"}, {"belongsTo"}},
+          {{"made_in"}, {"factorySite", "isIn"}},
+          {{"made_in"}, {"factorySite", "isIn", "isIn"}},
+          {{"brand", "name"}, {"brandName", "type"}},
+          {{"brand", "country"}, {"brandName", "brandCountry"}},
+          {{"brand", "manufacturer"}, {"brandName", "belongsTo"}},
+          {{"brand", "made_in"}, {"brandName", "factorySite", "isIn"}},
+          {{"brand", "made_in"},
+           {"brandName", "factorySite", "isIn", "isIn"}},
+      };
+  auto map_gp = [&pred](const std::vector<std::string>& gp) {
+    std::vector<std::string> out;
+    out.reserve(gp.size());
+    for (const auto& name : gp) out.push_back(pred(name));
+    return out;
+  };
+  for (const auto& [rel, gp] : kAligned) {
+    out.path_pairs.push_back({rel, map_gp(gp), true});
+  }
+  // Negatives: every misaligned combination (the trainer rebalances).
+  for (size_t a = 0; a < kAligned.size(); ++a) {
+    for (size_t b = 0; b < kAligned.size(); ++b) {
+      if (a == b) continue;
+      // Same rel path appearing in several aligned rows (brand/made_in
+      // prefixes) must not be negated against its own aliases.
+      if (kAligned[a].first == kAligned[b].first) continue;
+      out.path_pairs.push_back(
+          {kAligned[a].first, map_gp(kAligned[b].second), false});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+DatasetSpec BaseSpec(std::string name, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = std::move(name);
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+DatasetSpec UkgovSpec(uint64_t seed) {
+  DatasetSpec s = BaseSpec("UKGOV", seed);
+  s.num_entities = 380;
+  s.num_brands = 18;
+  s.noise.value_variant_prob = 0.3;
+  s.noise.drop_attr_prob = 0.12;
+  return s;
+}
+
+DatasetSpec DbpediaSpec(uint64_t seed) {
+  DatasetSpec s = BaseSpec("DBpediaP", seed);
+  s.num_entities = 420;
+  s.num_brands = 24;
+  s.noise.value_variant_prob = 0.45;  // many alias renderings
+  s.noise.drop_attr_prob = 0.1;
+  return s;
+}
+
+DatasetSpec DblpSpec(uint64_t seed) {
+  DatasetSpec s = BaseSpec("DBLP", seed);
+  s.num_entities = 450;
+  s.num_brands = 30;  // venues
+  s.noise.value_variant_prob = 0.5;  // abbreviation-heavy titles/venues
+  s.noise.drop_attr_prob = 0.15;
+  s.distractor_ratio = 0.7;
+  return s;
+}
+
+DatasetSpec ImdbSpec(uint64_t seed) {
+  DatasetSpec s = BaseSpec("IMDB", seed);
+  s.num_entities = 400;
+  s.num_brands = 20;  // studios
+  s.noise.value_variant_prob = 0.25;
+  s.distractor_ratio = 0.8;
+  return s;
+}
+
+DatasetSpec FbwikiSpec(uint64_t seed) {
+  DatasetSpec s = BaseSpec("FBWIKI", seed);
+  s.num_entities = 420;
+  s.num_brands = 26;
+  s.noise.value_variant_prob = 0.3;
+  s.noise.deep_path_prob = 0.8;  // deep property paths
+  s.noise.extra_attr_prob = 0.35;
+  return s;
+}
+
+DatasetSpec ToughTablesSpec(uint64_t seed) {
+  DatasetSpec s = BaseSpec("2T", seed);
+  s.num_entities = 200;
+  s.num_brands = 16;
+  s.noise.value_variant_prob = 0.25;
+  s.noise.typo_prob = 0.75;  // the dataset's defining misspelling noise
+  s.noise.typo_count = 3;
+  return s;
+}
+
+DatasetSpec ScalingSpec(int num_entities, uint64_t seed) {
+  DatasetSpec s = BaseSpec("TPCH", seed);
+  s.num_entities = num_entities;
+  s.num_brands = std::max(4, num_entities / 12);
+  s.num_categories = std::max(4, num_entities / 40);
+  s.annotations_per_class = std::min(200, num_entities / 2);
+  return s;
+}
+
+std::vector<DatasetSpec> TableVSpecs() {
+  return {UkgovSpec(), DbpediaSpec(), DblpSpec(), ImdbSpec(), FbwikiSpec()};
+}
+
+}  // namespace her

@@ -1,0 +1,111 @@
+#ifndef HER_DATAGEN_DATASET_H_
+#define HER_DATAGEN_DATASET_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rdb2rdf/rdb2rdf.h"
+#include "relational/relational.h"
+
+namespace her {
+
+/// Noise applied when rendering the graph view of an entity, mimicking how
+/// independent sources disagree (suppliers' catalogs vs the company KG in
+/// the paper's Example 1).
+struct NoiseProfile {
+  /// Probability that a graph value is a variant (abbreviation, word
+  /// reorder, extension) of the canonical value.
+  double value_variant_prob = 0.3;
+  /// Probability of injecting character typos into a graph value (2T-style
+  /// misspellings).
+  double typo_prob = 0.0;
+  int typo_count = 2;
+  /// Probability an attribute is missing from the graph view.
+  double drop_attr_prob = 0.12;
+  /// Probability of an extra graph-only attribute edge on an entity.
+  double extra_attr_prob = 0.2;
+  /// Probability the brand's made_in place gets an extra isIn hop.
+  double deep_path_prob = 0.3;
+};
+
+/// Parameters of the synthetic entity world.
+struct DatasetSpec {
+  std::string name = "synthetic";
+  uint64_t seed = 1;
+  int num_entities = 200;  // primary ("item") entities with tuples
+  int num_brands = 20;     // secondary entities (FK targets)
+  int num_categories = 8;  // shared category vertices
+  /// Graph-only entities per real entity (no matching tuple).
+  double distractor_ratio = 0.5;
+  /// Fraction of tuples with no graph counterpart.
+  double unmatched_tuple_ratio = 0.1;
+  NoiseProfile noise;
+  /// Positive and negative annotated pairs (paper: 5000 + 5000, ratio 1).
+  int annotations_per_class = 260;
+  /// Replace the graph's predicate names with opaque relation codes
+  /// ("r0", "r1", ...), like the special predicate tokens of real
+  /// knowledge graphs (the paper's "/akt:has-author" example). Lexical
+  /// path matching then carries no signal; only a trained M_rho works.
+  bool opaque_predicates = false;
+};
+
+/// One annotated pair: tuple vertex u in G_D, entity vertex v in G.
+struct Annotation {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  bool is_match = false;
+};
+
+/// A supervised path-pair example for training M_rho: the relational
+/// attribute path (edge labels in G_D) against a graph path (edge labels
+/// in G), labeled match/mismatch.
+struct PathPairExample {
+  std::vector<std::string> rel_path;
+  std::vector<std::string> g_path;
+  bool match = false;
+};
+
+/// A complete generated benchmark instance.
+struct GeneratedDataset {
+  std::string name;
+  Database db;
+  CanonicalGraph canonical;  // G_D = f_D(db)
+  Graph g;                   // the independent graph G
+  /// Ground truth: every tuple-vertex pair referring to one entity.
+  std::vector<std::pair<TupleRef, VertexId>> true_matches;
+  /// Annotated pairs (shuffled, balanced) for train/validate/test splits.
+  std::vector<Annotation> annotations;
+  /// Supervision for the edge model M_rho.
+  std::vector<PathPairExample> path_pairs;
+};
+
+/// Generates a dataset from a spec; fully deterministic given spec.seed.
+GeneratedDataset Generate(const DatasetSpec& spec);
+
+/// Profiles named after the paper's evaluation datasets (Table IV). Sizes
+/// are laptop-scale; noise shapes mirror each dataset's character:
+///  - UKGOV: public-services records, moderate noise;
+///  - DBpediaP: celebrity base, many value variants;
+///  - DBLP: citation data, abbreviation-heavy (venue/title shortening);
+///  - IMDB: movies, mild noise, many distractors;
+///  - FBWIKI: knowledge base, deep property paths;
+///  - 2T (Tough Tables): heavy misspellings — the CEA stress test.
+DatasetSpec UkgovSpec(uint64_t seed = 11);
+DatasetSpec DbpediaSpec(uint64_t seed = 12);
+DatasetSpec DblpSpec(uint64_t seed = 13);
+DatasetSpec ImdbSpec(uint64_t seed = 14);
+DatasetSpec FbwikiSpec(uint64_t seed = 15);
+DatasetSpec ToughTablesSpec(uint64_t seed = 16);
+
+/// TPC-H-style scaling spec: entity count is the size knob (Section VII's
+/// synthetic generator varies |G| and |G_D|).
+DatasetSpec ScalingSpec(int num_entities, uint64_t seed = 17);
+
+/// All five real-life-profile specs of Table V (without 2T).
+std::vector<DatasetSpec> TableVSpecs();
+
+}  // namespace her
+
+#endif  // HER_DATAGEN_DATASET_H_

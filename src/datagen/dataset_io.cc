@@ -1,0 +1,212 @@
+#include "datagen/dataset_io.h"
+
+#include <charconv>
+#include <filesystem>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "graph/graph_io.h"
+#include "relational/csv.h"
+
+namespace her {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ParseU32Field(std::string_view s, uint32_t* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+std::string SchemaToText(const Database& db) {
+  std::string out;
+  for (uint32_t ri = 0; ri < db.num_relations(); ++ri) {
+    const RelationSchema& schema = db.relation(ri).schema();
+    out += "relation " + schema.name() + "\n";
+    for (const AttributeDef& a : schema.attributes()) {
+      if (a.is_foreign_key) {
+        out += "fk " + a.name + " " + a.ref_relation + "\n";
+      } else {
+        out += "attr " + a.name + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+Result<Database> SchemaFromText(std::string_view text) {
+  Database db;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::string rel_name;
+  std::vector<AttributeDef> attrs;
+  auto flush = [&]() -> Status {
+    if (rel_name.empty()) return Status::OK();
+    HER_RETURN_NOT_OK(
+        db.AddRelation(RelationSchema(rel_name, attrs)).status());
+    attrs.clear();
+    return Status::OK();
+  };
+  while (std::getline(in, line)) {
+    const auto t = Trim(line);
+    if (t.empty()) continue;
+    const auto fields = Split(std::string(t), ' ');
+    if (fields[0] == "relation" && fields.size() == 2) {
+      HER_RETURN_NOT_OK(flush());
+      rel_name = fields[1];
+    } else if (fields[0] == "attr" && fields.size() == 2) {
+      attrs.push_back({fields[1], false, ""});
+    } else if (fields[0] == "fk" && fields.size() == 3) {
+      attrs.push_back({fields[1], true, fields[2]});
+    } else {
+      return Status::InvalidArgument("bad schema line: " + std::string(t));
+    }
+  }
+  HER_RETURN_NOT_OK(flush());
+  return db;
+}
+
+std::string PathPairsToText(const std::vector<PathPairExample>& pairs) {
+  std::string out;
+  for (const PathPairExample& p : pairs) {
+    out += p.match ? "1" : "0";
+    out += '\t' + std::to_string(p.rel_path.size());
+    for (const auto& l : p.rel_path) out += '\t' + EscapeLabel(l);
+    out += '\t' + std::to_string(p.g_path.size());
+    for (const auto& l : p.g_path) out += '\t' + EscapeLabel(l);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<PathPairExample>> PathPairsFromText(
+    std::string_view text) {
+  std::vector<PathPairExample> out;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    const auto f = Split(line, '\t');
+    size_t i = 0;
+    auto take_paths = [&](std::vector<std::string>* dst) -> Status {
+      if (i >= f.size()) return Status::InvalidArgument("truncated pair");
+      uint32_t n = 0;
+      if (!ParseU32Field(f[i++], &n)) {
+        return Status::InvalidArgument("bad path length");
+      }
+      for (size_t j = 0; j < n; ++j) {
+        if (i >= f.size()) return Status::InvalidArgument("truncated pair");
+        HER_ASSIGN_OR_RETURN(std::string label, UnescapeLabel(f[i++]));
+        dst->push_back(std::move(label));
+      }
+      return Status::OK();
+    };
+    PathPairExample p;
+    if (f.empty()) continue;
+    p.match = f[i++] == "1";
+    HER_RETURN_NOT_OK(take_paths(&p.rel_path));
+    HER_RETURN_NOT_OK(take_paths(&p.g_path));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveDataset(const GeneratedDataset& data, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create " + dir);
+
+  HER_RETURN_NOT_OK(WriteFile(dir + "/schema.txt", SchemaToText(data.db)));
+  for (uint32_t ri = 0; ri < data.db.num_relations(); ++ri) {
+    const Relation& rel = data.db.relation(ri);
+    HER_RETURN_NOT_OK(WriteFile(dir + "/" + rel.schema().name() + ".csv",
+                                RelationToCsv(rel)));
+  }
+  HER_RETURN_NOT_OK(SaveGraph(data.g, dir + "/graph.txt"));
+
+  std::string ann;
+  for (const Annotation& a : data.annotations) {
+    ann += std::to_string(a.u) + "\t" + std::to_string(a.v) + "\t" +
+           (a.is_match ? "1" : "0") + "\n";
+  }
+  HER_RETURN_NOT_OK(WriteFile(dir + "/annotations.tsv", ann));
+  HER_RETURN_NOT_OK(
+      WriteFile(dir + "/path_pairs.tsv", PathPairsToText(data.path_pairs)));
+
+  std::string matches;
+  for (const auto& [t, v] : data.true_matches) {
+    matches += data.db.relation(t.relation).schema().name() + "\t" +
+               data.db.relation(t.relation).tuple(t.row).key + "\t" +
+               std::to_string(v) + "\n";
+  }
+  HER_RETURN_NOT_OK(WriteFile(dir + "/true_matches.tsv", matches));
+  return Status::OK();
+}
+
+Result<GeneratedDataset> LoadDataset(const std::string& dir) {
+  GeneratedDataset data;
+  data.name = fs::path(dir).filename().string();
+
+  HER_ASSIGN_OR_RETURN(std::string schema_text, ReadFile(dir + "/schema.txt"));
+  HER_ASSIGN_OR_RETURN(data.db, SchemaFromText(schema_text));
+  for (uint32_t ri = 0; ri < data.db.num_relations(); ++ri) {
+    Relation& rel = data.db.relation(ri);
+    HER_ASSIGN_OR_RETURN(
+        std::string csv, ReadFile(dir + "/" + rel.schema().name() + ".csv"));
+    HER_RETURN_NOT_OK(LoadRelationFromCsv(csv, &rel));
+  }
+  HER_RETURN_NOT_OK(data.db.ValidateForeignKeys());
+  HER_ASSIGN_OR_RETURN(data.canonical, Rdb2Rdf(data.db));
+  HER_ASSIGN_OR_RETURN(data.g, LoadGraph(dir + "/graph.txt"));
+
+  HER_ASSIGN_OR_RETURN(std::string ann, ReadFile(dir + "/annotations.tsv"));
+  {
+    std::istringstream in{ann};
+    std::string line;
+    while (std::getline(in, line)) {
+      if (Trim(line).empty()) continue;
+      const auto f = Split(line, '\t');
+      if (f.size() != 3) {
+        return Status::InvalidArgument("bad annotation line: " + line);
+      }
+      uint32_t u = 0;
+      uint32_t v = 0;
+      if (!ParseU32Field(f[0], &u) || !ParseU32Field(f[1], &v)) {
+        return Status::InvalidArgument("bad annotation ids: " + line);
+      }
+      data.annotations.push_back({u, v, f[2] == "1"});
+    }
+  }
+  HER_ASSIGN_OR_RETURN(std::string pairs_text,
+                       ReadFile(dir + "/path_pairs.tsv"));
+  HER_ASSIGN_OR_RETURN(data.path_pairs, PathPairsFromText(pairs_text));
+
+  HER_ASSIGN_OR_RETURN(std::string matches_text,
+                       ReadFile(dir + "/true_matches.tsv"));
+  {
+    std::istringstream in{matches_text};
+    std::string line;
+    while (std::getline(in, line)) {
+      if (Trim(line).empty()) continue;
+      const auto f = Split(line, '\t');
+      if (f.size() != 3) {
+        return Status::InvalidArgument("bad true-match line: " + line);
+      }
+      const auto rel = data.db.FindRelation(f[0]);
+      if (!rel) return Status::InvalidArgument("unknown relation " + f[0]);
+      const auto row = data.db.relation(*rel).FindByKey(f[1]);
+      if (!row) return Status::InvalidArgument("unknown tuple key " + f[1]);
+      uint32_t v = 0;
+      if (!ParseU32Field(f[2], &v)) {
+        return Status::InvalidArgument("bad vertex id: " + line);
+      }
+      data.true_matches.emplace_back(TupleRef{*rel, *row}, v);
+    }
+  }
+  return data;
+}
+
+}  // namespace her

@@ -1,0 +1,27 @@
+#ifndef HER_DATAGEN_DATASET_IO_H_
+#define HER_DATAGEN_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datagen/dataset.h"
+
+namespace her {
+
+/// Persists a generated dataset into a directory, as artifacts a user
+/// could produce for their own data:
+///   schema.txt        relation schemas (name, attributes, foreign keys)
+///   <relation>.csv    one CSV per relation (key + attribute columns)
+///   graph.txt         the graph G (her-graph v1 format)
+///   annotations.tsv   u_vertex \t v_vertex \t 0|1
+///   path_pairs.tsv    rel path labels | graph path labels \t 0|1
+/// The canonical graph is NOT stored: it is re-derived with Rdb2Rdf on
+/// load, which also validates the relational artifacts.
+Status SaveDataset(const GeneratedDataset& data, const std::string& dir);
+
+/// Loads a dataset saved with SaveDataset (name is taken from the dir).
+Result<GeneratedDataset> LoadDataset(const std::string& dir);
+
+}  // namespace her
+
+#endif  // HER_DATAGEN_DATASET_IO_H_

@@ -1,0 +1,96 @@
+#include "datagen/words.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace her {
+
+namespace {
+
+const char* const kOnsets[] = {"b",  "br", "c",  "d",  "dr", "f", "g",
+                               "gr", "h",  "j",  "k",  "l",  "m", "n",
+                               "p",  "pr", "r",  "s",  "st", "t", "tr",
+                               "v",  "w",  "z"};
+const char* const kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ea", "io"};
+const char* const kCodas[] = {"",  "n", "r", "s",  "l",  "k",
+                              "m", "t", "x", "nd", "st", "mp"};
+
+std::string Syllable(Rng& rng) {
+  std::string s = kOnsets[rng.Below(sizeof(kOnsets) / sizeof(kOnsets[0]))];
+  s += kNuclei[rng.Below(sizeof(kNuclei) / sizeof(kNuclei[0]))];
+  s += kCodas[rng.Below(sizeof(kCodas) / sizeof(kCodas[0]))];
+  return s;
+}
+
+std::string Capitalize(std::string s) {
+  if (!s.empty()) s[0] = static_cast<char>(std::toupper(s[0]));
+  return s;
+}
+
+}  // namespace
+
+std::string WordMaker::Word(Rng& rng) {
+  const int syllables = 2 + static_cast<int>(rng.Below(3));
+  std::string w;
+  for (int i = 0; i < syllables; ++i) w += Syllable(rng);
+  return w;
+}
+
+std::string WordMaker::Name(Rng& rng) { return Capitalize(Word(rng)); }
+
+std::string WordMaker::Phrase(Rng& rng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i) out += ' ';
+    out += Name(rng);
+  }
+  return out;
+}
+
+std::string WordMaker::Place(Rng& rng) {
+  std::string code;
+  code += static_cast<char>('A' + rng.Below(26));
+  code += static_cast<char>('A' + rng.Below(26));
+  return Name(rng) + ", " + code;
+}
+
+std::string ValueNoise::Abbreviate(const std::string& value, int keep) {
+  const auto parts = Split(value, ' ');
+  if (static_cast<int>(parts.size()) <= keep) return value;
+  std::vector<std::string> kept(parts.begin(), parts.begin() + keep);
+  return Join(kept, " ");
+}
+
+std::string ValueNoise::Typos(const std::string& value, int count, Rng& rng) {
+  std::string out = value;
+  for (int i = 0; i < count && !out.empty(); ++i) {
+    const size_t pos = rng.Below(out.size());
+    switch (rng.Below(3)) {
+      case 0:  // substitute
+        out[pos] = static_cast<char>('a' + rng.Below(26));
+        break;
+      case 1:  // delete
+        out.erase(pos, 1);
+        break;
+      default:  // transpose with the next character
+        if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string ValueNoise::Reorder(const std::string& value) {
+  auto parts = Split(value, ' ');
+  if (parts.size() < 2) return value;
+  std::rotate(parts.begin(), parts.begin() + 1, parts.end());
+  return Join(parts, " ");
+}
+
+std::string ValueNoise::Extend(const std::string& value, Rng& rng) {
+  return value + " " + WordMaker::Name(rng);
+}
+
+}  // namespace her

@@ -1,0 +1,50 @@
+#ifndef HER_DATAGEN_WORDS_H_
+#define HER_DATAGEN_WORDS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace her {
+
+/// Deterministic synthetic-vocabulary maker: syllable-built words, names
+/// and phrases. Gives datasets realistic token diversity (the paper's
+/// synthetic generator draws vertex labels from 1.1M words) without
+/// shipping corpora.
+class WordMaker {
+ public:
+  /// A pronounceable lowercase word of 2-4 syllables.
+  static std::string Word(Rng& rng);
+
+  /// A capitalized proper name ("Zenvora").
+  static std::string Name(Rng& rng);
+
+  /// A phrase of `words` capitalized words ("Brakon Velta Shoes").
+  static std::string Phrase(Rng& rng, int words);
+
+  /// A place name like "Velcamp, ZN".
+  static std::string Place(Rng& rng);
+};
+
+/// Deterministic value-noise transforms used to make the relational and
+/// graph views of the same entity disagree the way real sources do.
+class ValueNoise {
+ public:
+  /// Keeps only the first `keep` words ("Dame Basketball Shoes D7" ->
+  /// "Dame Basketball").
+  static std::string Abbreviate(const std::string& value, int keep = 2);
+
+  /// Swaps/deletes/inserts `count` characters (2T-style typos).
+  static std::string Typos(const std::string& value, int count, Rng& rng);
+
+  /// Reorders the words deterministically (rotate by one).
+  static std::string Reorder(const std::string& value);
+
+  /// Appends a qualifier word ("... Gen").
+  static std::string Extend(const std::string& value, Rng& rng);
+};
+
+}  // namespace her
+
+#endif  // HER_DATAGEN_WORDS_H_

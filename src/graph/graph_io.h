@@ -1,0 +1,33 @@
+#ifndef HER_GRAPH_GRAPH_IO_H_
+#define HER_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace her {
+
+/// Serializes a graph to a line-oriented text format:
+///
+///   her-graph v1
+///   V <escaped vertex label>          (one per vertex, in id order)
+///   E <src> <dst> <escaped edge label>
+///
+/// Labels are escaped (\\, \n, \t, \r) so arbitrary strings round-trip.
+std::string GraphToText(const Graph& g);
+
+/// Parses the format produced by GraphToText.
+Result<Graph> GraphFromText(std::string_view text);
+
+/// File convenience wrappers.
+Status SaveGraph(const Graph& g, const std::string& path);
+Result<Graph> LoadGraph(const std::string& path);
+
+/// Escapes/unescapes a label for the single-line format.
+std::string EscapeLabel(std::string_view label);
+Result<std::string> UnescapeLabel(std::string_view escaped);
+
+}  // namespace her
+
+#endif  // HER_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,53 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace her {
+
+VertexPartition PartitionVertices(const Graph& g, uint32_t n,
+                                  PartitionStrategy strategy) {
+  HER_CHECK(n > 0);
+  const size_t nv = g.num_vertices();
+  VertexPartition part;
+  part.num_fragments = n;
+  part.owner.resize(nv);
+  part.owned.assign(n, {});
+  part.border.assign(n, {});
+
+  for (VertexId v = 0; v < nv; ++v) {
+    uint32_t f = 0;
+    switch (strategy) {
+      case PartitionStrategy::kHash:
+        f = static_cast<uint32_t>(Mix64(v) % n);
+        break;
+      case PartitionStrategy::kRange: {
+        const size_t chunk = (nv + n - 1) / std::max<size_t>(n, 1);
+        f = static_cast<uint32_t>(chunk == 0 ? 0 : v / chunk);
+        if (f >= n) f = n - 1;
+        break;
+      }
+    }
+    part.owner[v] = f;
+    part.owned[f].push_back(v);
+  }
+
+  // Border nodes O_i: targets of cross-fragment edges out of fragment i.
+  std::vector<std::unordered_set<VertexId>> border_sets(n);
+  for (VertexId v = 0; v < nv; ++v) {
+    const uint32_t f = part.owner[v];
+    for (const Edge& e : g.OutEdges(v)) {
+      if (part.owner[e.dst] != f) border_sets[f].insert(e.dst);
+    }
+  }
+  for (uint32_t f = 0; f < n; ++f) {
+    part.border[f].assign(border_sets[f].begin(), border_sets[f].end());
+    std::sort(part.border[f].begin(), part.border[f].end());
+  }
+  return part;
+}
+
+}  // namespace her

@@ -1,0 +1,38 @@
+#ifndef HER_GRAPH_PARTITION_H_
+#define HER_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace her {
+
+/// How vertices are assigned to fragments.
+enum class PartitionStrategy {
+  kHash,   // owner = Mix64(v) % n; balanced in expectation
+  kRange,  // contiguous id ranges; preserves locality of builders
+};
+
+/// An edge-cut vertex partition of a graph into n fragments (Section VI-B).
+/// Fragment i owns `owned[i]`; `border[i]` holds the vertices NOT owned by i
+/// that have incoming edges from vertices owned by i (the paper's O_i) —
+/// their match status must be synchronized via messages in the BSP engine.
+struct VertexPartition {
+  uint32_t num_fragments = 0;
+  std::vector<uint32_t> owner;                // vertex -> fragment
+  std::vector<std::vector<VertexId>> owned;   // fragment -> owned vertices
+  std::vector<std::vector<VertexId>> border;  // fragment -> O_i
+
+  bool Owns(uint32_t fragment, VertexId v) const {
+    return owner[v] == fragment;
+  }
+};
+
+/// Computes an edge-cut partition of `g` into `n` fragments.
+VertexPartition PartitionVertices(const Graph& g, uint32_t n,
+                                  PartitionStrategy strategy);
+
+}  // namespace her
+
+#endif  // HER_GRAPH_PARTITION_H_

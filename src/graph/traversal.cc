@@ -1,0 +1,125 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace her {
+
+std::vector<VertexId> ReachableFrom(const Graph& g, VertexId root,
+                                    size_t max_depth) {
+  std::vector<VertexId> out;
+  std::vector<char> seen(g.num_vertices(), 0);
+  seen[root] = 1;
+  std::deque<std::pair<VertexId, size_t>> queue;
+  queue.emplace_back(root, 0);
+  while (!queue.empty()) {
+    auto [v, d] = queue.front();
+    queue.pop_front();
+    if (max_depth != 0 && d >= max_depth) continue;
+    for (const Edge& e : g.OutEdges(v)) {
+      if (!seen[e.dst]) {
+        seen[e.dst] = 1;
+        out.push_back(e.dst);
+        queue.emplace_back(e.dst, d + 1);
+      }
+    }
+  }
+  return out;
+}
+
+double PraScore(const std::vector<size_t>& out_degrees) {
+  double r = 1.0;
+  for (const size_t d : out_degrees) {
+    HER_DCHECK(d > 0);
+    r /= static_cast<double>(d);
+  }
+  return r;
+}
+
+std::vector<PraPath> MaxPraPaths(const Graph& g, VertexId root,
+                                 size_t max_len) {
+  // best[v] = (pra, hop, predecessor, edge label) of the best path found so
+  // far ending at v. Layered relaxation: paths of length 1..max_len.
+  struct Entry {
+    double pra = 0.0;
+    VertexId pred = kInvalidVertex;
+    LabelId label = kInvalidLabel;
+  };
+  std::unordered_map<VertexId, Entry> best;
+
+  // Frontier of (vertex, pra of best path of current length).
+  std::vector<std::pair<VertexId, double>> frontier = {
+      {root, 1.0}};
+  std::unordered_map<VertexId, double> frontier_pra = {{root, 1.0}};
+
+  for (size_t len = 1; len <= max_len && !frontier.empty(); ++len) {
+    std::unordered_map<VertexId, double> next_pra;
+    for (const auto& [v, pra] : frontier) {
+      const size_t deg = g.OutDegree(v);
+      if (deg == 0) continue;
+      const double child_pra = pra / static_cast<double>(deg);
+      for (const Edge& e : g.OutEdges(v)) {
+        if (e.dst == root) continue;  // a cycle back to the root is useless
+        auto it = best.find(e.dst);
+        if (it == best.end() || child_pra > it->second.pra) {
+          best[e.dst] = Entry{child_pra, v, e.label};
+          next_pra[e.dst] = std::max(next_pra[e.dst], child_pra);
+        }
+      }
+    }
+    frontier.assign(next_pra.begin(), next_pra.end());
+    // Deterministic relaxation order across runs.
+    std::sort(frontier.begin(), frontier.end());
+    frontier_pra = std::move(next_pra);
+  }
+
+  std::vector<PraPath> out;
+  out.reserve(best.size());
+  for (const auto& [v, entry] : best) {
+    PraPath p;
+    p.pra = entry.pra;
+    p.path.endpoint = v;
+    // Reconstruct labels by walking predecessors.
+    VertexId cur = v;
+    while (cur != root) {
+      const Entry& e = best.at(cur);
+      p.path.labels.push_back(e.label);
+      cur = e.pred;
+      HER_CHECK(p.path.labels.size() <= max_len);
+    }
+    std::reverse(p.path.labels.begin(), p.path.labels.end());
+    out.push_back(std::move(p));
+  }
+  std::sort(out.begin(), out.end(), [](const PraPath& a, const PraPath& b) {
+    if (a.pra != b.pra) return a.pra > b.pra;
+    return a.path.endpoint < b.path.endpoint;
+  });
+  return out;
+}
+
+bool HasCycle(const Graph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<uint32_t> indeg(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Edge& e : g.OutEdges(v)) ++indeg[e.dst];
+  }
+  std::deque<VertexId> queue;
+  for (VertexId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) queue.push_back(v);
+  }
+  size_t removed = 0;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    ++removed;
+    for (const Edge& e : g.OutEdges(v)) {
+      if (--indeg[e.dst] == 0) queue.push_back(e.dst);
+    }
+  }
+  return removed != n;
+}
+
+}  // namespace her

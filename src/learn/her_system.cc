@@ -1,0 +1,318 @@
+#include "learn/her_system.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "core/incremental.h"
+
+namespace her {
+
+namespace {
+
+/// The "critical information" document of a vertex: its own label plus its
+/// children's labels (attribute values). Blocking retrieves by any token.
+std::string DocOf(const Graph& g, VertexId v) {
+  std::string doc = g.label(v);
+  for (const Edge& e : g.OutEdges(v)) {
+    doc += ' ';
+    doc += g.label(e.dst);
+  }
+  return doc;
+}
+
+}  // namespace
+
+HerSystem::HerSystem(const CanonicalGraph& canonical, const Graph& g,
+                     HerConfig config)
+    : canonical_(&canonical), g_(&g), config_(std::move(config)) {
+  // Cold-start wiring: untrained embedder for h_v, token-overlap M_rho and
+  // the PRA ranker. Train() swaps in the learned models.
+  models_.embedder =
+      std::make_unique<HashedTextEmbedder>(config_.learn.embedder);
+  models_.vocab = std::make_unique<JointVocab>(canonical_->graph(), *g_);
+  ctx_.gd = &canonical_->graph();
+  ctx_.g = g_;
+  ctx_.vocab = models_.vocab.get();
+  ctx_.params = config_.params;
+  ctx_.enable_early_termination = config_.enable_early_termination;
+  ctx_.enable_degree_sort = config_.enable_degree_sort;
+  RebuildScorers();
+}
+
+void HerSystem::RebuildScorers() {
+  if (models_.word_embedder != nullptr && models_.word_embedder->trained()) {
+    const TrainedWordEmbedder* we = models_.word_embedder.get();
+    hv_ = std::make_unique<EmbeddingVertexScorer>(
+        canonical_->graph(), *g_,
+        [we](std::string_view label) { return we->Embed(label); });
+  } else {
+    hv_ = std::make_unique<EmbeddingVertexScorer>(canonical_->graph(), *g_,
+                                                  *models_.embedder);
+  }
+  if (models_.sgns != nullptr && models_.metric != nullptr) {
+    mrho_inner_ = std::make_unique<MetricPathScorer>(models_.sgns.get(),
+                                                     models_.metric.get());
+    mrho_ = std::make_unique<CachingPathScorer>(mrho_inner_.get());
+  } else {
+    mrho_fallback_ =
+        std::make_unique<TokenOverlapPathScorer>(models_.vocab.get());
+    mrho_ = std::make_unique<CachingPathScorer>(mrho_fallback_.get());
+  }
+  if (config_.use_lstm_ranker && models_.lstm != nullptr) {
+    hr_ = std::make_unique<LstmPraRanker>(canonical_->graph(), *g_,
+                                          models_.vocab.get(),
+                                          models_.lstm.get(),
+                                          config_.ranker_max_len);
+  } else {
+    hr_ = std::make_unique<PraRanker>(canonical_->graph(), *g_,
+                                      config_.ranker_max_len);
+  }
+  ctx_.hv = hv_.get();
+  ctx_.mrho = mrho_.get();
+  ctx_.hr = hr_.get();
+  ctx_.vocab = models_.vocab.get();
+  engine_ = std::make_unique<MatchEngine>(ctx_);
+}
+
+void HerSystem::Train(std::span<const PathPairExample> path_pairs,
+                      std::span<const Annotation> validation) {
+  training_pairs_.assign(path_pairs.begin(), path_pairs.end());
+  models_ = TrainModels(canonical_->graph(), *g_, path_pairs, config_.learn);
+  RebuildScorers();
+  // Materialize h_r for every vertex (Section IV runs h_r as part of
+  // Learn); the BSP workers then share it read-only like the graphs.
+  properties_ = std::make_unique<PropertyTable>(PropertyTable::Build(
+      canonical_->graph(), *g_, *hr_, *models_.vocab, /*threads=*/4));
+  ctx_.properties = properties_.get();
+  engine_ = std::make_unique<MatchEngine>(ctx_);
+  trained_ = true;
+  if (config_.tune_params && !validation.empty()) {
+    const RandomSearchResult tuned =
+        RandomSearchParams(ctx_, validation, config_.search);
+    SetParams(tuned.best);
+  }
+}
+
+bool HerSystem::SPair(TupleRef t, VertexId v_g) {
+  return SPairVertex(canonical_->VertexOf(t), v_g);
+}
+
+bool HerSystem::SPairVertex(VertexId u_t, VertexId v_g) {
+  const auto it = feedback_.find(MatchPair{u_t, v_g});
+  if (it != feedback_.end()) return it->second;  // user-verified verdict
+  return engine_->Match(u_t, v_g);
+}
+
+void HerSystem::EnsureBlockingIndex() {
+  if (blocking_ != nullptr) return;
+  size_t cap = config_.blocking_max_posting;
+  if (cap == 0) {
+    cap = std::max<size_t>(64, g_->num_vertices() / 20);
+  }
+  std::vector<std::pair<VertexId, std::string>> docs;
+  docs.reserve(g_->num_vertices());
+  for (VertexId v = 0; v < g_->num_vertices(); ++v) {
+    docs.emplace_back(v, DocOf(*g_, v));
+  }
+  blocking_ = std::make_unique<InvertedIndex>(std::move(docs), cap);
+}
+
+std::vector<VertexId> HerSystem::VPair(TupleRef t, bool use_blocking) {
+  const VertexId u_t = canonical_->VertexOf(t);
+  std::vector<VertexId> matches;
+  if (use_blocking) {
+    EnsureBlockingIndex();
+    std::vector<VertexId> cands;
+    for (const VertexId v :
+         blocking_->Lookup(DocOf(canonical_->graph(), u_t))) {
+      if (ctx_.hv->Score(u_t, v) >= ctx_.params.sigma) cands.push_back(v);
+    }
+    matches = engine_->MatchCandidates(u_t, cands);
+  } else {
+    matches = VParaMatch(*engine_, u_t);
+  }
+  // Apply user-verified verdicts on top.
+  std::erase_if(matches, [&](VertexId v) {
+    auto it = feedback_.find(MatchPair{u_t, v});
+    return it != feedback_.end() && !it->second;
+  });
+  for (const auto& [pair, verdict] : feedback_) {
+    if (verdict && pair.first == u_t &&
+        std::find(matches.begin(), matches.end(), pair.second) ==
+            matches.end()) {
+      matches.push_back(pair.second);
+    }
+  }
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+std::vector<MatchPair> HerSystem::APair(bool use_blocking) {
+  const auto tuples = canonical_->TupleVertices();
+  if (!use_blocking) return AllParaMatch(*engine_, tuples);
+  EnsureBlockingIndex();
+  std::vector<MatchPair> result;
+  for (const VertexId u_t : tuples) {
+    std::vector<VertexId> cands;
+    for (const VertexId v :
+         blocking_->Lookup(DocOf(canonical_->graph(), u_t))) {
+      if (ctx_.hv->Score(u_t, v) >= ctx_.params.sigma) cands.push_back(v);
+    }
+    for (const VertexId v : engine_->MatchCandidates(u_t, cands)) {
+      result.emplace_back(u_t, v);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+void HerSystem::EnsureRootOwners() {
+  if (!gd_root_.empty()) return;
+  const Graph& gd = canonical_->graph();
+  gd_root_.assign(gd.num_vertices(), kInvalidVertex);
+  for (const VertexId t : canonical_->TupleVertices()) {
+    gd_root_[t] = t;
+    for (const Edge& e : gd.OutEdges(t)) {
+      // Attribute vertices belong to their tuple; FK targets are tuple
+      // vertices and stay their own roots.
+      if (!canonical_->TupleOf(e.dst).has_value()) gd_root_[e.dst] = t;
+    }
+  }
+  for (VertexId v = 0; v < gd.num_vertices(); ++v) {
+    if (gd_root_[v] == kInvalidVertex) gd_root_[v] = v;
+  }
+}
+
+ParallelResult HerSystem::APairParallel(uint32_t workers, bool use_blocking) {
+  EnsureRootOwners();
+  const auto tuples = canonical_->TupleVertices();
+  ParallelConfig pcfg;
+  pcfg.num_workers = workers;
+  // Co-locate every candidate of a tuple (and its attribute pairs) on one
+  // worker, keyed by the root tuple of u: the u-side ecache is then built
+  // exactly once across the cluster.
+  pcfg.pair_owner = [this, workers](const MatchPair& p) {
+    return static_cast<uint32_t>(Mix64(gd_root_[p.first]) % workers);
+  };
+  BspAllMatch bsp(ctx_, pcfg);
+  if (!use_blocking) return bsp.Run(tuples);
+  EnsureBlockingIndex();
+  std::vector<MatchPair> candidates;
+  for (const VertexId u_t : tuples) {
+    for (const VertexId v :
+         blocking_->Lookup(DocOf(canonical_->graph(), u_t))) {
+      if (ctx_.hv->Score(u_t, v) >= ctx_.params.sigma) {
+        candidates.emplace_back(u_t, v);
+      }
+    }
+  }
+  return bsp.RunOnCandidates(std::move(candidates));
+}
+
+std::string HerSystem::Explain(TupleRef t, VertexId v_g) {
+  const VertexId u_t = canonical_->VertexOf(t);
+  engine_->Match(u_t, v_g);
+  return ExplainMatch(*engine_, u_t, v_g);
+}
+
+std::vector<SchemaMatch> HerSystem::SchemaMatchesOf(TupleRef t,
+                                                    VertexId v_g) {
+  const VertexId u_t = canonical_->VertexOf(t);
+  engine_->Match(u_t, v_g);
+  return ComputeSchemaMatches(*engine_, u_t, v_g);
+}
+
+void HerSystem::AddFeedbackOverride(VertexId u_t, VertexId v_g,
+                                    bool is_match) {
+  feedback_[MatchPair{u_t, v_g}] = is_match;
+}
+
+void HerSystem::FineTune(std::span<const PathPairExample> fp_evidence,
+                         std::span<const PathPairExample> fn_evidence,
+                         int epochs, double triplet_margin) {
+  if (models_.metric == nullptr || models_.sgns == nullptr) return;
+  FineTuneMetric(*models_.metric, *models_.sgns, *models_.vocab, fp_evidence,
+                 fn_evidence, training_pairs_, epochs, triplet_margin);
+  // New metric scores invalidate both the memoized M_rho values and the
+  // pair verdicts.
+  mrho_ = std::make_unique<CachingPathScorer>(
+      mrho_inner_ != nullptr
+          ? static_cast<const PathScorer*>(mrho_inner_.get())
+          : static_cast<const PathScorer*>(mrho_fallback_.get()));
+  ctx_.mrho = mrho_.get();
+  engine_ = std::make_unique<MatchEngine>(ctx_);
+}
+
+std::vector<PathPairExample> HerSystem::CollectPathEvidence(VertexId u_t,
+                                                            VertexId v_g) {
+  std::vector<PathPairExample> out;
+  const auto& pu = engine_->PropertiesOf(0, u_t);
+  const auto& pv = engine_->PropertiesOf(1, v_g);
+  for (const Property& a : pu) {
+    const Property* best = nullptr;
+    double best_score = ctx_.params.sigma;
+    for (const Property& b : pv) {
+      const double s = ctx_.hv->Score(a.descendant, b.descendant);
+      if (s >= best_score) {
+        best_score = s;
+        best = &b;
+      }
+    }
+    if (best == nullptr) continue;
+    PathPairExample ex;
+    for (const LabelId l : a.labels) {
+      ex.rel_path.push_back(canonical_->graph().EdgeLabelName(l));
+    }
+    for (const LabelId l : best->labels) {
+      ex.g_path.push_back(g_->EdgeLabelName(l));
+    }
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+void HerSystem::SetParams(const SimulationParams& params) {
+  ctx_.params = params;
+  engine_ = std::make_unique<MatchEngine>(ctx_);
+}
+
+void HerSystem::UpdateGraph(const Graph& new_g) {
+  HER_CHECK(trained_);
+  HER_CHECK(new_g.num_vertices() == g_->num_vertices());
+  // Vertices whose out-edges changed, then everything whose ranked paths
+  // may pass through them (conservative union over both versions).
+  const auto changed = ChangedOutVertices(*g_, new_g);
+  auto affected = ReverseReach(*g_, changed, config_.ranker_max_len);
+  const auto affected_new = ReverseReach(new_g, changed, config_.ranker_max_len);
+  affected.insert(affected.end(), affected_new.begin(), affected_new.end());
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  g_ = &new_g;
+  ctx_.g = g_;
+  // The new version interns the same label names in a possibly different
+  // order; rebind the vocabulary's LabelId -> token mapping (token ids and
+  // hence the trained models stay fixed).
+  HER_CHECK(models_.vocab->RebindGraph(1, *g_).ok());
+  // The ranker walks the graph; rebind it to the new version. Labels are
+  // unchanged, so M_v / M_rho / the vocabulary stay as trained.
+  if (config_.use_lstm_ranker && models_.lstm != nullptr) {
+    hr_ = std::make_unique<LstmPraRanker>(canonical_->graph(), *g_,
+                                          models_.vocab.get(),
+                                          models_.lstm.get(),
+                                          config_.ranker_max_len);
+  } else {
+    hr_ = std::make_unique<PraRanker>(canonical_->graph(), *g_,
+                                      config_.ranker_max_len);
+  }
+  ctx_.hr = hr_.get();
+  if (properties_ != nullptr) {
+    properties_->Refresh(1, *g_, affected, *hr_, *models_.vocab);
+  }
+  engine_->InvalidateForUpdate({}, affected);
+  blocking_.reset();  // attribute values reachable per vertex changed
+}
+
+}  // namespace her

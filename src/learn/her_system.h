@@ -1,0 +1,136 @@
+#ifndef HER_LEARN_HER_SYSTEM_H_
+#define HER_LEARN_HER_SYSTEM_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/drivers.h"
+#include "core/match_engine.h"
+#include "core/schema_match.h"
+#include "learn/random_search.h"
+#include "learn/trainer.h"
+#include "parallel/bsp_engine.h"
+
+namespace her {
+
+/// Top-level HER configuration (Fig. 2: RDB2RDF + Learn + the three query
+/// modes).
+struct HerConfig {
+  LearnConfig learn;
+  /// Initial thresholds; replaced by random search when tune_params is on.
+  SimulationParams params;
+  bool tune_params = true;
+  RandomSearchConfig search;
+  /// Use the LSTM ranker (h_r per the paper); false falls back to PRA-only.
+  bool use_lstm_ranker = true;
+  size_t ranker_max_len = 4;
+  /// Posting-list cap for the blocking index; 0 derives it from |V|.
+  size_t blocking_max_posting = 0;
+  /// Section V strategy switches (ablation only; keep on in production).
+  bool enable_early_termination = true;
+  bool enable_degree_sort = true;
+};
+
+/// The HER system (Section II): wires the canonical graph G_D, graph G,
+/// the learned parameter functions and the ParaMatch engine behind the
+/// three query modes SPair / VPair / APair, plus schema matches,
+/// explanations and feedback-driven refinement.
+///
+/// Borrows `canonical` and `g`; both must outlive the system.
+class HerSystem {
+ public:
+  HerSystem(const CanonicalGraph& canonical, const Graph& g, HerConfig config);
+
+  /// Trains the parameter functions (module Learn) and, when configured,
+  /// tunes (sigma, delta, k) on the validation pairs by random search.
+  void Train(std::span<const PathPairExample> path_pairs,
+             std::span<const Annotation> validation);
+
+  /// SPair: does tuple t match vertex v_g of G?
+  bool SPair(TupleRef t, VertexId v_g);
+
+  /// SPair addressed by the G_D vertex directly (evaluation uses this).
+  bool SPairVertex(VertexId u_t, VertexId v_g);
+
+  /// VPair: all vertices of G matching tuple t.
+  std::vector<VertexId> VPair(TupleRef t, bool use_blocking = true);
+
+  /// APair: all matches across D and G (sequential).
+  std::vector<MatchPair> APair(bool use_blocking = true);
+
+  /// APair on the BSP runtime with n workers.
+  ParallelResult APairParallel(uint32_t workers, bool use_blocking = true);
+
+  /// Explainability: why did (t, v_g) (not) match?
+  std::string Explain(TupleRef t, VertexId v_g);
+
+  /// Schema matches Gamma pertaining to (t, v_g) (Appendix D).
+  std::vector<SchemaMatch> SchemaMatchesOf(TupleRef t, VertexId v_g);
+
+  /// Records a user-verified verdict for a pair (Interaction, Section IV).
+  /// Applied on top of parametric simulation in SPair*.
+  void AddFeedbackOverride(VertexId u_t, VertexId v_g, bool is_match);
+
+  /// Fine-tunes M_rho from FP/FN path evidence and invalidates the pair
+  /// cache so new scores take effect.
+  void FineTune(std::span<const PathPairExample> fp_evidence,
+                std::span<const PathPairExample> fn_evidence, int epochs = 3,
+                double triplet_margin = 0.3);
+
+  /// Path-pair evidence for feedback on (u_t, v_g): the aligned property
+  /// paths of the two vertices (by h_v of their endpoints).
+  std::vector<PathPairExample> CollectPathEvidence(VertexId u_t,
+                                                   VertexId v_g);
+
+  /// Replaces thresholds and resets the engine caches.
+  void SetParams(const SimulationParams& params);
+
+  /// Incremental maintenance (Section VI remark (2)): switches to an
+  /// updated version of G with the same vertex set and labels but
+  /// possibly different edges. Re-ranks only the vertices whose property
+  /// horizon touches a changed vertex and drops only the affected
+  /// verdicts; everything else stays cached. `new_g` must outlive the
+  /// system. Requires a trained system.
+  void UpdateGraph(const Graph& new_g);
+
+  const SimulationParams& params() const { return ctx_.params; }
+  const MatchContext& context() const { return ctx_; }
+  MatchEngine& engine() { return *engine_; }
+  const CanonicalGraph& canonical() const { return *canonical_; }
+  bool trained() const { return trained_; }
+
+ private:
+  void EnsureBlockingIndex();
+  void EnsureRootOwners();
+  void RebuildScorers();
+
+  const CanonicalGraph* canonical_;
+  const Graph* g_;
+  HerConfig config_;
+  bool trained_ = false;
+
+  TrainedModels models_;
+  std::unique_ptr<EmbeddingVertexScorer> hv_;
+  std::unique_ptr<MetricPathScorer> mrho_inner_;
+  std::unique_ptr<TokenOverlapPathScorer> mrho_fallback_;
+  std::unique_ptr<CachingPathScorer> mrho_;
+  std::unique_ptr<DescendantRanker> hr_;
+  std::unique_ptr<PropertyTable> properties_;  // offline h_r (post-Train)
+  MatchContext ctx_;
+  std::unique_ptr<MatchEngine> engine_;
+  std::unique_ptr<InvertedIndex> blocking_;
+  std::unordered_map<MatchPair, bool, PairHash> feedback_;
+  // G_D vertex -> its root tuple vertex (for candidate co-location in the
+  // parallel engine, mirroring the paper's inverted-index placement).
+  std::vector<VertexId> gd_root_;
+  // Original M_rho supervision, replayed during feedback fine-tuning so a
+  // small noisy batch cannot wipe the learned alignment.
+  std::vector<PathPairExample> training_pairs_;
+};
+
+}  // namespace her
+
+#endif  // HER_LEARN_HER_SYSTEM_H_

@@ -1,0 +1,48 @@
+#include "learn/metrics.h"
+
+#include "common/string_util.h"
+
+namespace her {
+
+std::string Confusion::ToString() const {
+  return "P=" + FormatDouble(Precision()) + " R=" + FormatDouble(Recall()) +
+         " F1=" + FormatDouble(F1());
+}
+
+Confusion EvaluatePredictor(
+    std::span<const Annotation> annotations,
+    const std::function<bool(VertexId, VertexId)>& predict) {
+  Confusion c;
+  for (const Annotation& a : annotations) {
+    const bool predicted = predict(a.u, a.v);
+    if (predicted && a.is_match) {
+      ++c.tp;
+    } else if (predicted && !a.is_match) {
+      ++c.fp;
+    } else if (!predicted && a.is_match) {
+      ++c.fn;
+    } else {
+      ++c.tn;
+    }
+  }
+  return c;
+}
+
+AnnotationSplit SplitAnnotations(std::span<const Annotation> annotations) {
+  AnnotationSplit split;
+  const size_t n = annotations.size();
+  const size_t train_end = n / 2;
+  const size_t val_end = train_end + (n * 15) / 100;
+  for (size_t i = 0; i < n; ++i) {
+    if (i < train_end) {
+      split.train.push_back(annotations[i]);
+    } else if (i < val_end) {
+      split.validation.push_back(annotations[i]);
+    } else {
+      split.test.push_back(annotations[i]);
+    }
+  }
+  return split;
+}
+
+}  // namespace her

@@ -1,0 +1,51 @@
+#ifndef HER_LEARN_METRICS_H_
+#define HER_LEARN_METRICS_H_
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "datagen/dataset.h"
+
+namespace her {
+
+/// Binary-classification counts with the accuracy measures of Section IV:
+/// precision = TP / returned, recall = TP / annotated matches,
+/// F-measure = harmonic mean.
+struct Confusion {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  size_t tn = 0;
+
+  double Precision() const {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  double Recall() const {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  }
+  double F1() const {
+    const double p = Precision();
+    const double r = Recall();
+    return p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+  }
+
+  std::string ToString() const;
+};
+
+/// Scores a predictor over annotated pairs.
+Confusion EvaluatePredictor(
+    std::span<const Annotation> annotations,
+    const std::function<bool(VertexId, VertexId)>& predict);
+
+/// The paper's split: 50% train / 15% validation / 35% test (Section VII).
+struct AnnotationSplit {
+  std::vector<Annotation> train;
+  std::vector<Annotation> validation;
+  std::vector<Annotation> test;
+};
+AnnotationSplit SplitAnnotations(std::span<const Annotation> annotations);
+
+}  // namespace her
+
+#endif  // HER_LEARN_METRICS_H_

@@ -1,0 +1,34 @@
+#include "learn/random_search.h"
+
+#include "common/rng.h"
+#include "core/match_engine.h"
+#include "learn/metrics.h"
+
+namespace her {
+
+RandomSearchResult RandomSearchParams(const MatchContext& ctx,
+                                      std::span<const Annotation> validation,
+                                      const RandomSearchConfig& config) {
+  Rng rng(config.seed);
+  RandomSearchResult result;
+  result.best = ctx.params;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    MatchContext trial_ctx = ctx;
+    trial_ctx.params.sigma = rng.Uniform(config.sigma_lo, config.sigma_hi);
+    trial_ctx.params.delta = rng.Uniform(config.delta_lo, config.delta_hi);
+    trial_ctx.params.k =
+        static_cast<int>(rng.Between(config.k_lo, config.k_hi));
+    MatchEngine engine(trial_ctx);
+    const Confusion c =
+        EvaluatePredictor(validation, [&](VertexId u, VertexId v) {
+          return engine.Match(u, v);
+        });
+    if (c.F1() > result.best_f1) {
+      result.best_f1 = c.F1();
+      result.best = trial_ctx.params;
+    }
+  }
+  return result;
+}
+
+}  // namespace her

@@ -1,0 +1,38 @@
+#ifndef HER_LEARN_RANDOM_SEARCH_H_
+#define HER_LEARN_RANDOM_SEARCH_H_
+
+#include <span>
+
+#include "core/match_context.h"
+#include "datagen/dataset.h"
+
+namespace her {
+
+/// Random-search ranges for (sigma, delta, k) (Section IV: random search
+/// over a 15% validation split, cheaper than grid search).
+struct RandomSearchConfig {
+  int trials = 60;
+  double sigma_lo = 0.5;
+  double sigma_hi = 0.98;
+  double delta_lo = 0.4;
+  double delta_hi = 3.5;
+  int k_lo = 4;
+  int k_hi = 25;
+  uint64_t seed = 7;
+};
+
+struct RandomSearchResult {
+  SimulationParams best;
+  double best_f1 = 0.0;
+};
+
+/// Evaluates random (sigma, delta, k) combinations on the validation pairs
+/// and returns the F-measure-maximizing one. `ctx` supplies the graphs and
+/// score functions; its params field is ignored.
+RandomSearchResult RandomSearchParams(const MatchContext& ctx,
+                                      std::span<const Annotation> validation,
+                                      const RandomSearchConfig& config);
+
+}  // namespace her
+
+#endif  // HER_LEARN_RANDOM_SEARCH_H_

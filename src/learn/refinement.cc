@@ -1,0 +1,95 @@
+#include "learn/refinement.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace her {
+
+namespace {
+
+double EvalSystem(HerSystem& system, std::span<const Annotation> eval) {
+  return EvaluatePredictor(eval, [&](VertexId u, VertexId v) {
+           return system.SPairVertex(u, v);
+         })
+      .F1();
+}
+
+}  // namespace
+
+RefinementResult RunRefinement(HerSystem& system,
+                               std::span<const Annotation> pool,
+                               std::span<const Annotation> eval,
+                               const RefinementConfig& config) {
+  Rng rng(config.seed);
+  RefinementResult result;
+  result.f1_per_round.push_back(EvalSystem(system, eval));
+
+  std::vector<size_t> all(pool.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  for (int round = 0; round < config.rounds; ++round) {
+    // Prioritize disagreements (FP/FN) — the pairs users flag when
+    // inspecting live output. Every pair stays inspectable: a verdict that
+    // was mis-voted in an earlier round gets re-inspected and corrected.
+    std::vector<size_t> wrong;
+    std::vector<size_t> right;
+    for (const size_t i : all) {
+      const Annotation& a = pool[i];
+      if (system.SPairVertex(a.u, a.v) != a.is_match) {
+        wrong.push_back(i);
+      } else {
+        right.push_back(i);
+      }
+    }
+    rng.Shuffle(wrong);
+    rng.Shuffle(right);
+    std::vector<size_t> shown;
+    for (const size_t i : wrong) {
+      if (static_cast<int>(shown.size()) >= config.pairs_per_round) break;
+      shown.push_back(i);
+    }
+    for (const size_t i : right) {
+      if (static_cast<int>(shown.size()) >= config.pairs_per_round) break;
+      shown.push_back(i);
+    }
+
+    std::vector<PathPairExample> fp_evidence;
+    std::vector<PathPairExample> fn_evidence;
+    for (const size_t i : shown) {
+      const Annotation& a = pool[i];
+      // Majority vote across simulated annotators (noise suppression).
+      int votes_match = 0;
+      for (int u = 0; u < config.users; ++u) {
+        const bool answer = rng.Chance(config.user_error_rate)
+                                ? !a.is_match
+                                : a.is_match;
+        votes_match += answer ? 1 : 0;
+      }
+      const bool voted = votes_match * 2 > config.users;
+      const bool raw = system.engine().Match(a.u, a.v);  // model verdict
+      system.AddFeedbackOverride(a.u, a.v, voted);
+      if (raw == voted) continue;  // model already agrees; nothing to learn
+      // FP: the pair's matched path pairs become dissimilar samples;
+      // FN: the aligned property paths become similar samples (Section IV).
+      auto evidence = system.CollectPathEvidence(a.u, a.v);
+      if (!voted) {
+        for (auto& e : evidence) {
+          e.match = false;
+          fp_evidence.push_back(std::move(e));
+        }
+      } else {
+        for (auto& e : evidence) {
+          e.match = true;
+          fn_evidence.push_back(std::move(e));
+        }
+      }
+    }
+    system.FineTune(fp_evidence, fn_evidence, config.fine_tune_epochs,
+                    config.triplet_margin);
+    result.f1_per_round.push_back(EvalSystem(system, eval));
+  }
+  return result;
+}
+
+}  // namespace her

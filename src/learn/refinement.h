@@ -1,0 +1,44 @@
+#ifndef HER_LEARN_REFINEMENT_H_
+#define HER_LEARN_REFINEMENT_H_
+
+#include <span>
+#include <vector>
+
+#include "learn/her_system.h"
+#include "learn/metrics.h"
+
+namespace her {
+
+/// User-interaction simulation for Exp-4 (Fig. 6(p)): each round shows
+/// `pairs_per_round` pairs to `users` simulated annotators (each flips the
+/// true label with `user_error_rate`), majority-votes the feedback, fine-
+/// tunes M_rho on the FP/FN path evidence and records the verified
+/// verdicts.
+struct RefinementConfig {
+  int rounds = 5;
+  int pairs_per_round = 50;
+  int users = 5;
+  double user_error_rate = 0.1;
+  int fine_tune_epochs = 2;
+  double triplet_margin = 0.3;
+  uint64_t seed = 99;
+};
+
+struct RefinementResult {
+  /// F-measure on `eval` before any feedback (index 0) and after each
+  /// round (indices 1..rounds).
+  std::vector<double> f1_per_round;
+};
+
+/// Runs the refinement loop. `pool` are the pairs users may inspect
+/// (with ground-truth labels used to simulate the annotators); `eval` is
+/// the measurement set. In the paper's protocol users inspect live system
+/// output, so pool and eval may coincide.
+RefinementResult RunRefinement(HerSystem& system,
+                               std::span<const Annotation> pool,
+                               std::span<const Annotation> eval,
+                               const RefinementConfig& config);
+
+}  // namespace her
+
+#endif  // HER_LEARN_REFINEMENT_H_

@@ -1,0 +1,72 @@
+#include "learn/semantic_join.h"
+
+#include <algorithm>
+
+#include "graph/graph.h"
+
+namespace her {
+
+Result<std::vector<JoinedRow>> SemanticJoin(
+    HerSystem& system, const Database& db, std::string_view relation_name,
+    const SemanticJoinOptions& options) {
+  const auto rel_idx = db.FindRelation(relation_name);
+  if (!rel_idx) {
+    return Status::NotFound("no relation named '" +
+                            std::string(relation_name) + "'");
+  }
+  const Relation& rel = db.relation(*rel_idx);
+  const Graph& g = *system.context().g;
+
+  std::vector<JoinedRow> rows;
+  for (uint32_t row = 0; row < rel.size(); ++row) {
+    const TupleRef t{*rel_idx, row};
+    std::vector<VertexId> matches = system.VPair(t, options.use_blocking);
+    if (options.max_matches_per_tuple > 0 &&
+        matches.size() > options.max_matches_per_tuple) {
+      matches.resize(options.max_matches_per_tuple);
+    }
+    for (const VertexId v : matches) {
+      JoinedRow out;
+      out.tuple = t;
+      out.vertex = v;
+      for (const SchemaMatch& sm : system.SchemaMatchesOf(t, v)) {
+        if (!options.extract_attributes.empty() &&
+            std::find(options.extract_attributes.begin(),
+                      options.extract_attributes.end(),
+                      sm.attribute) == options.extract_attributes.end()) {
+          continue;
+        }
+        JoinedRow::Column col;
+        col.attribute = sm.attribute;
+        PathRef path_ref;
+        path_ref.labels = sm.g_path;
+        col.path = PathLabelsToString(g, path_ref);
+        col.value = g.label(sm.v_end);
+        col.score = sm.score;
+        out.columns.push_back(std::move(col));
+      }
+      rows.push_back(std::move(out));
+    }
+  }
+  return rows;
+}
+
+std::string JoinResultToText(const Database& db,
+                             const std::vector<JoinedRow>& rows) {
+  std::string out;
+  for (const JoinedRow& r : rows) {
+    out += db.relation(r.tuple.relation).tuple(r.tuple.row).key;
+    out += " |x| v";
+    out += std::to_string(r.vertex);
+    for (const JoinedRow::Column& c : r.columns) {
+      out += "  ";
+      out += c.attribute;
+      out += "=";
+      out += c.value;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace her

@@ -1,0 +1,56 @@
+#ifndef HER_LEARN_SEMANTIC_JOIN_H_
+#define HER_LEARN_SEMANTIC_JOIN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "learn/her_system.h"
+
+namespace her {
+
+/// The paper's third future-work topic (Section VIII): "query relations
+/// and graphs in SQL by semantically extending the join operator of SQL
+/// via HER". SemanticJoin implements that operator: it joins a relation
+/// against the graph on entity identity (HER matches instead of key
+/// equality) and projects graph-side properties into columns using the
+/// schema matches Gamma.
+struct SemanticJoinOptions {
+  /// Candidate generation through the inverted index (recommended).
+  bool use_blocking = true;
+  /// Keep at most this many graph matches per tuple; 0 keeps all.
+  size_t max_matches_per_tuple = 0;
+  /// Project only these attributes' graph renderings; empty projects every
+  /// attribute that has a schema match.
+  std::vector<std::string> extract_attributes;
+};
+
+/// One output row of the join: the tuple, its matched vertex, and the
+/// projected graph-side columns.
+struct JoinedRow {
+  struct Column {
+    std::string attribute;  // relational attribute name
+    std::string path;       // graph path rendering, e.g. "(factorySite, isIn)"
+    std::string value;      // label of the path's endpoint vertex in G
+    double score = 0.0;     // M_rho of the schema match
+  };
+
+  TupleRef tuple;
+  VertexId vertex = kInvalidVertex;
+  std::vector<Column> columns;
+};
+
+/// Joins `relation_name` of `system`'s database side against G. The system
+/// should be trained. Rows are ordered by (relation row, vertex).
+Result<std::vector<JoinedRow>> SemanticJoin(
+    HerSystem& system, const Database& db, std::string_view relation_name,
+    const SemanticJoinOptions& options = {});
+
+/// Renders join results as a CSV-ish table for display (one line per row:
+/// tuple key, vertex id, then attribute=value pairs).
+std::string JoinResultToText(const Database& db,
+                             const std::vector<JoinedRow>& rows);
+
+}  // namespace her
+
+#endif  // HER_LEARN_SEMANTIC_JOIN_H_

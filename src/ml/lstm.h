@@ -1,0 +1,84 @@
+#ifndef HER_ML_LSTM_H_
+#define HER_ML_LSTM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/vector_ops.h"
+
+namespace her {
+
+/// LSTM language-model hyperparameters. The paper (Section VII) uses a
+/// word-level LSTM LM over edge labels; we default to small dimensions that
+/// train in seconds on laptop-scale corpora.
+struct LstmConfig {
+  size_t embed_dim = 24;
+  size_t hidden_dim = 48;
+  double lr = 0.1;
+  int epochs = 12;
+  double clip = 5.0;  // per-sequence gradient-norm clip
+  uint64_t seed = 0x157a;
+};
+
+/// Single-layer LSTM language model over token ids, implemented from
+/// scratch (embedding + LSTM cell + softmax projection), trained with
+/// truncated-free full-sequence BPTT and Adagrad.
+///
+/// This is the paper's M_r model: trained on maximum-PRA paths, it guides
+/// h_r's greedy walk and emits the end-of-sentence token to stop a path.
+/// Token ids are caller-defined; the model internally prepends a
+/// beginning-of-sequence token (id == vocab_size).
+class LstmLm {
+ public:
+  /// Mutable per-decode recurrent state.
+  struct State {
+    Vec h;
+    Vec c;
+  };
+
+  /// Trains on sequences of tokens in [0, vocab_size); each sequence should
+  /// end with the caller's end-of-sentence token. Deterministic.
+  void Train(const std::vector<std::vector<int>>& sequences,
+             size_t vocab_size, const LstmConfig& config);
+
+  bool trained() const { return vocab_ > 0; }
+  size_t vocab_size() const { return vocab_; }
+
+  /// Fresh state, positioned after the implicit BOS token.
+  State InitialState() const;
+
+  /// Feeds `token` (or -1 for BOS), advances `state`, and returns the
+  /// probability distribution over the next token (size vocab_size()).
+  Vec StepProb(State& state, int token) const;
+
+  /// Log-probability of a full sequence (with implicit BOS), for
+  /// perplexity-style evaluation in tests.
+  double SequenceLogProb(const std::vector<int>& seq) const;
+
+ private:
+  struct StepCache;  // forward activations kept for BPTT
+
+  void ForwardStep(int token, const Vec& h_prev, const Vec& c_prev,
+                   StepCache* cache) const;
+
+  size_t vocab_ = 0;
+  size_t embed_ = 0;
+  size_t hidden_ = 0;
+
+  // Parameters (flattened row-major) and Adagrad accumulators.
+  std::vector<Vec> emb_;        // [vocab+1][embed]; last row is BOS
+  std::vector<Vec> w_gates_;    // [4*hidden][embed+hidden]
+  Vec b_gates_;                 // [4*hidden]
+  std::vector<Vec> w_out_;      // [vocab][hidden]
+  Vec b_out_;                   // [vocab]
+
+  std::vector<Vec> g2_emb_;
+  std::vector<Vec> g2_w_gates_;
+  Vec g2_b_gates_;
+  std::vector<Vec> g2_w_out_;
+  Vec g2_b_out_;
+};
+
+}  // namespace her
+
+#endif  // HER_ML_LSTM_H_

@@ -1,0 +1,145 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace her {
+
+namespace {
+constexpr double kBeta1 = 0.9;
+constexpr double kBeta2 = 0.999;
+constexpr double kEps = 1e-8;
+}  // namespace
+
+Mlp::Mlp(std::vector<size_t> dims, uint64_t seed) : dims_(std::move(dims)) {
+  HER_CHECK(dims_.size() >= 2);
+  HER_CHECK(dims_.back() == 1);
+  Rng rng(seed);
+  layers_.resize(dims_.size() - 1);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const size_t in = dims_[l];
+    const size_t out = dims_[l + 1];
+    Layer& layer = layers_[l];
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));  // He init
+    layer.w.reserve(out);
+    for (size_t o = 0; o < out; ++o) layer.w.push_back(RandomVec(in, scale, rng));
+    layer.b.assign(out, 0.0f);
+    layer.mw.assign(out, Vec(in, 0.0f));
+    layer.vw.assign(out, Vec(in, 0.0f));
+    layer.mb.assign(out, 0.0f);
+    layer.vb.assign(out, 0.0f);
+  }
+}
+
+double Mlp::ForwardKeep(const Vec& x, std::vector<Vec>& activations) const {
+  HER_DCHECK(x.size() == dims_.front());
+  activations.clear();
+  const Vec* cur = &x;
+  double logit = 0.0;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const bool last = (l + 1 == layers_.size());
+    Vec next(layer.b.size());
+    for (size_t o = 0; o < layer.w.size(); ++o) {
+      double z = layer.b[o] + Dot(layer.w[o], *cur);
+      if (!last && z < 0) z = 0;  // ReLU
+      next[o] = static_cast<float>(z);
+    }
+    if (last) {
+      logit = next[0];
+    }
+    activations.push_back(std::move(next));
+    cur = &activations.back();
+  }
+  return logit;
+}
+
+double Mlp::Predict(const Vec& x) const {
+  std::vector<Vec> acts;
+  return Sigmoid(ForwardKeep(x, acts));
+}
+
+void Mlp::BackwardApply(const Vec& x, const std::vector<Vec>& activations,
+                        double grad_logit) {
+  ++adam_t_;
+  const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
+  const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+
+  // delta[o] = dLoss/d(pre-activation of layer l output o)
+  Vec delta = {static_cast<float>(grad_logit)};
+  for (size_t l = layers_.size(); l-- > 0;) {
+    Layer& layer = layers_[l];
+    const Vec& input = (l == 0) ? x : activations[l - 1];
+    Vec next_delta(input.size(), 0.0f);
+    for (size_t o = 0; o < layer.w.size(); ++o) {
+      const double d = delta[o];
+      if (d == 0.0) continue;
+      Vec& w = layer.w[o];
+      Vec& mw = layer.mw[o];
+      Vec& vw = layer.vw[o];
+      for (size_t i = 0; i < w.size(); ++i) {
+        next_delta[i] += static_cast<float>(d * w[i]);
+        const double g = d * input[i];
+        mw[i] = static_cast<float>(kBeta1 * mw[i] + (1 - kBeta1) * g);
+        vw[i] = static_cast<float>(kBeta2 * vw[i] + (1 - kBeta2) * g * g);
+        w[i] -= static_cast<float>(lr_ * (mw[i] / bc1) /
+                                   (std::sqrt(vw[i] / bc2) + kEps));
+      }
+      const double g = d;
+      layer.mb[o] = static_cast<float>(kBeta1 * layer.mb[o] + (1 - kBeta1) * g);
+      layer.vb[o] =
+          static_cast<float>(kBeta2 * layer.vb[o] + (1 - kBeta2) * g * g);
+      layer.b[o] -= static_cast<float>(lr_ * (layer.mb[o] / bc1) /
+                                       (std::sqrt(layer.vb[o] / bc2) + kEps));
+    }
+    if (l == 0) break;
+    // ReLU derivative on the previous layer's post-activations.
+    const Vec& prev_act = activations[l - 1];
+    for (size_t i = 0; i < next_delta.size(); ++i) {
+      if (prev_act[i] <= 0.0f) next_delta[i] = 0.0f;
+    }
+    delta = std::move(next_delta);
+  }
+}
+
+double Mlp::StepBce(const Vec& x, double target) {
+  std::vector<Vec> acts;
+  const double logit = ForwardKeep(x, acts);
+  const double s = Sigmoid(logit);
+  const double eps = 1e-12;
+  const double loss =
+      -(target * std::log(s + eps) + (1 - target) * std::log(1 - s + eps));
+  BackwardApply(x, acts, s - target);  // d(BCE)/d(logit)
+  return loss;
+}
+
+double Mlp::StepTriplet(const Vec& pos, const Vec& neg, double margin) {
+  std::vector<Vec> acts_p;
+  std::vector<Vec> acts_n;
+  const double zp = ForwardKeep(pos, acts_p);
+  const double zn = ForwardKeep(neg, acts_n);
+  const double sp = Sigmoid(zp);
+  const double sn = Sigmoid(zn);
+  const double loss = std::max(0.0, margin - (sp - sn));
+  if (loss > 0.0) {
+    // dL/dsp = -1, dL/dsn = +1; chain through sigmoid.
+    BackwardApply(pos, acts_p, -sp * (1 - sp));
+    BackwardApply(neg, acts_n, sn * (1 - sn));
+  }
+  return loss;
+}
+
+Vec PairFeatures(const Vec& a, const Vec& b) {
+  HER_DCHECK(a.size() == b.size());
+  Vec f;
+  f.reserve(4 * a.size());
+  f.insert(f.end(), a.begin(), a.end());
+  f.insert(f.end(), b.begin(), b.end());
+  for (size_t i = 0; i < a.size(); ++i) f.push_back(std::fabs(a[i] - b[i]));
+  for (size_t i = 0; i < a.size(); ++i) f.push_back(a[i] * b[i]);
+  return f;
+}
+
+}  // namespace her

@@ -1,0 +1,72 @@
+#ifndef HER_ML_MLP_H_
+#define HER_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/vector_ops.h"
+
+namespace her {
+
+/// Small fully-connected network with ReLU hidden layers and a sigmoid
+/// output unit, trained with Adam. This is the paper's "metric learning
+/// model ... a 3-layer neural network" (Section VII) that scores the
+/// similarity of two path embeddings; widths are configurable (the paper
+/// uses 1536/256/1).
+///
+/// Thread-safety: Predict() is const and safe concurrently; the training
+/// methods are not.
+class Mlp {
+ public:
+  /// `dims` = {input, hidden..., 1}; e.g. {128, 64, 1} is a 3-layer net.
+  Mlp(std::vector<size_t> dims, uint64_t seed);
+
+  size_t input_dim() const { return dims_.front(); }
+
+  /// Sigmoid score in (0, 1).
+  double Predict(const Vec& x) const;
+
+  /// One Adam step on binary-cross-entropy against `target` in {0, 1}
+  /// (or a soft target in [0,1]). Returns the BCE loss before the step.
+  double StepBce(const Vec& x, double target);
+
+  /// One Adam step on the triplet hinge loss
+  ///   max(0, margin - (s(pos) - s(neg)))
+  /// used for robust fine-tuning from user feedback (Section IV,
+  /// "Interaction and refinement"). Returns the loss before the step.
+  double StepTriplet(const Vec& pos, const Vec& neg, double margin);
+
+  /// Learning rate used by the Adam steps.
+  void set_learning_rate(double lr) { lr_ = lr; }
+  double learning_rate() const { return lr_; }
+
+ private:
+  struct Layer {
+    std::vector<Vec> w;  // [out][in]
+    Vec b;               // [out]
+    // Adam moments, same shapes.
+    std::vector<Vec> mw, vw;
+    Vec mb, vb;
+  };
+
+  /// Forward pass keeping post-activation values per layer; returns the
+  /// pre-sigmoid logit.
+  double ForwardKeep(const Vec& x, std::vector<Vec>& activations) const;
+
+  /// Backpropagates given d(loss)/d(logit), applying one Adam update.
+  void BackwardApply(const Vec& x, const std::vector<Vec>& activations,
+                     double grad_logit);
+
+  std::vector<size_t> dims_;
+  std::vector<Layer> layers_;
+  double lr_ = 0.01;
+  int64_t adam_t_ = 0;
+};
+
+/// Builds the pair-feature vector [a; b; |a-b|; a*b] consumed by the metric
+/// model. Size is 4 * a.size(); a and b must have equal dimension.
+Vec PairFeatures(const Vec& a, const Vec& b);
+
+}  // namespace her
+
+#endif  // HER_ML_MLP_H_

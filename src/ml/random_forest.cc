@@ -1,0 +1,136 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace her {
+
+namespace {
+
+double Gini(double pos, double total) {
+  if (total <= 0) return 0.0;
+  const double p = pos / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+int RandomForest::BuildNode(Tree& tree, const std::vector<Vec>& x,
+                            const std::vector<int>& y, std::vector<int>& idx,
+                            int begin, int end, int depth,
+                            const RandomForestConfig& config, Rng& rng) {
+  const int node_id = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+
+  const int n = end - begin;
+  int pos = 0;
+  for (int i = begin; i < end; ++i) pos += y[idx[i]];
+
+  auto make_leaf = [&] {
+    tree.nodes[node_id].feature = -1;
+    tree.nodes[node_id].prob =
+        n > 0 ? static_cast<float>(static_cast<double>(pos) / n) : 0.5f;
+    return node_id;
+  };
+
+  if (depth >= config.max_depth || n < 2 * config.min_leaf || pos == 0 ||
+      pos == n) {
+    return make_leaf();
+  }
+
+  const int dim = static_cast<int>(x[0].size());
+  int per_split = config.features_per_split;
+  if (per_split <= 0) {
+    per_split = std::max(1, static_cast<int>(std::sqrt(
+                                static_cast<double>(dim))));
+  }
+
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  const double parent_impurity = Gini(pos, n);
+
+  std::vector<std::pair<float, int>> vals(n);
+  for (int trial = 0; trial < per_split; ++trial) {
+    const int f = static_cast<int>(rng.Below(static_cast<uint64_t>(dim)));
+    for (int i = 0; i < n; ++i) {
+      const int row = idx[begin + i];
+      vals[i] = {x[row][f], y[row]};
+    }
+    std::sort(vals.begin(), vals.end());
+    int left_pos = 0;
+    for (int i = 0; i + 1 < n; ++i) {
+      left_pos += vals[i].second;
+      if (vals[i].first == vals[i + 1].first) continue;
+      const int nl = i + 1;
+      const int nr = n - nl;
+      if (nl < config.min_leaf || nr < config.min_leaf) continue;
+      const double gain =
+          parent_impurity - (nl * Gini(left_pos, nl) +
+                             nr * Gini(pos - left_pos, nr)) /
+                                n;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = (vals[i].first + vals[i + 1].first) / 2.0f;
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  const auto mid_it = std::partition(
+      idx.begin() + begin, idx.begin() + end, [&](int row) {
+        return x[row][best_feature] <= best_threshold;
+      });
+  const int mid = static_cast<int>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return make_leaf();
+
+  tree.nodes[node_id].feature = best_feature;
+  tree.nodes[node_id].threshold = best_threshold;
+  const int left =
+      BuildNode(tree, x, y, idx, begin, mid, depth + 1, config, rng);
+  const int right =
+      BuildNode(tree, x, y, idx, mid, end, depth + 1, config, rng);
+  tree.nodes[node_id].left = left;
+  tree.nodes[node_id].right = right;
+  return node_id;
+}
+
+void RandomForest::Train(const std::vector<Vec>& features,
+                         const std::vector<int>& labels,
+                         const RandomForestConfig& config) {
+  HER_CHECK(!features.empty());
+  HER_CHECK(features.size() == labels.size());
+  trees_.clear();
+  Rng rng(config.seed);
+  const int n = static_cast<int>(features.size());
+  for (int t = 0; t < config.num_trees; ++t) {
+    Tree tree;
+    std::vector<int> idx(n);
+    for (int i = 0; i < n; ++i) {
+      idx[i] = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+    }
+    BuildNode(tree, features, labels, idx, 0, n, 0, config, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::PredictProba(const Vec& x) const {
+  HER_DCHECK(!trees_.empty());
+  double sum = 0.0;
+  for (const Tree& tree : trees_) {
+    int node = 0;
+    while (tree.nodes[node].feature >= 0) {
+      const Node& nd = tree.nodes[node];
+      node = x[nd.feature] <= nd.threshold ? nd.left : nd.right;
+    }
+    sum += tree.nodes[node].prob;
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace her

@@ -1,0 +1,61 @@
+#ifndef HER_ML_RANDOM_FOREST_H_
+#define HER_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/vector_ops.h"
+
+namespace her {
+
+/// Random-forest hyperparameters (the MAG/Magellan baseline's model).
+struct RandomForestConfig {
+  int num_trees = 30;
+  int max_depth = 8;
+  int min_leaf = 2;
+  /// Features tried per split; 0 means sqrt(num_features).
+  int features_per_split = 0;
+  uint64_t seed = 0xf03e57;
+};
+
+/// CART random forest for binary classification over dense feature vectors,
+/// trained with bootstrap bagging and per-split feature subsampling.
+/// Predict* methods are const and thread-safe.
+class RandomForest {
+ public:
+  /// Trains on rows `features` with labels in {0, 1}. All rows must share
+  /// one dimension. Deterministic given config.seed.
+  void Train(const std::vector<Vec>& features, const std::vector<int>& labels,
+             const RandomForestConfig& config);
+
+  bool trained() const { return !trees_.empty(); }
+
+  /// Mean positive-class probability across trees.
+  double PredictProba(const Vec& x) const;
+
+  /// PredictProba >= 0.5.
+  bool Predict(const Vec& x) const { return PredictProba(x) >= 0.5; }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 marks a leaf
+    float threshold = 0.0f;
+    int left = -1;
+    int right = -1;
+    float prob = 0.0f;      // leaf positive fraction
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  int BuildNode(Tree& tree, const std::vector<Vec>& x,
+                const std::vector<int>& y, std::vector<int>& idx, int begin,
+                int end, int depth, const RandomForestConfig& config,
+                class Rng& rng);
+
+  std::vector<Tree> trees_;
+};
+
+}  // namespace her
+
+#endif  // HER_ML_RANDOM_FOREST_H_

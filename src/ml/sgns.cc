@@ -1,0 +1,100 @@
+#include "ml/sgns.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace her {
+
+void SgnsModel::InitRandom(size_t vocab_size, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  in_.assign(vocab_size, Vec());
+  out_.assign(vocab_size, Vec());
+  const double scale = 0.5 / std::sqrt(static_cast<double>(dim));
+  for (size_t i = 0; i < vocab_size; ++i) {
+    in_[i] = RandomVec(dim, scale, rng);
+    out_[i] = Vec(dim, 0.0f);
+  }
+}
+
+void SgnsModel::Train(const std::vector<std::vector<int>>& sequences,
+                      size_t vocab_size, const SgnsConfig& config) {
+  InitRandom(vocab_size, config.dim, config.seed);
+  if (vocab_size == 0) return;
+
+  // Unigram^0.75 negative-sampling table.
+  std::vector<double> freq(vocab_size, 1.0);  // add-one smoothing
+  for (const auto& seq : sequences) {
+    for (const int t : seq) {
+      HER_DCHECK(t >= 0 && static_cast<size_t>(t) < vocab_size);
+      freq[t] += 1.0;
+    }
+  }
+  std::vector<double> cdf(vocab_size);
+  double total = 0.0;
+  for (size_t i = 0; i < vocab_size; ++i) {
+    total += std::pow(freq[i], 0.75);
+    cdf[i] = total;
+  }
+
+  Rng rng(config.seed ^ 0xabcdef);
+  auto sample_negative = [&]() -> int {
+    const double r = rng.Uniform() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    return static_cast<int>(it - cdf.begin());
+  };
+
+  Vec grad_in(config.dim);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const double lr =
+        config.lr * (1.0 - static_cast<double>(epoch) / config.epochs) + 1e-4;
+    for (const auto& seq : sequences) {
+      const int n = static_cast<int>(seq.size());
+      for (int i = 0; i < n; ++i) {
+        const int center = seq[i];
+        const int lo = std::max(0, i - config.window);
+        const int hi = std::min(n - 1, i + config.window);
+        for (int j = lo; j <= hi; ++j) {
+          if (j == i) continue;
+          const int context = seq[j];
+          std::fill(grad_in.begin(), grad_in.end(), 0.0f);
+          // Positive pair.
+          {
+            Vec& vi = in_[center];
+            Vec& vo = out_[context];
+            const double s = Sigmoid(Dot(vi, vo));
+            const double g = lr * (1.0 - s);
+            Axpy(g, vo, grad_in);
+            Axpy(g, vi, vo);
+          }
+          // Negative samples.
+          for (int neg = 0; neg < config.negatives; ++neg) {
+            const int nt = sample_negative();
+            if (nt == context) continue;
+            Vec& vi = in_[center];
+            Vec& vo = out_[nt];
+            const double s = Sigmoid(Dot(vi, vo));
+            const double g = -lr * s;
+            Axpy(g, vo, grad_in);
+            Axpy(g, vi, vo);
+          }
+          Axpy(1.0, grad_in, in_[center]);
+        }
+      }
+    }
+  }
+}
+
+Vec SgnsModel::EmbedSequence(std::span<const int> tokens) const {
+  const size_t d = dim();
+  Vec acc(d, 0.0f);
+  for (const int t : tokens) {
+    HER_DCHECK(t >= 0 && static_cast<size_t>(t) < in_.size());
+    Axpy(1.0, in_[t], acc);
+  }
+  NormalizeL2(acc);
+  return acc;
+}
+
+}  // namespace her

@@ -1,0 +1,59 @@
+#ifndef HER_ML_SGNS_H_
+#define HER_ML_SGNS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/vector_ops.h"
+
+namespace her {
+
+/// Skip-gram-with-negative-sampling hyperparameters.
+struct SgnsConfig {
+  size_t dim = 32;
+  int window = 3;
+  int negatives = 4;
+  int epochs = 8;
+  double lr = 0.05;
+  uint64_t seed = 0x519;
+};
+
+/// Word2vec-style embedding trained on token-id sequences.
+///
+/// This is the stand-in for the paper's BERT model pre-trained with the
+/// Masked Language Model task on a random-walk edge-label corpus
+/// (Section IV, "Edge model M_rho"): both learn distributional embeddings
+/// of edge labels from unlabeled path corpora; the metric MLP on top is
+/// then trained supervised, exactly as in the paper.
+class SgnsModel {
+ public:
+  /// Trains input embeddings on `sequences` whose tokens are in
+  /// [0, vocab_size). Deterministic given config.seed.
+  void Train(const std::vector<std::vector<int>>& sequences,
+             size_t vocab_size, const SgnsConfig& config);
+
+  /// Initializes random embeddings without training (cold start for tests).
+  void InitRandom(size_t vocab_size, size_t dim, uint64_t seed);
+
+  size_t vocab_size() const { return in_.size(); }
+  size_t dim() const { return in_.empty() ? 0 : in_[0].size(); }
+  bool trained() const { return !in_.empty(); }
+
+  /// Input embedding of a token.
+  const Vec& Embedding(int token) const { return in_[token]; }
+
+  /// Embeds a token sequence as the L2-normalized mean of its token
+  /// embeddings (the path encoder used by M_rho). Empty sequences map to
+  /// the zero vector.
+  Vec EmbedSequence(std::span<const int> tokens) const;
+
+ private:
+  std::vector<Vec> in_;   // input (center) vectors
+  std::vector<Vec> out_;  // output (context) vectors
+};
+
+}  // namespace her
+
+#endif  // HER_ML_SGNS_H_

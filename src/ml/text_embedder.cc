@@ -1,0 +1,76 @@
+#include "ml/text_embedder.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace her {
+
+HashedTextEmbedder::HashedTextEmbedder(TextEmbedderConfig config)
+    : config_(config) {}
+
+void HashedTextEmbedder::FitIdf(
+    const std::vector<std::string_view>& corpus) {
+  std::unordered_map<std::string, size_t> df;
+  for (const auto doc : corpus) {
+    // Count each token once per document.
+    std::unordered_map<std::string, char> seen;
+    for (auto& tok : WordTokens(doc)) seen.emplace(std::move(tok), 1);
+    for (const auto& [tok, _] : seen) ++df[tok];
+  }
+  const double n = static_cast<double>(corpus.size());
+  idf_.clear();
+  for (const auto& [tok, count] : df) {
+    idf_[tok] = std::log((n + 1.0) / (static_cast<double>(count) + 1.0)) + 1.0;
+  }
+  default_idf_ = std::log(n + 1.0) + 1.0;
+}
+
+double HashedTextEmbedder::IdfWeight(std::string_view token) const {
+  if (idf_.empty()) return 1.0;
+  auto it = idf_.find(std::string(token));
+  return it == idf_.end() ? default_idf_ : it->second;
+}
+
+void HashedTextEmbedder::AddTokenDirection(std::string_view token,
+                                           double weight, Vec& acc) const {
+  // Derive dim sign bits from successive splitmix64 outputs seeded by the
+  // token hash — deterministic across runs and platforms.
+  uint64_t state = HashString(token, config_.seed);
+  uint64_t bits = 0;
+  int remaining = 0;
+  for (size_t i = 0; i < acc.size(); ++i) {
+    if (remaining == 0) {
+      bits = SplitMix64(state);
+      remaining = 64;
+    }
+    const double sign = (bits & 1) ? 1.0 : -1.0;
+    bits >>= 1;
+    --remaining;
+    acc[i] += static_cast<float>(weight * sign);
+  }
+}
+
+Vec HashedTextEmbedder::Embed(std::string_view text) const {
+  Vec acc(config_.dim, 0.0f);
+  const auto words = WordTokens(text);
+  for (const auto& w : words) {
+    AddTokenDirection(w, config_.word_weight * IdfWeight(w), acc);
+  }
+  if (config_.char_ngram > 0 && config_.char_weight > 0) {
+    for (const auto& g : CharNgrams(text, config_.char_ngram)) {
+      AddTokenDirection(g, config_.char_weight, acc);
+    }
+  }
+  NormalizeL2(acc);
+  return acc;
+}
+
+double HashedTextEmbedder::Similarity(std::string_view a,
+                                      std::string_view b) const {
+  return CosineToUnit(Cosine(Embed(a), Embed(b)));
+}
+
+}  // namespace her

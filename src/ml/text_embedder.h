@@ -1,0 +1,68 @@
+#ifndef HER_ML_TEXT_EMBEDDER_H_
+#define HER_ML_TEXT_EMBEDDER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/vector_ops.h"
+
+namespace her {
+
+/// Configuration for HashedTextEmbedder.
+struct TextEmbedderConfig {
+  /// Embedding dimension (the paper's App. I varies the GloVe dimension;
+  /// bench_table7_embeddings sweeps this).
+  size_t dim = 64;
+  /// Relative weight of word tokens vs character trigrams.
+  double word_weight = 1.0;
+  double char_weight = 0.35;
+  /// Char n-gram order (0 disables char features).
+  int char_ngram = 3;
+  /// Hash seed; distinct seeds give independent embedders.
+  uint64_t seed = 0x5e27ebce;
+};
+
+/// Deterministic sentence embedder: the stand-in for Sentence-BERT in M_v.
+///
+/// Each word token and character trigram of the input is hashed to a
+/// pseudo-random unit direction (random indexing); the embedding is the
+/// IDF-weighted sum, L2-normalized. Two labels that share tokens or
+/// sub-token character structure land close in cosine space, which is the
+/// property parametric simulation needs from M_v. Stateless and
+/// thread-safe after construction (optionally after FitIdf).
+class HashedTextEmbedder {
+ public:
+  explicit HashedTextEmbedder(TextEmbedderConfig config = {});
+
+  /// Optionally learns inverse-document-frequency weights from a corpus of
+  /// labels so that ubiquitous tokens ("the", relation names) contribute
+  /// less. Call before Embed; not thread-safe.
+  void FitIdf(const std::vector<std::string_view>& corpus);
+
+  /// Embeds a label into a unit vector (zero vector for empty labels).
+  Vec Embed(std::string_view text) const;
+
+  /// M_v of Section IV: (|cos| + cos)/2 of the two embeddings, in [0, 1].
+  double Similarity(std::string_view a, std::string_view b) const;
+
+  size_t dim() const { return config_.dim; }
+  const TextEmbedderConfig& config() const { return config_; }
+
+ private:
+  /// Deterministic pseudo-random direction for a token (not normalized;
+  /// entries are +-1 which keeps expected norms uniform across tokens).
+  void AddTokenDirection(std::string_view token, double weight,
+                         Vec& acc) const;
+
+  double IdfWeight(std::string_view token) const;
+
+  TextEmbedderConfig config_;
+  std::unordered_map<std::string, double> idf_;
+  double default_idf_ = 1.0;
+};
+
+}  // namespace her
+
+#endif  // HER_ML_TEXT_EMBEDDER_H_

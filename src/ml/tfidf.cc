@@ -1,0 +1,59 @@
+#include "ml/tfidf.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace her {
+
+double SparseCosine(const SparseVec& a, const SparseVec& b) {
+  const SparseVec& small = a.size() <= b.size() ? a : b;
+  const SparseVec& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [k, v] : small) {
+    auto it = large.find(k);
+    if (it != large.end()) dot += v * it->second;
+  }
+  return dot;  // inputs are L2-normalized
+}
+
+void TfidfVectorizer::Fit(const std::vector<std::string>& docs) {
+  df_.clear();
+  num_docs_ = docs.size();
+  for (const auto& doc : docs) {
+    std::unordered_map<uint64_t, char> seen;
+    for (const auto& g : CharNgrams(doc, char_ngram_)) {
+      seen.emplace(HashString(g), 1);
+    }
+    for (const auto& [k, _] : seen) ++df_[k];
+  }
+}
+
+SparseVec TfidfVectorizer::Transform(std::string_view doc) const {
+  SparseVec tf;
+  for (const auto& g : CharNgrams(doc, char_ngram_)) {
+    tf[HashString(g)] += 1.0;
+  }
+  const double n = static_cast<double>(num_docs_) + 1.0;
+  double norm2 = 0.0;
+  for (auto& [k, v] : tf) {
+    auto it = df_.find(k);
+    const double df = it == df_.end() ? 0.0 : static_cast<double>(it->second);
+    const double idf = std::log(n / (df + 1.0)) + 1.0;
+    v = (1.0 + std::log(v)) * idf;
+    norm2 += v * v;
+  }
+  if (norm2 > 0) {
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (auto& [k, v] : tf) v *= inv;
+  }
+  return tf;
+}
+
+double TfidfVectorizer::Similarity(std::string_view a,
+                                   std::string_view b) const {
+  return SparseCosine(Transform(a), Transform(b));
+}
+
+}  // namespace her

@@ -1,0 +1,43 @@
+#ifndef HER_ML_TFIDF_H_
+#define HER_ML_TFIDF_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace her {
+
+/// Sparse TF-IDF vector keyed by hashed feature id.
+using SparseVec = std::unordered_map<uint64_t, double>;
+
+/// Cosine similarity of two L2-normalized sparse vectors.
+double SparseCosine(const SparseVec& a, const SparseVec& b);
+
+/// TF-IDF vectorizer over character n-grams, the similarity core of the
+/// JedAI-style baseline ("character 4-grams with TF-IDF weights and cosine
+/// similarity", Section VII).
+class TfidfVectorizer {
+ public:
+  explicit TfidfVectorizer(int char_ngram = 4) : char_ngram_(char_ngram) {}
+
+  /// Learns document frequencies from a corpus.
+  void Fit(const std::vector<std::string>& docs);
+
+  /// TF-IDF vector of a document, L2-normalized. Unknown n-grams get the
+  /// maximum IDF.
+  SparseVec Transform(std::string_view doc) const;
+
+  /// Convenience: cosine of the transforms.
+  double Similarity(std::string_view a, std::string_view b) const;
+
+ private:
+  int char_ngram_;
+  size_t num_docs_ = 0;
+  std::unordered_map<uint64_t, size_t> df_;
+};
+
+}  // namespace her
+
+#endif  // HER_ML_TFIDF_H_

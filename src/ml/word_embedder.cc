@@ -1,0 +1,73 @@
+#include "ml/word_embedder.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace her {
+
+void TrainedWordEmbedder::Fit(const std::vector<std::string_view>& labels,
+                              const Config& config) {
+  dim_ = config.sgns.dim;
+  oov_seed_ = config.oov_seed;
+  vocab_.clear();
+  idf_.clear();
+
+  // Tokenize once; build vocabulary, document frequencies and the SGNS
+  // corpus (each label is one "sentence" of word tokens).
+  std::vector<std::vector<int>> corpus;
+  std::unordered_map<std::string, size_t> df;
+  for (const auto label : labels) {
+    const auto tokens = WordTokens(label);
+    if (tokens.empty()) continue;
+    std::vector<int> seq;
+    std::unordered_map<std::string, char> seen;
+    for (const auto& t : tokens) {
+      auto it = vocab_.find(t);
+      if (it == vocab_.end()) {
+        it = vocab_.emplace(t, static_cast<int>(vocab_.size())).first;
+      }
+      seq.push_back(it->second);
+      seen.emplace(t, 1);
+    }
+    for (const auto& [t, _] : seen) ++df[t];
+    corpus.push_back(std::move(seq));
+  }
+  const double n = static_cast<double>(corpus.size());
+  for (const auto& [t, count] : df) {
+    idf_[t] = std::log((n + 1.0) / (static_cast<double>(count) + 1.0)) + 1.0;
+  }
+  default_idf_ = std::log(n + 1.0) + 1.0;
+  sgns_.Train(corpus, vocab_.size(), config.sgns);
+}
+
+Vec TrainedWordEmbedder::Embed(std::string_view label) const {
+  Vec acc(dim_, 0.0f);
+  for (const auto& tok : WordTokens(label)) {
+    const auto idf_it = idf_.find(tok);
+    const double w = idf_it == idf_.end() ? default_idf_ : idf_it->second;
+    const auto it = vocab_.find(tok);
+    if (it != vocab_.end()) {
+      Axpy(w, sgns_.Embedding(it->second), acc);
+    } else {
+      // OOV: deterministic hashed +-1 direction, scaled to the typical
+      // word-vector norm so it neither dominates nor vanishes.
+      uint64_t state = HashString(tok, oov_seed_);
+      const double scale = w / std::sqrt(static_cast<double>(dim_));
+      for (size_t i = 0; i < dim_; ++i) {
+        const double sign = (SplitMix64(state) & 1) ? 1.0 : -1.0;
+        acc[i] += static_cast<float>(scale * sign);
+      }
+    }
+  }
+  NormalizeL2(acc);
+  return acc;
+}
+
+double TrainedWordEmbedder::Similarity(std::string_view a,
+                                       std::string_view b) const {
+  return CosineToUnit(Cosine(Embed(a), Embed(b)));
+}
+
+}  // namespace her

@@ -1,0 +1,53 @@
+#ifndef HER_ML_WORD_EMBEDDER_H_
+#define HER_ML_WORD_EMBEDDER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/sgns.h"
+#include "ml/text_embedder.h"
+#include "ml/vector_ops.h"
+
+namespace her {
+
+/// Trainable word-embedding label encoder — the GloVe-style alternative
+/// M_v of Appendix I. Word vectors are learned with SGNS over the word
+/// sequences of the label corpus; a label embeds as the IDF-weighted mean
+/// of its word vectors (the appendix's "average embedding vector of each
+/// word in a vertex attribute"). Out-of-vocabulary words fall back to the
+/// deterministic hashed direction of HashedTextEmbedder, so unseen values
+/// still compare by lexical identity.
+class TrainedWordEmbedder {
+ public:
+  struct Config {
+    SgnsConfig sgns;
+    uint64_t oov_seed = 0x90ef;
+  };
+
+  /// Learns word vectors and IDF weights from the label corpus.
+  void Fit(const std::vector<std::string_view>& labels, const Config& config);
+
+  bool trained() const { return !vocab_.empty(); }
+  size_t dim() const { return dim_; }
+  size_t vocab_size() const { return vocab_.size(); }
+
+  /// IDF-weighted mean of word vectors, L2-normalized.
+  Vec Embed(std::string_view label) const;
+
+  /// M_v: (|cos| + cos)/2 of the embeddings.
+  double Similarity(std::string_view a, std::string_view b) const;
+
+ private:
+  size_t dim_ = 0;
+  uint64_t oov_seed_ = 0;
+  std::unordered_map<std::string, int> vocab_;
+  std::unordered_map<std::string, double> idf_;
+  double default_idf_ = 1.0;
+  SgnsModel sgns_;
+};
+
+}  // namespace her
+
+#endif  // HER_ML_WORD_EMBEDDER_H_

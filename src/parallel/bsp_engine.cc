@@ -1,0 +1,347 @@
+#include "parallel/bsp_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace her {
+
+namespace {
+
+/// Per-worker state: a private engine plus this superstep's inboxes.
+struct Worker {
+  explicit Worker(const MatchContext& ctx) : engine(ctx) {}
+
+  MatchEngine engine;
+  std::vector<MatchPair> owned_candidates;  // root candidates to verify
+  // Assumption requests to answer, tagged with the requesting worker.
+  std::vector<std::pair<MatchPair, uint32_t>> request_inbox;
+  std::vector<MatchPair> invalid_inbox;     // remote invalidations to apply
+  // Outboxes filled during a superstep, routed between supersteps.
+  std::vector<MatchPair> assumptions_out;
+  std::vector<MatchPair> invalidations_out;
+  // For each owned pair that remote workers assumed: who to notify when
+  // its verdict is (or becomes) false. This replaces broadcasting — the
+  // GRAPE messages follow the cross edges that created the assumption.
+  std::unordered_map<MatchPair, std::vector<uint32_t>, PairHash> subscribers;
+  // Replies owed to specific requesters whose pair is already false.
+  std::vector<std::pair<MatchPair, uint32_t>> direct_replies;
+  // Pairs whose true->false FLIP was already broadcast to subscribers; a
+  // pair flips at most once, so one broadcast suffices. Requesters that
+  // arrive later are answered directly at request time instead.
+  std::unordered_set<MatchPair, PairHash> notified_false;
+};
+
+}  // namespace
+
+ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates) {
+  const uint32_t n = std::max<uint32_t>(1, config_.num_workers);
+  const VertexPartition part =
+      PartitionVertices(*ctx_.g, n, config_.strategy);
+  const auto owner_of = [this, &part](const MatchPair& p) -> uint32_t {
+    return config_.pair_owner ? config_.pair_owner(p)
+                              : part.owner[p.second];
+  };
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    workers.push_back(std::make_unique<Worker>(ctx_));
+    const uint32_t frag = i;
+    workers.back()->engine.SetLocalityFilter(
+        [owner_of, frag](VertexId u, VertexId v) {
+          return owner_of(MatchPair{u, v}) == frag;
+        });
+  }
+  for (const MatchPair& c : candidates) {
+    workers[owner_of(c)]->owned_candidates.push_back(c);
+  }
+
+  ParallelResult result;
+
+  // Superstep body: PPSim on round 0, IncPSim afterwards.
+  auto superstep = [&](Worker& w, size_t round) {
+    if (round == 0) {
+      for (const MatchPair& c : w.owned_candidates) {
+        w.engine.Match(c.first, c.second);
+      }
+    } else {
+      // IncPSim step (a)+(b): apply remote invalidations as updates and
+      // rerun the cleanup stage on everything depending on them.
+      for (const MatchPair& p : w.invalid_inbox) {
+        const auto* e = w.engine.Lookup(p.first, p.second);
+        if (e == nullptr || e->valid) {
+          w.engine.ForceInvalid(p.first, p.second);
+        }
+      }
+      w.invalid_inbox.clear();
+      // Answer assumption requests authoritatively (this pair is owned
+      // here); remember the subscriber for any later true->false flip and
+      // reply immediately when the verdict is already false.
+      for (const auto& [p, origin] : w.request_inbox) {
+        w.subscribers[p].push_back(origin);
+        if (!w.engine.Match(p.first, p.second)) {
+          w.direct_replies.emplace_back(p, origin);
+        }
+      }
+      w.request_inbox.clear();
+    }
+    // Owned pairs that are (now) false and have subscribers become
+    // messages; fresh assumptions become requests to their owners.
+    for (const MatchPair& p : w.engine.DrainNewlyInvalidated()) {
+      w.invalidations_out.push_back(p);
+    }
+    for (const MatchPair& p : w.engine.DrainNewAssumptions()) {
+      w.assumptions_out.push_back(p);
+    }
+  };
+
+  std::vector<double> busy(n, 0.0);
+  for (size_t round = 0;; ++round) {
+    // Parallel phase: one thread per worker (shared-nothing: each touches
+    // only its own engine; the graphs and scorers are immutable). Each
+    // worker's busy time is taken from its thread CPU clock so the
+    // simulated makespan is meaningful even on hosts with fewer cores
+    // than workers.
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        threads.emplace_back([&, i] {
+          const double start = ThreadCpuSeconds();
+          superstep(*workers[i], round);
+          busy[i] = ThreadCpuSeconds() - start;
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    result.simulated_seconds += *std::max_element(busy.begin(), busy.end());
+    ++result.supersteps;
+    const double sync_start = ThreadCpuSeconds();
+
+    // Synchronization phase: route outboxes.
+    bool any_message = false;
+    for (uint32_t i = 0; i < n; ++i) {
+      Worker& w = *workers[i];
+      for (const MatchPair& p : w.assumptions_out) {
+        const uint32_t owner = owner_of(p);
+        HER_DCHECK(owner != i);
+        workers[owner]->request_inbox.emplace_back(p, i);
+        ++result.messages;
+        any_message = true;
+      }
+      w.assumptions_out.clear();
+      // true->false flips broadcast to the subscribers known at flip time
+      // (once per pair: the flip is final); requesters that arrived when
+      // the verdict was already false got a direct reply instead.
+      for (const MatchPair& p : w.invalidations_out) {
+        auto it = w.subscribers.find(p);
+        if (it == w.subscribers.end()) continue;
+        if (!w.notified_false.insert(p).second) continue;
+        for (const uint32_t j : it->second) {
+          workers[j]->invalid_inbox.push_back(p);
+          ++result.messages;
+          any_message = true;
+        }
+      }
+      w.invalidations_out.clear();
+      for (const auto& [p, origin] : w.direct_replies) {
+        workers[origin]->invalid_inbox.push_back(p);
+        ++result.messages;
+        any_message = true;
+      }
+      w.direct_replies.clear();
+    }
+    result.simulated_seconds += ThreadCpuSeconds() - sync_start;
+    if (!any_message) break;  // fixpoint: R_i^{r*} == R_i^{r*+1}
+  }
+
+  for (uint32_t i = 0; i < n; ++i) {
+    const MatchEngine::Stats& s = workers[i]->engine.stats();
+    result.stats.para_match_calls += s.para_match_calls;
+    result.stats.cache_hits += s.cache_hits;
+    result.stats.cleanup_reruns += s.cleanup_reruns;
+    result.stats.stale_restarts += s.stale_restarts;
+    result.stats.budget_exhausted += s.budget_exhausted;
+    result.stats.hrho_evaluations += s.hrho_evaluations;
+    result.stats.border_assumptions += s.border_assumptions;
+    result.max_worker_calls =
+        std::max(result.max_worker_calls, s.para_match_calls);
+  }
+
+  // Pi = union of owned partial results (Section VI-B, termination).
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const MatchPair& c : workers[i]->owned_candidates) {
+      const auto* e = workers[i]->engine.Lookup(c.first, c.second);
+      if (e != nullptr && e->valid) result.matches.push_back(c);
+    }
+  }
+  std::sort(result.matches.begin(), result.matches.end());
+  result.matches.erase(
+      std::unique(result.matches.begin(), result.matches.end()),
+      result.matches.end());
+  return result;
+}
+
+ParallelResult BspAllMatch::RunAsyncOnCandidates(
+    std::vector<MatchPair> candidates) {
+  const uint32_t n = std::max<uint32_t>(1, config_.num_workers);
+  const VertexPartition part =
+      PartitionVertices(*ctx_.g, n, config_.strategy);
+  const auto owner_of = [this, &part](const MatchPair& p) -> uint32_t {
+    return config_.pair_owner ? config_.pair_owner(p)
+                              : part.owner[p.second];
+  };
+
+  // Async channels: one locked inbox per worker.
+  struct Message {
+    MatchPair pair;
+    uint32_t origin;  // requester for requests; unused for invalidations
+    bool is_request;
+  };
+  struct Channel {
+    std::mutex mu;
+    std::vector<Message> inbox;
+  };
+  std::vector<Channel> channels(n);
+  // Work accounting for termination: one unit per initial batch plus one
+  // per in-flight message; producers increment before finishing their own
+  // unit, so the counter cannot falsely reach zero.
+  std::atomic<size_t> outstanding{n};
+  std::atomic<size_t> total_messages{0};
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    workers.push_back(std::make_unique<Worker>(ctx_));
+    const uint32_t frag = i;
+    workers.back()->engine.SetLocalityFilter(
+        [owner_of, frag](VertexId u, VertexId v) {
+          return owner_of(MatchPair{u, v}) == frag;
+        });
+  }
+  for (const MatchPair& c : candidates) {
+    workers[owner_of(c)]->owned_candidates.push_back(c);
+  }
+
+  std::vector<double> busy(n, 0.0);
+  auto worker_main = [&](uint32_t i) {
+    Worker& w = *workers[i];
+    const double start = ThreadCpuSeconds();
+    auto send = [&](const Message& m, uint32_t to) {
+      outstanding.fetch_add(1);
+      total_messages.fetch_add(1);
+      Channel& ch = channels[to];
+      std::lock_guard<std::mutex> lock(ch.mu);
+      ch.inbox.push_back(m);
+    };
+    auto flush_outgoing = [&] {
+      for (const MatchPair& p : w.engine.DrainNewAssumptions()) {
+        send(Message{p, i, /*is_request=*/true}, owner_of(p));
+      }
+      for (const MatchPair& p : w.engine.DrainNewlyInvalidated()) {
+        auto it = w.subscribers.find(p);
+        if (it == w.subscribers.end()) continue;
+        if (!w.notified_false.insert(p).second) continue;
+        for (const uint32_t j : it->second) {
+          send(Message{p, i, /*is_request=*/false}, j);
+        }
+      }
+    };
+
+    // Initial unit: the owned candidates.
+    for (const MatchPair& c : w.owned_candidates) {
+      w.engine.Match(c.first, c.second);
+      flush_outgoing();
+    }
+    outstanding.fetch_sub(1);
+
+    // Message loop until global quiescence.
+    while (outstanding.load() > 0) {
+      std::vector<Message> batch;
+      {
+        std::lock_guard<std::mutex> lock(channels[i].mu);
+        batch.swap(channels[i].inbox);
+      }
+      if (batch.empty()) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (const Message& m : batch) {
+        if (m.is_request) {
+          w.subscribers[m.pair].push_back(m.origin);
+          const bool valid = w.engine.Match(m.pair.first, m.pair.second);
+          if (!valid) {
+            // Reply directly; flips that happen later broadcast to all
+            // subscribers via flush_outgoing.
+            send(Message{m.pair, i, false}, m.origin);
+          }
+        } else {
+          const auto* e = w.engine.Lookup(m.pair.first, m.pair.second);
+          if (e == nullptr || e->valid) {
+            w.engine.ForceInvalid(m.pair.first, m.pair.second);
+          }
+        }
+        flush_outgoing();
+        outstanding.fetch_sub(1);
+      }
+    }
+    busy[i] = ThreadCpuSeconds() - start;
+  };
+
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) threads.emplace_back(worker_main, i);
+    for (auto& t : threads) t.join();
+  }
+
+  ParallelResult result;
+  result.supersteps = 1;  // no rounds in the asynchronous model
+  result.messages = total_messages.load();
+  result.simulated_seconds = *std::max_element(busy.begin(), busy.end());
+  for (uint32_t i = 0; i < n; ++i) {
+    const MatchEngine::Stats& s = workers[i]->engine.stats();
+    result.stats.para_match_calls += s.para_match_calls;
+    result.stats.hrho_evaluations += s.hrho_evaluations;
+    result.stats.border_assumptions += s.border_assumptions;
+    result.max_worker_calls =
+        std::max(result.max_worker_calls, s.para_match_calls);
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const MatchPair& c : workers[i]->owned_candidates) {
+      const auto* e = workers[i]->engine.Lookup(c.first, c.second);
+      if (e != nullptr && e->valid) result.matches.push_back(c);
+    }
+  }
+  std::sort(result.matches.begin(), result.matches.end());
+  result.matches.erase(
+      std::unique(result.matches.begin(), result.matches.end()),
+      result.matches.end());
+  return result;
+}
+
+ParallelResult BspAllMatch::RunAsync(std::span<const VertexId> tuple_vertices,
+                                     const InvertedIndex* index) {
+  return RunAsyncOnCandidates(
+      GenerateCandidates(ctx_, tuple_vertices, index));
+}
+
+ParallelResult BspAllMatch::Run(std::span<const VertexId> tuple_vertices,
+                                const InvertedIndex* index) {
+  return RunOnCandidates(GenerateCandidates(ctx_, tuple_vertices, index));
+}
+
+ParallelResult BspAllMatch::RunVPair(VertexId u_t,
+                                     const InvertedIndex* index) {
+  const VertexId roots[] = {u_t};
+  return RunOnCandidates(GenerateCandidates(ctx_, roots, index));
+}
+
+}  // namespace her

@@ -1,0 +1,92 @@
+#ifndef HER_PARALLEL_BSP_ENGINE_H_
+#define HER_PARALLEL_BSP_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/drivers.h"
+#include "core/match_engine.h"
+#include "graph/partition.h"
+
+namespace her {
+
+/// Configuration of the shared-nothing BSP runtime (Section VI-B). One
+/// worker = one thread with a private MatchEngine over its fragment.
+struct ParallelConfig {
+  uint32_t num_workers = 4;
+  PartitionStrategy strategy = PartitionStrategy::kHash;
+  /// Assigns every candidate pair (including pairs reached recursively) to
+  /// a fragment. When empty, pairs are owned by the G-side edge-cut
+  /// fragment of v. The paper co-locates all candidates of a G_D vertex on
+  /// one fragment via inverted indices; HerSystem passes an owner keyed by
+  /// the root tuple of u, which reproduces that placement (and is what
+  /// makes APair scale: each u's ecache is computed on one worker only).
+  std::function<uint32_t(const MatchPair&)> pair_owner;
+};
+
+/// Outcome of a parallel run, with the fixpoint-iteration telemetry the
+/// scalability experiments report.
+struct ParallelResult {
+  std::vector<MatchPair> matches;  // Pi, sorted
+  size_t supersteps = 0;           // BSP rounds until fixpoint
+  size_t messages = 0;             // cross-worker messages exchanged
+  MatchEngine::Stats stats;        // summed over all workers
+  size_t max_worker_calls = 0;     // ParaMatch calls of the busiest worker
+  /// Simulated cluster makespan: sum over supersteps of the slowest
+  /// worker's thread-CPU time, plus the synchronization phases. This is
+  /// what an n-machine cluster's wall clock would approximate; on hosts
+  /// with fewer cores than workers it is the meaningful scalability
+  /// number (wall time only measures oversubscription).
+  double simulated_seconds = 0.0;
+};
+
+/// PAllMatch: parallel AllParaMatch under the BSP fixpoint model of GRAPE.
+///
+/// Graph G is edge-cut partitioned into `num_workers` fragments; candidate
+/// pair (u, v) is owned by the fragment owning v (the paper co-locates
+/// candidates with inverted indices; with one process simulating the
+/// cluster, G_D is effectively replicated, which plays the same role).
+///
+/// Superstep 0 (PPSim): every worker runs AllParaMatch over its owned
+/// candidates, optimistically assuming border pairs valid. Each following
+/// superstep (IncPSim): workers exchange (a) assumption requests, routed to
+/// the owner for authoritative evaluation, and (b) invalidation messages
+/// (true -> false flips), which trigger the cleanup stage on dependents.
+/// The loop ends at the fixpoint: no new assumptions, no new invalidations.
+class BspAllMatch {
+ public:
+  BspAllMatch(const MatchContext& ctx, ParallelConfig config)
+      : ctx_(ctx), config_(config) {}
+
+  /// APair over `tuple_vertices`; `index` enables inverted-index blocking.
+  ParallelResult Run(std::span<const VertexId> tuple_vertices,
+                     const InvertedIndex* index = nullptr);
+
+  /// VPair for a single tuple vertex (parallelized along the same lines).
+  ParallelResult RunVPair(VertexId u_t, const InvertedIndex* index = nullptr);
+
+  /// Runs on an explicit candidate-pair set (callers with custom blocking).
+  ParallelResult RunOnCandidates(std::vector<MatchPair> candidates);
+
+  /// Asynchronous variant (Section VI remark (1), the AAP model of [34]):
+  /// no supersteps — workers drain their inboxes continuously and push
+  /// messages as they are produced; termination when no work remains
+  /// anywhere (counted in-flight units). Produces the same Pi as the BSP
+  /// runs; simulated time has no barrier, so stragglers overlap.
+  ParallelResult RunAsync(std::span<const VertexId> tuple_vertices,
+                          const InvertedIndex* index = nullptr);
+
+  /// Async on an explicit candidate set.
+  ParallelResult RunAsyncOnCandidates(std::vector<MatchPair> candidates);
+
+ private:
+  const MatchContext& ctx_;
+  ParallelConfig config_;
+};
+
+}  // namespace her
+
+#endif  // HER_PARALLEL_BSP_ENGINE_H_

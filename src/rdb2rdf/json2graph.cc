@@ -1,0 +1,312 @@
+#include "rdb2rdf/json2graph.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/string_util.h"
+
+namespace her {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object(std::map<std::string, JsonValue> fields) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(fields);
+  return v;
+}
+
+std::string JsonValue::ScalarLabel() const {
+  switch (type_) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return bool_ ? "true" : "false";
+    case Type::kNumber:
+      return FormatDouble(number_);
+    case Type::kString:
+      return string_;
+    default:
+      return "";
+  }
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view cursor.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    HER_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      HER_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue::String(std::move(s));
+    }
+    if (ConsumeLiteral("true")) return JsonValue::Bool(true);
+    if (ConsumeLiteral("false")) return JsonValue::Bool(false);
+    if (ConsumeLiteral("null")) return JsonValue::Null();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    if (!Consume('{')) return Error("expected '{'");
+    std::map<std::string, JsonValue> fields;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue::Object(std::move(fields));
+    for (;;) {
+      SkipWhitespace();
+      HER_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!Consume(':')) return Error("expected ':'");
+      HER_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      fields.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}'");
+    }
+    return JsonValue::Object(std::move(fields));
+  }
+
+  Result<JsonValue> ParseArray() {
+    if (!Consume('[')) return Error("expected '['");
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue::Array(std::move(items));
+    for (;;) {
+      HER_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      items.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']'");
+    }
+    return JsonValue::Array(std::move(items));
+  }
+
+  Result<std::string> ParseString() {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("dangling escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            // Basic-multilingual-plane escapes decoded as UTF-8.
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad \\u escape digit");
+              }
+            }
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || !ParseDouble(token, &value)) {
+      return Error("invalid number");
+    }
+    return JsonValue::Number(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Recursively adds a JSON value to the builder; returns the vertex
+/// representing it (objects and scalars get vertices; arrays are handled
+/// by the caller fanning out).
+VertexId AddJson(const JsonValue& value, const Json2GraphOptions& options,
+                 GraphBuilder& builder) {
+  if (value.is_object()) {
+    std::string label = options.default_label;
+    const auto type_it = value.fields().find(options.type_field);
+    if (type_it != value.fields().end() && type_it->second.is_scalar()) {
+      label = type_it->second.ScalarLabel();
+    }
+    const VertexId self = builder.AddVertex(std::move(label));
+    for (const auto& [key, field] : value.fields()) {
+      if (key == options.type_field) continue;
+      if (field.is_array()) {
+        for (const JsonValue& item : field.items()) {
+          builder.AddEdge(self, AddJson(item, options, builder), key);
+        }
+      } else {
+        builder.AddEdge(self, AddJson(field, options, builder), key);
+      }
+    }
+    return self;
+  }
+  if (value.is_array()) {
+    // A bare array nested in an array: wrap in an anonymous vertex.
+    const VertexId self = builder.AddVertex(options.default_label);
+    for (const JsonValue& item : value.items()) {
+      builder.AddEdge(self, AddJson(item, options, builder), "item");
+    }
+    return self;
+  }
+  return builder.AddVertex(value.ScalarLabel());
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+Result<Graph> JsonToGraph(std::string_view json,
+                          const Json2GraphOptions& options) {
+  HER_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json));
+  GraphBuilder builder;
+  if (doc.is_array()) {
+    // A top-level array is a collection of entities, not one entity: add
+    // each element as its own root.
+    for (const JsonValue& item : doc.items()) {
+      AddJson(item, options, builder);
+    }
+  } else {
+    AddJson(doc, options, builder);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace her

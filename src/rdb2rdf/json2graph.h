@@ -1,0 +1,78 @@
+#ifndef HER_RDB2RDF_JSON2GRAPH_H_
+#define HER_RDB2RDF_JSON2GRAPH_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace her {
+
+/// Minimal JSON document model (first future-work topic of Section VIII:
+/// "extend HER to other data formats such as JSON"). Supports objects,
+/// arrays, strings, numbers, booleans and null; parsed by a from-scratch
+/// recursive-descent parser (no dependencies).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::map<std::string, JsonValue> fields);
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_scalar() const {
+    return type_ != Type::kObject && type_ != Type::kArray;
+  }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& items() const { return array_; }
+  const std::map<std::string, JsonValue>& fields() const { return object_; }
+
+  /// Scalar rendered as a label string ("true", "3.5", the raw string,
+  /// "null").
+  std::string ScalarLabel() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a JSON document. Rejects trailing garbage.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Conversion options for JSON -> graph.
+struct Json2GraphOptions {
+  /// Object field whose string value becomes the vertex's label ("the
+  /// type"); objects without it get `default_label`.
+  std::string type_field = "type";
+  std::string default_label = "object";
+};
+
+/// Converts a JSON document into a labeled graph along RDB2RDF's lines:
+/// each object becomes a vertex (labeled by its type field), each scalar
+/// field becomes an attribute vertex connected by a field-named edge,
+/// nested objects become field-named edges to their vertices, and arrays
+/// fan out one edge per element. The result plugs into HER as either side.
+Result<Graph> JsonToGraph(std::string_view json,
+                          const Json2GraphOptions& options = {});
+
+}  // namespace her
+
+#endif  // HER_RDB2RDF_JSON2GRAPH_H_

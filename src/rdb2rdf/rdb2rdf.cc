@@ -1,0 +1,68 @@
+#include "rdb2rdf/rdb2rdf.h"
+
+namespace her {
+
+std::optional<TupleRef> CanonicalGraph::TupleOf(VertexId v) const {
+  auto it = vertex_tuple_.find(v);
+  if (it == vertex_tuple_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<VertexId> CanonicalGraph::TupleVertices() const {
+  std::vector<VertexId> out;
+  for (const auto& rel : tuple_vertex_) {
+    out.insert(out.end(), rel.begin(), rel.end());
+  }
+  return out;
+}
+
+Result<CanonicalGraph> Rdb2Rdf(const Database& db) {
+  CanonicalGraph cg;
+  GraphBuilder builder;
+
+  // Pass 1: one vertex per tuple, labeled with the relation name.
+  cg.tuple_vertex_.resize(db.num_relations());
+  for (uint32_t ri = 0; ri < db.num_relations(); ++ri) {
+    const Relation& rel = db.relation(ri);
+    cg.tuple_vertex_[ri].reserve(rel.size());
+    for (uint32_t row = 0; row < rel.size(); ++row) {
+      const VertexId u = builder.AddVertex(rel.schema().name());
+      cg.tuple_vertex_[ri].push_back(u);
+      cg.vertex_tuple_.emplace(u, TupleRef{ri, row});
+    }
+  }
+
+  // Pass 2: attribute vertices and foreign-key edges.
+  for (uint32_t ri = 0; ri < db.num_relations(); ++ri) {
+    const Relation& rel = db.relation(ri);
+    const auto& attrs = rel.schema().attributes();
+    for (uint32_t row = 0; row < rel.size(); ++row) {
+      const Tuple& t = rel.tuple(row);
+      const VertexId u_t = cg.tuple_vertex_[ri][row];
+      for (size_t ai = 0; ai < attrs.size(); ++ai) {
+        const std::string& value = t.values[ai];
+        if (value == kNullValue) continue;  // nulls produce nothing
+        if (attrs[ai].is_foreign_key) {
+          const auto ref = db.ResolveForeignKey(ri, ai, value);
+          if (!ref) {
+            return Status::FailedPrecondition(
+                "dangling FK '" + value + "' in relation '" +
+                rel.schema().name() + "' attribute '" + attrs[ai].name + "'");
+          }
+          const LabelId label = builder.InternEdgeLabel(attrs[ai].name);
+          cg.foreign_key_labels_.insert(label);
+          builder.AddEdge(u_t, cg.tuple_vertex_[ref->relation][ref->row],
+                          label);
+        } else {
+          const VertexId u_ta = builder.AddVertex(value);
+          builder.AddEdge(u_t, u_ta, attrs[ai].name);
+        }
+      }
+    }
+  }
+
+  cg.graph_ = std::move(builder).Build();
+  return cg;
+}
+
+}  // namespace her

@@ -1,0 +1,63 @@
+#ifndef HER_RDB2RDF_RDB2RDF_H_
+#define HER_RDB2RDF_RDB2RDF_H_
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "relational/relational.h"
+
+namespace her {
+
+/// The canonical graph G_D = f_D(D) produced by the W3C RDB2RDF direct
+/// mapping (Section II of the paper), together with the 1-1 mapping f_D
+/// between tuples and vertices:
+///
+///  (1) each tuple t of relation schema R becomes a vertex u_t labeled R;
+///  (2) each non-null attribute A of t becomes a fresh vertex u_{t,A}
+///      labeled with the value t.A, connected by an edge (u_t, u_{t,A})
+///      labeled A;
+///  (3) each non-null foreign-key attribute A of t referencing tuple t'
+///      becomes an edge (u_t, u_{t'}) labeled A, recorded in
+///      foreign_key_labels (the paper's (A, gamma) label pair).
+class CanonicalGraph {
+ public:
+  const Graph& graph() const { return graph_; }
+
+  /// f_D: the vertex denoting tuple t.
+  VertexId VertexOf(TupleRef t) const {
+    return tuple_vertex_[t.relation][t.row];
+  }
+
+  /// f_D^{-1}: the tuple denoted by vertex v, if v is a tuple vertex
+  /// (attribute-value vertices map to nullopt).
+  std::optional<TupleRef> TupleOf(VertexId v) const;
+
+  /// All tuple vertices, in (relation, row) order.
+  std::vector<VertexId> TupleVertices() const;
+
+  /// True if `label` marks a foreign-key edge.
+  bool IsForeignKeyLabel(LabelId label) const {
+    return foreign_key_labels_.count(label) != 0;
+  }
+
+ private:
+  friend Result<CanonicalGraph> Rdb2Rdf(const Database& db);
+
+  Graph graph_;
+  std::vector<std::vector<VertexId>> tuple_vertex_;  // [relation][row]
+  std::unordered_map<VertexId, TupleRef> vertex_tuple_;
+  std::unordered_set<LabelId> foreign_key_labels_;
+};
+
+/// Applies the canonical mapping f_D to a whole database. Fails on dangling
+/// foreign keys (run Database::ValidateForeignKeys first for a precise
+/// error).
+Result<CanonicalGraph> Rdb2Rdf(const Database& db);
+
+}  // namespace her
+
+#endif  // HER_RDB2RDF_RDB2RDF_H_

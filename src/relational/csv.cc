@@ -1,0 +1,134 @@
+#include "relational/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace her {
+
+std::vector<std::string> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ',';
+    const std::string& f = fields[i];
+    if (f.find_first_of(",\"\n") != std::string::npos) {
+      out += '"';
+      for (const char c : f) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += f;
+    }
+  }
+  return out;
+}
+
+Status LoadRelationFromCsv(std::string_view csv_text, Relation* relation) {
+  std::istringstream in{std::string(csv_text)};
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  const auto header = ParseCsvLine(Trim(line));
+  const auto& attrs = relation->schema().attributes();
+  if (header.size() != attrs.size() + 1 || header[0] != "key") {
+    return Status::InvalidArgument("CSV header must be key,<attributes...>");
+  }
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (header[i + 1] != attrs[i].name) {
+      return Status::InvalidArgument("CSV header column '" + header[i + 1] +
+                                     "' does not match attribute '" +
+                                     attrs[i].name + "'");
+    }
+  }
+  size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    auto fields = ParseCsvLine(trimmed);
+    if (fields.size() != attrs.size() + 1) {
+      return Status::InvalidArgument("CSV line " + std::to_string(lineno) +
+                                     " has " + std::to_string(fields.size()) +
+                                     " fields, expected " +
+                                     std::to_string(attrs.size() + 1));
+    }
+    Tuple t;
+    t.key = std::move(fields[0]);
+    t.values.reserve(attrs.size());
+    for (size_t i = 1; i < fields.size(); ++i) {
+      t.values.push_back(fields[i].empty() ? std::string(kNullValue)
+                                           : std::move(fields[i]));
+    }
+    HER_RETURN_NOT_OK(relation->Insert(std::move(t)));
+  }
+  return Status::OK();
+}
+
+std::string RelationToCsv(const Relation& relation) {
+  std::string out;
+  std::vector<std::string> header = {"key"};
+  for (const auto& a : relation.schema().attributes()) header.push_back(a.name);
+  out += FormatCsvLine(header);
+  out += '\n';
+  for (const Tuple& t : relation.tuples()) {
+    std::vector<std::string> fields = {t.key};
+    for (const auto& v : t.values) {
+      fields.push_back(v == kNullValue ? "" : v);
+    }
+    out += FormatCsvLine(fields);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace her

@@ -1,0 +1,37 @@
+#ifndef HER_RELATIONAL_CSV_H_
+#define HER_RELATIONAL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relational.h"
+
+namespace her {
+
+/// Parses one CSV record (RFC-4180 quoting: "" escapes a quote inside a
+/// quoted field). Embedded newlines are not supported (records are lines).
+std::vector<std::string> ParseCsvLine(std::string_view line);
+
+/// Serializes fields into one CSV line, quoting when needed.
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+/// Loads tuples from CSV text into `relation`. The header row must list the
+/// schema's attribute names (exactly, in order) preceded by a "key" column:
+///   key,attr1,attr2,...
+/// Empty fields become kNullValue.
+Status LoadRelationFromCsv(std::string_view csv_text, Relation* relation);
+
+/// Writes the relation (with a leading key column) as CSV text.
+std::string RelationToCsv(const Relation& relation);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes a string to a file, truncating.
+Status WriteFile(const std::string& path, std::string_view content);
+
+}  // namespace her
+
+#endif  // HER_RELATIONAL_CSV_H_

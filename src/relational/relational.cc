@@ -1,0 +1,106 @@
+#include "relational/relational.h"
+
+#include <utility>
+
+namespace her {
+
+std::optional<size_t> RelationSchema::AttributeIndex(
+    std::string_view attr) const {
+  auto it = index_.find(std::string(attr));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status Relation::Insert(Tuple t) {
+  if (t.values.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(t.values.size()) +
+        " != schema arity " + std::to_string(schema_.arity()) +
+        " for relation " + schema_.name());
+  }
+  if (key_index_.count(t.key) != 0) {
+    return Status::AlreadyExists("duplicate tuple key '" + t.key +
+                                 "' in relation " + schema_.name());
+  }
+  key_index_.emplace(t.key, static_cast<uint32_t>(tuples_.size()));
+  tuples_.push_back(std::move(t));
+  return Status::OK();
+}
+
+std::optional<uint32_t> Relation::FindByKey(std::string_view key) const {
+  auto it = key_index_.find(std::string(key));
+  if (it == key_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<uint32_t> Database::AddRelation(RelationSchema schema) {
+  if (name_index_.count(schema.name()) != 0) {
+    return Status::AlreadyExists("relation '" + schema.name() +
+                                 "' already exists");
+  }
+  const auto idx = static_cast<uint32_t>(relations_.size());
+  name_index_.emplace(schema.name(), idx);
+  relations_.emplace_back(std::move(schema));
+  return idx;
+}
+
+std::optional<uint32_t> Database::FindRelation(std::string_view name) const {
+  auto it = name_index_.find(std::string(name));
+  if (it == name_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status Database::Insert(std::string_view relation_name, Tuple t) {
+  const auto idx = FindRelation(relation_name);
+  if (!idx) {
+    return Status::NotFound("no relation named '" + std::string(relation_name) +
+                            "'");
+  }
+  return relations_[*idx].Insert(std::move(t));
+}
+
+std::optional<TupleRef> Database::ResolveForeignKey(
+    uint32_t relation_idx, size_t attr_idx, std::string_view value) const {
+  const Relation& rel = relations_[relation_idx];
+  const AttributeDef& attr = rel.schema().attributes()[attr_idx];
+  if (!attr.is_foreign_key) return std::nullopt;
+  const auto ref_idx = FindRelation(attr.ref_relation);
+  if (!ref_idx) return std::nullopt;
+  const auto row = relations_[*ref_idx].FindByKey(value);
+  if (!row) return std::nullopt;
+  return TupleRef{*ref_idx, *row};
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const Relation& r : relations_) n += r.size();
+  return n;
+}
+
+Status Database::ValidateForeignKeys() const {
+  for (uint32_t ri = 0; ri < relations_.size(); ++ri) {
+    const Relation& rel = relations_[ri];
+    const auto& attrs = rel.schema().attributes();
+    for (size_t ai = 0; ai < attrs.size(); ++ai) {
+      if (!attrs[ai].is_foreign_key) continue;
+      if (!FindRelation(attrs[ai].ref_relation)) {
+        return Status::FailedPrecondition(
+            "FK attribute '" + attrs[ai].name + "' of relation '" +
+            rel.schema().name() + "' references unknown relation '" +
+            attrs[ai].ref_relation + "'");
+      }
+      for (const Tuple& t : rel.tuples()) {
+        const std::string& v = t.values[ai];
+        if (v == kNullValue) continue;
+        if (!ResolveForeignKey(ri, ai, v)) {
+          return Status::FailedPrecondition(
+              "dangling FK value '" + v + "' in relation '" +
+              rel.schema().name() + "' attribute '" + attrs[ai].name + "'");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace her

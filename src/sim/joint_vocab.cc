@@ -1,0 +1,53 @@
+#include "sim/joint_vocab.h"
+
+namespace her {
+
+JointVocab::JointVocab(const Graph& g1, const Graph& g2) {
+  map_.resize(2);
+  const Graph* graphs[2] = {&g1, &g2};
+  for (int gi = 0; gi < 2; ++gi) {
+    const LabelDict& dict = graphs[gi]->edge_labels();
+    map_[gi].resize(dict.size());
+    for (LabelId l = 0; l < dict.size(); ++l) {
+      const std::string& name = dict.Name(l);
+      auto it = index_.find(name);
+      if (it == index_.end()) {
+        it = index_.emplace(name, static_cast<int>(names_.size())).first;
+        names_.push_back(name);
+      }
+      map_[gi][l] = it->second;
+    }
+  }
+}
+
+int JointVocab::FindToken(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+Status JointVocab::RebindGraph(int graph, const Graph& g) {
+  const LabelDict& dict = g.edge_labels();
+  std::vector<int> remapped(dict.size());
+  for (LabelId l = 0; l < dict.size(); ++l) {
+    const int token = FindToken(dict.Name(l));
+    if (token < 0) {
+      return Status::FailedPrecondition(
+          "edge label '" + dict.Name(l) +
+          "' is not in the trained vocabulary; retrain instead of "
+          "incremental update");
+    }
+    remapped[l] = token;
+  }
+  map_[graph] = std::move(remapped);
+  return Status::OK();
+}
+
+std::vector<int> JointVocab::MapPath(int graph,
+                                     std::span<const LabelId> labels) const {
+  std::vector<int> out;
+  out.reserve(labels.size());
+  for (const LabelId l : labels) out.push_back(map_[graph][l]);
+  return out;
+}
+
+}  // namespace her

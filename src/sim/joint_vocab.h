@@ -1,0 +1,58 @@
+#ifndef HER_SIM_JOINT_VOCAB_H_
+#define HER_SIM_JOINT_VOCAB_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace her {
+
+/// A joint token space over the edge labels of two graphs (G_D and G).
+/// The two graphs intern labels independently; the ML models (SGNS, LSTM,
+/// metric MLP) need one shared vocabulary, keyed by label string, so that
+/// e.g. "isIn" gets the same token in both graphs. Token ids are dense in
+/// [0, size()); eos() is one extra token used by the LSTM ranker.
+class JointVocab {
+ public:
+  JointVocab(const Graph& g1, const Graph& g2);
+
+  size_t size() const { return names_.size(); }
+
+  /// Token of a per-graph edge label. `graph` is 0 for g1 and 1 for g2.
+  int TokenOf(int graph, LabelId label) const {
+    return map_[graph][label];
+  }
+
+  /// End-of-sentence token for the LSTM language model.
+  int eos() const { return static_cast<int>(names_.size()); }
+
+  /// Vocabulary size including the eos token.
+  size_t size_with_eos() const { return names_.size() + 1; }
+
+  const std::string& Name(int token) const { return names_[token]; }
+
+  /// Token of a label string, or -1 if neither graph uses it.
+  int FindToken(std::string_view name) const;
+
+  /// Re-derives the LabelId -> token mapping of one graph side against a
+  /// new graph version (incremental updates re-intern labels in a
+  /// different order). Every label name of the new version must already
+  /// be in the vocabulary — token ids are frozen once models are trained.
+  Status RebindGraph(int graph, const Graph& g);
+
+  /// Maps a per-graph label path to joint tokens.
+  std::vector<int> MapPath(int graph, std::span<const LabelId> labels) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<int>> map_;  // [graph][label] -> token
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace her
+
+#endif  // HER_SIM_JOINT_VOCAB_H_

@@ -1,0 +1,20 @@
+#ifndef HER_SIM_PARAMS_H_
+#define HER_SIM_PARAMS_H_
+
+namespace her {
+
+/// The thresholds of parametric simulation (Section III):
+///  - sigma: minimum vertex closeness h_v(u, v) for a candidate match;
+///  - delta: minimum aggregate path-association score of a lineage set;
+///  - k: number of important properties (top-k descendants) per vertex.
+/// Defaults are the paper's defaults for efficiency experiments
+/// (Section VII: sigma=0.8, delta=2.1, k=20).
+struct SimulationParams {
+  double sigma = 0.8;
+  double delta = 2.1;
+  int k = 20;
+};
+
+}  // namespace her
+
+#endif  // HER_SIM_PARAMS_H_

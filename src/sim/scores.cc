@@ -1,0 +1,194 @@
+#include "sim/scores.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "graph/traversal.h"
+
+namespace her {
+
+EmbeddingVertexScorer::EmbeddingVertexScorer(
+    const Graph& g1, const Graph& g2, const HashedTextEmbedder& embedder)
+    : EmbeddingVertexScorer(g1, g2, [&embedder](std::string_view label) {
+        return embedder.Embed(label);
+      }) {}
+
+EmbeddingVertexScorer::EmbeddingVertexScorer(
+    const Graph& g1, const Graph& g2,
+    const std::function<Vec(std::string_view)>& embed_fn) {
+  embeddings_.resize(2);
+  const Graph* graphs[2] = {&g1, &g2};
+  for (int gi = 0; gi < 2; ++gi) {
+    const Graph& g = *graphs[gi];
+    embeddings_[gi].reserve(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      embeddings_[gi].push_back(embed_fn(g.label(v)));
+    }
+  }
+}
+
+double EmbeddingVertexScorer::Score(VertexId u, VertexId v) const {
+  return CosineToUnit(Cosine(embeddings_[0][u], embeddings_[1][v]));
+}
+
+double JaccardVertexScorer::Score(VertexId u, VertexId v) const {
+  return TokenJaccard(g1_->label(u), g2_->label(v));
+}
+
+double MetricPathScorer::Score(std::span<const int> p1,
+                               std::span<const int> p2) const {
+  const Vec e1 = sgns_->EmbedSequence(p1);
+  const Vec e2 = sgns_->EmbedSequence(p2);
+  return metric_->Predict(PairFeatures(e1, e2));
+}
+
+double TokenOverlapPathScorer::Score(std::span<const int> p1,
+                                     std::span<const int> p2) const {
+  auto tokens_of = [&](std::span<const int> path) {
+    std::unordered_set<std::string> toks;
+    for (const int t : path) {
+      for (auto& w : WordTokens(vocab_->Name(t))) toks.insert(std::move(w));
+    }
+    return toks;
+  };
+  const auto ta = tokens_of(p1);
+  const auto tb = tokens_of(p2);
+  if (ta.empty() && tb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& t : ta) inter += tb.count(t);
+  const size_t uni = ta.size() + tb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+namespace {
+
+uint64_t HashTokenPath(std::span<const int> p) {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (const int t : p) h = HashCombine(h, static_cast<uint64_t>(t) + 1);
+  return h;
+}
+
+}  // namespace
+
+double CachingPathScorer::Score(std::span<const int> p1,
+                                std::span<const int> p2) const {
+  const uint64_t key = HashCombine(HashTokenPath(p1), HashTokenPath(p2));
+  Shard& shard = shards_[key % kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) return it->second;
+  }
+  const double score = inner_->Score(p1, p2);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(key, score);
+  }
+  return score;
+}
+
+size_t CachingPathScorer::CacheSize() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+std::vector<RankedProperty> PraRanker::TopK(int graph, VertexId v,
+                                            int k) const {
+  const Graph& g = *graphs_[graph];
+  auto paths = MaxPraPaths(g, v, max_len_);
+  std::vector<RankedProperty> out;
+  out.reserve(std::min<size_t>(paths.size(), static_cast<size_t>(k)));
+  for (auto& p : paths) {
+    if (static_cast<int>(out.size()) >= k) break;
+    out.push_back(RankedProperty{p.path.endpoint, std::move(p.path), p.pra});
+  }
+  return out;
+}
+
+std::vector<RankedProperty> LstmPraRanker::TopK(int graph, VertexId v,
+                                                int k) const {
+  const Graph& g = *graphs_[graph];
+  std::vector<RankedProperty> collected;
+
+  for (const Edge& first : g.OutEdges(v)) {
+    RankedProperty prop;
+    prop.path.labels.push_back(first.label);
+    prop.descendant = first.dst;
+    double pra = 1.0 / static_cast<double>(g.OutDegree(v));
+    std::unordered_set<VertexId> visited = {v, first.dst};
+
+    LstmLm::State state = lm_->InitialState();
+    Vec probs = lm_->StepProb(state, vocab_->TokenOf(graph, first.label));
+
+    while (prop.path.labels.size() < max_len_) {
+      const VertexId cur = prop.descendant;
+      // Candidate continuations, skipping edges that would form a cycle
+      // (condition (c) of Section IV).
+      const Edge* best_edge = nullptr;
+      double best_p = -1.0;
+      for (const Edge& e : g.OutEdges(cur)) {
+        if (visited.count(e.dst) != 0) continue;
+        const double p = probs[vocab_->TokenOf(graph, e.label)];
+        if (p > best_p) {
+          best_p = p;
+          best_edge = &e;
+        }
+      }
+      if (best_edge == nullptr) break;  // condition (b): no outward edge
+      // Condition (a): the model prefers to stop (<eos> outranks all
+      // feasible continuations).
+      const double eos_p = probs[vocab_->eos()];
+      if (eos_p >= best_p) break;
+
+      pra /= static_cast<double>(g.OutDegree(cur));
+      prop.path.labels.push_back(best_edge->label);
+      prop.descendant = best_edge->dst;
+      visited.insert(best_edge->dst);
+      probs = lm_->StepProb(state, vocab_->TokenOf(graph, best_edge->label));
+    }
+
+    prop.path.endpoint = prop.descendant;
+    prop.pra = pra;
+    collected.push_back(std::move(prop));
+  }
+
+  // h_r ranks DESCENDANTS (Section IV): the LM picks the preferred path
+  // per walk, but descendants it walked past (or stopped before) still
+  // compete for the top-k through their maximum-PRA paths. LM-chosen
+  // paths win ties for the same descendant.
+  std::unordered_set<VertexId> lm_endpoints;
+  for (const RankedProperty& p : collected) {
+    lm_endpoints.insert(p.descendant);
+  }
+  for (auto& extra : MaxPraPaths(g, v, max_len_)) {
+    if (lm_endpoints.count(extra.path.endpoint) != 0) continue;
+    RankedProperty prop;
+    prop.descendant = extra.path.endpoint;
+    prop.path = std::move(extra.path);
+    prop.pra = extra.pra;
+    collected.push_back(std::move(prop));
+  }
+
+  // Keep the best-PRA path per distinct descendant (V_u^k is a vertex set).
+  std::sort(collected.begin(), collected.end(),
+            [](const RankedProperty& a, const RankedProperty& b) {
+              if (a.pra != b.pra) return a.pra > b.pra;
+              return a.descendant < b.descendant;
+            });
+  std::vector<RankedProperty> out;
+  std::unordered_set<VertexId> seen;
+  for (auto& p : collected) {
+    if (static_cast<int>(out.size()) >= k) break;
+    if (!seen.insert(p.descendant).second) continue;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace her

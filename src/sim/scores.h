@@ -1,0 +1,186 @@
+#ifndef HER_SIM_SCORES_H_
+#define HER_SIM_SCORES_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ml/lstm.h"
+#include "ml/mlp.h"
+#include "ml/sgns.h"
+#include "ml/text_embedder.h"
+#include "sim/joint_vocab.h"
+
+namespace her {
+
+/// h_v: closeness of a vertex u of G_1 and a vertex v of G_2, in [0, 1]
+/// (Section III, Eq. 1). Implementations must be thread-safe.
+class VertexScorer {
+ public:
+  virtual ~VertexScorer() = default;
+  virtual double Score(VertexId u, VertexId v) const = 0;
+};
+
+/// M_v backed by precomputed label embeddings of every vertex of both
+/// graphs (the Sentence-BERT substitute): (|cos| + cos)/2 of the label
+/// embeddings.
+class EmbeddingVertexScorer : public VertexScorer {
+ public:
+  EmbeddingVertexScorer(const Graph& g1, const Graph& g2,
+                        const HashedTextEmbedder& embedder);
+
+  /// Same precomputation with an arbitrary label encoder (e.g. the
+  /// trained word embedder of Appendix I).
+  EmbeddingVertexScorer(
+      const Graph& g1, const Graph& g2,
+      const std::function<Vec(std::string_view)>& embed_fn);
+
+  double Score(VertexId u, VertexId v) const override;
+
+  /// Embedding of a vertex label; `graph` is 0 for g1, 1 for g2. Exposed
+  /// so baselines can reuse the precomputed matrix.
+  const Vec& EmbeddingOf(int graph, VertexId v) const {
+    return embeddings_[graph][v];
+  }
+
+ private:
+  std::vector<std::vector<Vec>> embeddings_;  // [graph][vertex]
+};
+
+/// Deterministic h_v for unit tests: token-set Jaccard of the two labels
+/// (1.0 for equal label strings).
+class JaccardVertexScorer : public VertexScorer {
+ public:
+  JaccardVertexScorer(const Graph& g1, const Graph& g2)
+      : g1_(&g1), g2_(&g2) {}
+  double Score(VertexId u, VertexId v) const override;
+
+ private:
+  const Graph* g1_;
+  const Graph* g2_;
+};
+
+/// M_rho: similarity in [0, 1] of two edge-label sequences, given as joint
+/// vocabulary tokens (Section IV, "Edge model"). Thread-safe.
+/// Note h_rho = Score / (len1 + len2) is applied by the caller (Eq. 2).
+class PathScorer {
+ public:
+  virtual ~PathScorer() = default;
+  virtual double Score(std::span<const int> p1,
+                       std::span<const int> p2) const = 0;
+};
+
+/// The paper's M_rho: SGNS path embeddings (BERT substitute) compared by a
+/// metric-learning MLP over pair features. Both models are borrowed (not
+/// owned) and must outlive the scorer.
+class MetricPathScorer : public PathScorer {
+ public:
+  MetricPathScorer(const SgnsModel* sgns, const Mlp* metric)
+      : sgns_(sgns), metric_(metric) {}
+
+  double Score(std::span<const int> p1,
+               std::span<const int> p2) const override;
+
+ private:
+  const SgnsModel* sgns_;
+  const Mlp* metric_;
+};
+
+/// Deterministic M_rho for unit tests and cold-start runs: word-token
+/// Jaccard of the concatenated label names ("made_in" vs
+/// "factorySite isIn isIn" share no tokens -> 0; "country" vs
+/// "brandCountry" share "country" -> 0.5).
+class TokenOverlapPathScorer : public PathScorer {
+ public:
+  explicit TokenOverlapPathScorer(const JointVocab* vocab) : vocab_(vocab) {}
+  double Score(std::span<const int> p1,
+               std::span<const int> p2) const override;
+
+ private:
+  const JointVocab* vocab_;
+};
+
+/// Memoizing decorator: M_rho is called with heavily repeated path pairs
+/// (every candidate pair sharing predicates), so a cache pays off. The
+/// cache is sharded by hash and lock-guarded; safe to share across threads,
+/// though the BSP workers typically own one each.
+class CachingPathScorer : public PathScorer {
+ public:
+  explicit CachingPathScorer(const PathScorer* inner) : inner_(inner) {}
+
+  double Score(std::span<const int> p1,
+               std::span<const int> p2) const override;
+
+  size_t CacheSize() const;
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    mutable std::unordered_map<uint64_t, double> map;
+  };
+  const PathScorer* inner_;
+  mutable Shard shards_[kShards];
+};
+
+/// One important property of a vertex, as selected by h_r: a descendant
+/// plus the path to it and the path's PRA score.
+struct RankedProperty {
+  VertexId descendant = kInvalidVertex;
+  PathRef path;  // labels are per-graph LabelIds
+  double pra = 0.0;
+};
+
+/// h_r: selects the top-k important properties of a vertex (Section IV,
+/// "Ranking function"). `graph` is 0 for G_1/G_D and 1 for G_2/G.
+/// Implementations must be thread-safe.
+class DescendantRanker {
+ public:
+  virtual ~DescendantRanker() = default;
+  virtual std::vector<RankedProperty> TopK(int graph, VertexId v,
+                                           int k) const = 0;
+};
+
+/// PRA-only ranker: enumerates the maximum-PRA path to every descendant
+/// within `max_len` hops and keeps the k best by PRA. This is the
+/// deterministic fallback used before the LSTM is trained, and the ablation
+/// point "h_r without the language model".
+class PraRanker : public DescendantRanker {
+ public:
+  PraRanker(const Graph& g1, const Graph& g2, size_t max_len = 4)
+      : graphs_{&g1, &g2}, max_len_(max_len) {}
+
+  std::vector<RankedProperty> TopK(int graph, VertexId v,
+                                   int k) const override;
+
+ private:
+  const Graph* graphs_[2];
+  size_t max_len_;
+};
+
+/// The paper's h_r: for each out-edge of v, extend a path greedily with the
+/// LSTM language model until it emits <eos>, dead-ends or would cycle; then
+/// rank the collected paths by PRA and keep the top k.
+class LstmPraRanker : public DescendantRanker {
+ public:
+  LstmPraRanker(const Graph& g1, const Graph& g2, const JointVocab* vocab,
+                const LstmLm* lm, size_t max_len = 4)
+      : graphs_{&g1, &g2}, vocab_(vocab), lm_(lm), max_len_(max_len) {}
+
+  std::vector<RankedProperty> TopK(int graph, VertexId v,
+                                   int k) const override;
+
+ private:
+  const Graph* graphs_[2];
+  const JointVocab* vocab_;
+  const LstmLm* lm_;
+  size_t max_len_;
+};
+
+}  // namespace her
+
+#endif  // HER_SIM_SCORES_H_

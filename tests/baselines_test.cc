@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/bsim.h"
+#include "baselines/deep_matcher.h"
+#include "baselines/jedai.h"
+#include "baselines/lexical.h"
+#include "baselines/magellan.h"
+#include "baselines/magnn.h"
+#include "learn/metrics.h"
+
+namespace her {
+namespace {
+
+/// Shared small dataset + split; baselines train fast so one fixture does.
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSpec spec = UkgovSpec(71);
+    spec.num_entities = 100;
+    spec.annotations_per_class = 80;
+    data_ = new GeneratedDataset(Generate(spec));
+    split_ = new AnnotationSplit(SplitAnnotations(data_->annotations));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete split_;
+    data_ = nullptr;
+    split_ = nullptr;
+  }
+
+  static double TestF1(Baseline& b) {
+    b.Train({&data_->canonical, &data_->g}, split_->train);
+    return EvaluatePredictor(split_->test,
+                             [&](VertexId u, VertexId v) {
+                               return b.Predict(u, v);
+                             })
+        .F1();
+  }
+
+  static GeneratedDataset* data_;
+  static AnnotationSplit* split_;
+};
+
+GeneratedDataset* BaselinesTest::data_ = nullptr;
+AnnotationSplit* BaselinesTest::split_ = nullptr;
+
+TEST_F(BaselinesTest, FlattenVertexContainsNeighborhood) {
+  const auto& [t, v] = data_->true_matches.front();
+  const std::string doc = FlattenVertex(data_->g, v, 2);
+  EXPECT_NE(doc.find("item"), std::string::npos);
+  // 2-hop reaches the brand's attributes through brandName.
+  EXPECT_NE(doc.find("brandName"), std::string::npos);
+  (void)t;
+}
+
+TEST_F(BaselinesTest, ChildValuesAreDirectOnly) {
+  const VertexId u = data_->canonical.TupleVertices().front();
+  const auto vals = ChildValues(data_->canonical.graph(), u);
+  EXPECT_FALSE(vals.empty());
+  EXPECT_LE(vals.size(), 8u);
+}
+
+TEST_F(BaselinesTest, JedaiBeatsChance) {
+  JedaiBaseline b;
+  EXPECT_GE(TestF1(b), 0.6);
+}
+
+TEST_F(BaselinesTest, MagellanBeatsChance) {
+  MagellanBaseline b;
+  EXPECT_GE(TestF1(b), 0.6);
+}
+
+TEST_F(BaselinesTest, DeepBeatsChance) {
+  DeepBaseline b;
+  EXPECT_GE(TestF1(b), 0.55);
+}
+
+TEST_F(BaselinesTest, MagnnBeatsChance) {
+  MagnnBaseline b;
+  EXPECT_GE(TestF1(b), 0.6);
+}
+
+TEST_F(BaselinesTest, SpellCheckerBeatsLexmaOnTypos) {
+  DatasetSpec spec = ToughTablesSpec(72);
+  spec.num_entities = 100;
+  spec.annotations_per_class = 80;
+  const GeneratedDataset tough = Generate(spec);
+  const AnnotationSplit split = SplitAnnotations(tough.annotations);
+  LexmaBaseline lexma;
+  SpellCheckCellBaseline spell;
+  const BaselineInput in{&tough.canonical, &tough.g};
+  lexma.Train(in, split.train);
+  spell.Train(in, split.train);
+  const double f_lexma =
+      EvaluatePredictor(split.test, [&](VertexId u, VertexId v) {
+        return lexma.Predict(u, v);
+      }).F1();
+  const double f_spell =
+      EvaluatePredictor(split.test, [&](VertexId u, VertexId v) {
+        return spell.Predict(u, v);
+      }).F1();
+  EXPECT_GT(f_spell, f_lexma);
+  EXPECT_GE(f_spell, 0.7);
+}
+
+TEST_F(BaselinesTest, BsimRunsAtSmallScale) {
+  BsimBaseline b;
+  b.Train({&data_->canonical, &data_->g}, split_->train);
+  EXPECT_FALSE(b.out_of_memory());
+  // Bounded simulation is too strict for heterogeneous entities: recall
+  // collapses (the paper reports OM at their scale; at ours it runs and
+  // matches almost nothing).
+  const Confusion c =
+      EvaluatePredictor(split_->test, [&](VertexId u, VertexId v) {
+        return b.Predict(u, v);
+      });
+  EXPECT_LE(c.F1(), 0.5);
+}
+
+TEST_F(BaselinesTest, BsimReportsOmUnderTightLimit) {
+  BsimBaseline b(/*sigma=*/0.8, /*bound=*/2, /*memory_limit_bytes=*/1024);
+  b.Train({&data_->canonical, &data_->g}, split_->train);
+  EXPECT_TRUE(b.out_of_memory());
+  EXPECT_GT(b.estimated_bytes(), 1024u);
+  EXPECT_FALSE(b.Predict(0, 0));  // degraded gracefully
+}
+
+TEST_F(BaselinesTest, LexmaHasLowPrecision) {
+  LexmaBaseline b;
+  b.Train({&data_->canonical, &data_->g}, split_->train);
+  const Confusion c =
+      EvaluatePredictor(split_->test, [&](VertexId u, VertexId v) {
+        return b.Predict(u, v);
+      });
+  // Independent cell matches hit shared values (colors, categories) of
+  // non-matching entities (the paper's critique).
+  EXPECT_LT(c.Precision(), 0.8);
+}
+
+TEST_F(BaselinesTest, VPairDriverFiltersCandidates) {
+  JedaiBaseline b;
+  b.Train({&data_->canonical, &data_->g}, split_->train);
+  const auto& [t, v_true] = data_->true_matches.front();
+  const VertexId u = data_->canonical.VertexOf(t);
+  std::vector<VertexId> candidates;
+  for (VertexId v = 0; v < data_->g.num_vertices(); ++v) {
+    if (data_->g.label(v) == "item") candidates.push_back(v);
+  }
+  const auto matches = b.VPair(u, candidates);
+  for (const VertexId v : matches) {
+    EXPECT_TRUE(b.Predict(u, v));
+  }
+}
+
+TEST_F(BaselinesTest, NamesAreDistinct) {
+  std::vector<std::unique_ptr<Baseline>> all;
+  all.push_back(std::make_unique<MagnnBaseline>());
+  all.push_back(std::make_unique<BsimBaseline>());
+  all.push_back(std::make_unique<JedaiBaseline>());
+  all.push_back(std::make_unique<MagellanBaseline>());
+  all.push_back(std::make_unique<DeepBaseline>());
+  all.push_back(std::make_unique<LexmaBaseline>());
+  all.push_back(std::make_unique<SpellCheckCellBaseline>());
+  std::set<std::string> names;
+  for (const auto& b : all) names.insert(b->name());
+  EXPECT_EQ(names.size(), all.size());
+}
+
+}  // namespace
+}  // namespace her

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+#include "datagen/dataset.h"
+#include "datagen/words.h"
+
+namespace her {
+namespace {
+
+TEST(WordMakerTest, DeterministicGivenRng) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(WordMaker::Word(a), WordMaker::Word(b));
+  EXPECT_EQ(WordMaker::Phrase(a, 3), WordMaker::Phrase(b, 3));
+}
+
+TEST(WordMakerTest, PhraseHasRequestedWords) {
+  Rng rng(1);
+  EXPECT_EQ(Split(WordMaker::Phrase(rng, 3), ' ').size(), 3u);
+}
+
+TEST(WordMakerTest, PlaceHasCodeSuffix) {
+  Rng rng(2);
+  const std::string p = WordMaker::Place(rng);
+  const auto comma = p.find(", ");
+  ASSERT_NE(comma, std::string::npos);
+  EXPECT_EQ(p.size() - comma - 2, 2u);  // two-letter code
+}
+
+TEST(ValueNoiseTest, AbbreviateKeepsPrefixWords) {
+  EXPECT_EQ(ValueNoise::Abbreviate("Dame Basketball Shoes D7", 2),
+            "Dame Basketball");
+  EXPECT_EQ(ValueNoise::Abbreviate("Short", 2), "Short");
+}
+
+TEST(ValueNoiseTest, TyposChangeString) {
+  Rng rng(3);
+  const std::string orig = "basketball shoes";
+  const std::string noisy = ValueNoise::Typos(orig, 3, rng);
+  EXPECT_NE(noisy, orig);
+  EXPECT_GE(NormalizedEditSimilarity(orig, noisy), 0.6);
+}
+
+TEST(ValueNoiseTest, ReorderRotatesWords) {
+  EXPECT_EQ(ValueNoise::Reorder("a b c"), "b c a");
+  EXPECT_EQ(ValueNoise::Reorder("single"), "single");
+}
+
+TEST(DatasetTest, DeterministicGivenSeed) {
+  DatasetSpec spec = UkgovSpec(123);
+  spec.num_entities = 30;
+  const GeneratedDataset a = Generate(spec);
+  const GeneratedDataset b = Generate(spec);
+  EXPECT_EQ(a.g.num_vertices(), b.g.num_vertices());
+  EXPECT_EQ(a.g.num_edges(), b.g.num_edges());
+  ASSERT_EQ(a.annotations.size(), b.annotations.size());
+  for (size_t i = 0; i < a.annotations.size(); ++i) {
+    EXPECT_EQ(a.annotations[i].u, b.annotations[i].u);
+    EXPECT_EQ(a.annotations[i].v, b.annotations[i].v);
+    EXPECT_EQ(a.annotations[i].is_match, b.annotations[i].is_match);
+  }
+}
+
+TEST(DatasetTest, ForeignKeysValid) {
+  DatasetSpec spec = UkgovSpec();
+  spec.num_entities = 40;
+  const GeneratedDataset data = Generate(spec);
+  EXPECT_TRUE(data.db.ValidateForeignKeys().ok());
+}
+
+TEST(DatasetTest, AnnotationsBalancedAndValid) {
+  DatasetSpec spec = DbpediaSpec();
+  spec.num_entities = 60;
+  spec.annotations_per_class = 40;
+  const GeneratedDataset data = Generate(spec);
+  size_t pos = 0;
+  for (const Annotation& a : data.annotations) {
+    pos += a.is_match;
+    EXPECT_LT(a.u, data.canonical.graph().num_vertices());
+    EXPECT_LT(a.v, data.g.num_vertices());
+    // u is a tuple vertex of the item relation; v an item entity vertex.
+    EXPECT_EQ(data.canonical.graph().label(a.u), "item");
+    EXPECT_EQ(data.g.label(a.v), "item");
+  }
+  EXPECT_EQ(pos * 2, data.annotations.size());  // match ratio 1 (paper)
+}
+
+TEST(DatasetTest, TrueMatchesAgreeWithPositiveAnnotations) {
+  DatasetSpec spec = UkgovSpec();
+  spec.num_entities = 50;
+  const GeneratedDataset data = Generate(spec);
+  std::set<std::pair<VertexId, VertexId>> truth;
+  for (const auto& [t, v] : data.true_matches) {
+    truth.emplace(data.canonical.VertexOf(t), v);
+  }
+  for (const Annotation& a : data.annotations) {
+    EXPECT_EQ(truth.count({a.u, a.v}) > 0, a.is_match);
+  }
+}
+
+TEST(DatasetTest, UnmatchedTupleRatioRespected) {
+  DatasetSpec spec = UkgovSpec(7);
+  spec.num_entities = 200;
+  spec.unmatched_tuple_ratio = 0.3;
+  const GeneratedDataset data = Generate(spec);
+  const size_t matched = data.true_matches.size();
+  EXPECT_LT(matched, 200u * 80 / 100);
+  EXPECT_GT(matched, 200u * 55 / 100);
+}
+
+TEST(DatasetTest, DistractorsHaveNoTuples) {
+  DatasetSpec spec = UkgovSpec(8);
+  spec.num_entities = 50;
+  spec.distractor_ratio = 1.0;
+  const GeneratedDataset data = Generate(spec);
+  size_t item_vertices = 0;
+  for (VertexId v = 0; v < data.g.num_vertices(); ++v) {
+    if (data.g.label(v) == "item") ++item_vertices;
+  }
+  // ~50 matched + 50 distractors (minus unmatched-tuple entities which
+  // never get vertices).
+  EXPECT_GT(item_vertices, data.true_matches.size());
+}
+
+TEST(DatasetTest, ToughTablesHasTypos) {
+  // Average label similarity between matched entity names should be lower
+  // for 2T than for UKGOV (its defining property).
+  auto avg_name_sim = [](const GeneratedDataset& data) {
+    double sum = 0;
+    size_t n = 0;
+    for (const auto& [t, v] : data.true_matches) {
+      const VertexId u = data.canonical.VertexOf(t);
+      // Find the "name" child on both sides.
+      std::string rel_name, g_name;
+      for (const Edge& e : data.canonical.graph().OutEdges(u)) {
+        if (data.canonical.graph().EdgeLabelName(e.label) == "name") {
+          rel_name = data.canonical.graph().label(e.dst);
+        }
+      }
+      for (const Edge& e : data.g.OutEdges(v)) {
+        if (data.g.EdgeLabelName(e.label) == "names") {
+          g_name = data.g.label(e.dst);
+        }
+      }
+      if (rel_name.empty() || g_name.empty()) continue;
+      sum += NormalizedEditSimilarity(rel_name, g_name);
+      ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  };
+  DatasetSpec clean = UkgovSpec(4);
+  clean.num_entities = 80;
+  DatasetSpec tough = ToughTablesSpec(4);
+  tough.num_entities = 80;
+  EXPECT_GT(avg_name_sim(Generate(clean)), avg_name_sim(Generate(tough)));
+}
+
+TEST(DatasetTest, FbwikiHasDeeperPaths) {
+  DatasetSpec spec = FbwikiSpec(5);
+  spec.num_entities = 60;
+  const GeneratedDataset data = Generate(spec);
+  // Deep made_in chains: some isIn vertex must itself have an isIn edge.
+  const LabelId isin = data.g.edge_labels().Find("isIn");
+  ASSERT_NE(isin, kInvalidLabel);
+  bool two_hop = false;
+  for (VertexId v = 0; v < data.g.num_vertices() && !two_hop; ++v) {
+    for (const Edge& e : data.g.OutEdges(v)) {
+      if (e.label != isin) continue;
+      for (const Edge& e2 : data.g.OutEdges(e.dst)) {
+        if (e2.label == isin) two_hop = true;
+      }
+    }
+  }
+  EXPECT_TRUE(two_hop);
+}
+
+TEST(DatasetTest, PathPairsCoverFkPaths) {
+  const GeneratedDataset data = Generate(ScalingSpec(30));
+  bool has_multi_hop_positive = false;
+  for (const PathPairExample& p : data.path_pairs) {
+    if (p.match && p.g_path.size() >= 3) has_multi_hop_positive = true;
+    EXPECT_FALSE(p.rel_path.empty());
+    EXPECT_FALSE(p.g_path.empty());
+  }
+  EXPECT_TRUE(has_multi_hop_positive);
+}
+
+TEST(DatasetTest, ScalingSpecGrowsLinearly) {
+  const GeneratedDataset small = Generate(ScalingSpec(50, 9));
+  const GeneratedDataset large = Generate(ScalingSpec(200, 9));
+  EXPECT_GT(large.g.num_vertices(), 3 * small.g.num_vertices());
+  EXPECT_GT(large.db.TotalTuples(), 3 * small.db.TotalTuples());
+}
+
+TEST(DatasetTest, TableVSpecsAreTheFiveProfiles) {
+  const auto specs = TableVSpecs();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "UKGOV");
+  EXPECT_EQ(specs[4].name, "FBWIKI");
+}
+
+}  // namespace
+}  // namespace her

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "relational/csv.h"
+#include "relational/relational.h"
+
+namespace her {
+namespace {
+
+RelationSchema BrandSchema() {
+  return RelationSchema("brand", {{"name", false, ""},
+                                  {"country", false, ""},
+                                  {"manufacturer", false, ""},
+                                  {"made_in", false, ""}});
+}
+
+RelationSchema ItemSchema() {
+  return RelationSchema("item", {{"item", false, ""},
+                                 {"material", false, ""},
+                                 {"color", false, ""},
+                                 {"type", false, ""},
+                                 {"brand", true, "brand"},
+                                 {"qty", false, ""}});
+}
+
+Database PaperTables() {
+  Database db;
+  EXPECT_TRUE(db.AddRelation(BrandSchema()).ok());
+  EXPECT_TRUE(db.AddRelation(ItemSchema()).ok());
+  EXPECT_TRUE(db.Insert("brand", {"b1",
+                                  {"Addidas Originals", "Germany",
+                                   "Addidas AG", "Can Duoc, VN"}})
+                  .ok());
+  EXPECT_TRUE(db.Insert("brand", {"b2",
+                                  {"Addidas", "Germany", "Addidas AG",
+                                   "Long An, Vietnam"}})
+                  .ok());
+  EXPECT_TRUE(db.Insert("item", {"t1",
+                                 {"Dame Basketball Shoes D7", "phylon foam",
+                                  "white", "Dame 7", "b1", "500"}})
+                  .ok());
+  EXPECT_TRUE(db.Insert("item", {"t3",
+                                 {"Mid-cut Basketball Shoes Ultra Comfortable",
+                                  "phylon foam", "red", std::string(kNullValue),
+                                  "b2", "200"}})
+                  .ok());
+  return db;
+}
+
+TEST(SchemaTest, AttributeIndex) {
+  const RelationSchema s = ItemSchema();
+  EXPECT_EQ(s.arity(), 6u);
+  EXPECT_EQ(s.AttributeIndex("color").value(), 2u);
+  EXPECT_FALSE(s.AttributeIndex("nope").has_value());
+}
+
+TEST(RelationTest, InsertRejectsArityMismatch) {
+  Relation r(BrandSchema());
+  const Status s = r.Insert({"k", {"only", "three", "values"}});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, InsertRejectsDuplicateKey) {
+  Relation r(BrandSchema());
+  EXPECT_TRUE(r.Insert({"k", {"a", "b", "c", "d"}}).ok());
+  EXPECT_EQ(r.Insert({"k", {"a", "b", "c", "d"}}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RelationTest, FindByKey) {
+  Relation r(BrandSchema());
+  ASSERT_TRUE(r.Insert({"b1", {"a", "b", "c", "d"}}).ok());
+  EXPECT_EQ(r.FindByKey("b1").value(), 0u);
+  EXPECT_FALSE(r.FindByKey("b9").has_value());
+}
+
+TEST(DatabaseTest, AddRelationRejectsDuplicates) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(BrandSchema()).ok());
+  EXPECT_EQ(db.AddRelation(BrandSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, InsertIntoUnknownRelationFails) {
+  Database db;
+  EXPECT_EQ(db.Insert("ghost", {"k", {}}).code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, ResolveForeignKey) {
+  const Database db = PaperTables();
+  const auto item_idx = db.FindRelation("item").value();
+  const auto attr = db.relation(item_idx).schema().AttributeIndex("brand");
+  const auto ref = db.ResolveForeignKey(item_idx, *attr, "b1");
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->relation, db.FindRelation("brand").value());
+  const Tuple& t = db.relation(ref->relation).tuple(ref->row);
+  EXPECT_EQ(t.values[0], "Addidas Originals");
+}
+
+TEST(DatabaseTest, ResolveNonFkAttributeReturnsNothing) {
+  const Database db = PaperTables();
+  const auto item_idx = db.FindRelation("item").value();
+  EXPECT_FALSE(db.ResolveForeignKey(item_idx, 0, "Dame").has_value());
+}
+
+TEST(DatabaseTest, ValidateForeignKeysOk) {
+  const Database db = PaperTables();
+  EXPECT_TRUE(db.ValidateForeignKeys().ok());
+}
+
+TEST(DatabaseTest, ValidateForeignKeysCatchesDangling) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(BrandSchema()).ok());
+  ASSERT_TRUE(db.AddRelation(ItemSchema()).ok());
+  ASSERT_TRUE(db.Insert("item", {"t1",
+                                 {"x", "y", "z", "w", "missing_brand", "1"}})
+                  .ok());
+  EXPECT_EQ(db.ValidateForeignKeys().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTest, NullForeignKeyAllowed) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(BrandSchema()).ok());
+  ASSERT_TRUE(db.AddRelation(ItemSchema()).ok());
+  ASSERT_TRUE(db.Insert("item", {"t1",
+                                 {"x", "y", "z", "w", std::string(kNullValue),
+                                  "1"}})
+                  .ok());
+  EXPECT_TRUE(db.ValidateForeignKeys().ok());
+}
+
+TEST(DatabaseTest, TotalTuples) {
+  const Database db = PaperTables();
+  EXPECT_EQ(db.TotalTuples(), 4u);
+}
+
+TEST(CsvTest, ParseSimpleLine) {
+  const auto f = ParseCsvLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(CsvTest, ParseQuotedField) {
+  const auto f = ParseCsvLine(R"(a,"x, y",c)");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "x, y");
+}
+
+TEST(CsvTest, ParseEscapedQuote) {
+  const auto f = ParseCsvLine(R"("he said ""hi""",b)");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "he said \"hi\"");
+}
+
+TEST(CsvTest, FormatRoundTrips) {
+  const std::vector<std::string> fields = {"plain", "with, comma",
+                                           "with \"quote\""};
+  const auto parsed = ParseCsvLine(FormatCsvLine(fields));
+  EXPECT_EQ(parsed, fields);
+}
+
+TEST(CsvTest, LoadRelationRoundTrip) {
+  Relation r(BrandSchema());
+  ASSERT_TRUE(
+      r.Insert({"b1", {"Addidas Originals", "Germany", "Addidas AG",
+                       "Can Duoc, VN"}})
+          .ok());
+  ASSERT_TRUE(r.Insert({"b2", {"Addidas", "Germany", "Addidas AG",
+                               std::string(kNullValue)}})
+                  .ok());
+  const std::string csv = RelationToCsv(r);
+  Relation r2(BrandSchema());
+  ASSERT_TRUE(LoadRelationFromCsv(csv, &r2).ok());
+  ASSERT_EQ(r2.size(), 2u);
+  EXPECT_EQ(r2.tuple(0).values[3], "Can Duoc, VN");
+  EXPECT_EQ(r2.tuple(1).values[3], kNullValue);
+}
+
+TEST(CsvTest, LoadRejectsBadHeader) {
+  Relation r(BrandSchema());
+  EXPECT_EQ(LoadRelationFromCsv("wrong,header\n", &r).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, LoadRejectsWrongFieldCount) {
+  Relation r(BrandSchema());
+  const std::string csv = "key,name,country,manufacturer,made_in\nb1,a,b\n";
+  EXPECT_EQ(LoadRelationFromCsv(csv, &r).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace her

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "core/drivers.h"
+#include "core/match_engine.h"
+#include "graph/graph_io.h"
+#include "rdb2rdf/json2graph.h"
+#include "relational/csv.h"
+#include "tests/test_util.h"
+
+namespace her {
+namespace {
+
+using testutil::ContextHarness;
+using testutil::ItemRoots;
+using testutil::RandomEntityGraphs;
+
+/// The Section V strategies are pure optimizations: switching them off
+/// must never change Pi.
+class StrategyInvarianceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrategyInvarianceTest, EarlyTerminationDoesNotChangeResults) {
+  auto [g1, g2] = RandomEntityGraphs(GetParam(), 8);
+  ContextHarness a(Graph(g1), Graph(g2), {.sigma = 0.99, .delta = 0.9, .k = 4});
+  ContextHarness b(Graph(g1), Graph(g2), {.sigma = 0.99, .delta = 0.9, .k = 4});
+  b.ctx.enable_early_termination = false;
+  MatchEngine ea(a.ctx);
+  MatchEngine eb(b.ctx);
+  const auto roots_a = ItemRoots(a.g1);
+  EXPECT_EQ(AllParaMatch(ea, roots_a), AllParaMatch(eb, roots_a));
+}
+
+TEST_P(StrategyInvarianceTest, DegreeSortDoesNotChangeResults) {
+  auto [g1, g2] = RandomEntityGraphs(GetParam() ^ 0x5a5a, 8);
+  ContextHarness a(Graph(g1), Graph(g2), {.sigma = 0.99, .delta = 0.9, .k = 4});
+  ContextHarness b(Graph(g1), Graph(g2), {.sigma = 0.99, .delta = 0.9, .k = 4});
+  b.ctx.enable_degree_sort = false;
+  MatchEngine ea(a.ctx);
+  MatchEngine eb(b.ctx);
+  const auto roots_a = ItemRoots(a.g1);
+  EXPECT_EQ(AllParaMatch(ea, roots_a), AllParaMatch(eb, roots_a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyInvarianceTest,
+                         ::testing::Values(61, 62, 63, 64, 65, 66));
+
+/// Parsers must reject or accept random garbage without crashing.
+class FuzzSmokeTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static std::string RandomBytes(Rng& rng, size_t max_len) {
+    std::string s;
+    const size_t n = rng.Below(max_len + 1);
+    for (size_t i = 0; i < n; ++i) {
+      s += static_cast<char>(rng.Below(96) + 32);  // printable-ish
+    }
+    return s;
+  }
+
+  static std::string RandomStructured(Rng& rng, size_t max_len) {
+    // Garbage biased toward structural characters to reach deep parser
+    // states.
+    const char* pool = "{}[]\",:\\ntrue false0123456789.eE+-VE ";
+    std::string s;
+    const size_t n = rng.Below(max_len + 1);
+    const size_t pool_len = std::char_traits<char>::length(pool);
+    for (size_t i = 0; i < n; ++i) {
+      s += pool[rng.Below(pool_len)];
+    }
+    return s;
+  }
+};
+
+TEST_P(FuzzSmokeTest, JsonParserNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 400; ++i) {
+    (void)ParseJson(RandomBytes(rng, 64));
+    (void)ParseJson(RandomStructured(rng, 64));
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzSmokeTest, CsvParserNeverCrashes) {
+  Rng rng(GetParam() ^ 0xc5);
+  for (int i = 0; i < 400; ++i) {
+    (void)ParseCsvLine(RandomBytes(rng, 96));
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzSmokeTest, GraphLoaderNeverCrashes) {
+  Rng rng(GetParam() ^ 0x61);
+  for (int i = 0; i < 200; ++i) {
+    (void)GraphFromText(RandomBytes(rng, 128));
+    (void)GraphFromText("her-graph v1\n" + RandomStructured(rng, 128));
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzSmokeTest, LabelUnescapeNeverCrashes) {
+  Rng rng(GetParam() ^ 0x13);
+  for (int i = 0; i < 400; ++i) {
+    (void)UnescapeLabel(RandomBytes(rng, 48));
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSmokeTest, ::testing::Values(1, 2, 3, 4));
+
+/// Engine edge cases.
+TEST(EngineEdgeCaseTest, KLargerThanPropertyCount) {
+  GraphBuilder b1;
+  const VertexId u = b1.AddVertex("item");
+  b1.AddEdge(u, b1.AddVertex("white"), "color");
+  GraphBuilder b2;
+  const VertexId v = b2.AddVertex("item");
+  b2.AddEdge(v, b2.AddVertex("white"), "color");
+  ContextHarness h(std::move(b1).Build(), std::move(b2).Build(),
+                   {.sigma = 1.0, .delta = 0.4, .k = 1000});
+  MatchEngine e(h.ctx);
+  EXPECT_TRUE(e.Match(u, v));
+}
+
+TEST(EngineEdgeCaseTest, SelfLoopDoesNotHang) {
+  GraphBuilder b1;
+  const VertexId u = b1.AddVertex("item");
+  b1.AddEdge(u, u, "self");
+  b1.AddEdge(u, b1.AddVertex("white"), "color");
+  GraphBuilder b2;
+  const VertexId v = b2.AddVertex("item");
+  b2.AddEdge(v, v, "self");
+  b2.AddEdge(v, b2.AddVertex("white"), "color");
+  ContextHarness h(std::move(b1).Build(), std::move(b2).Build(),
+                   {.sigma = 1.0, .delta = 0.4, .k = 5});
+  MatchEngine e(h.ctx);
+  EXPECT_TRUE(e.Match(u, v));
+}
+
+TEST(EngineEdgeCaseTest, SigmaZeroAdmitsEverythingButDeltaStillGates) {
+  GraphBuilder b1;
+  const VertexId u = b1.AddVertex("a");
+  b1.AddEdge(u, b1.AddVertex("x"), "e");
+  GraphBuilder b2;
+  const VertexId v = b2.AddVertex("b");
+  b2.AddEdge(v, b2.AddVertex("y"), "f");
+  ContextHarness h(std::move(b1).Build(), std::move(b2).Build(),
+                   {.sigma = 0.0, .delta = 10.0, .k = 5});
+  MatchEngine e(h.ctx);
+  // sigma admits (a, b) but delta 10 is unreachable.
+  EXPECT_FALSE(e.Match(u, v));
+}
+
+TEST(EngineEdgeCaseTest, LeafUAgainstNonLeafVMatchesOnLabel) {
+  GraphBuilder b1;
+  const VertexId u = b1.AddVertex("item");  // leaf in G_D
+  GraphBuilder b2;
+  const VertexId v = b2.AddVertex("item");
+  b2.AddEdge(v, b2.AddVertex("white"), "color");
+  ContextHarness h(std::move(b1).Build(), std::move(b2).Build(),
+                   {.sigma = 1.0, .delta = 5.0, .k = 5});
+  MatchEngine e(h.ctx);
+  // Condition (b) applies only when u is not a leaf.
+  EXPECT_TRUE(e.Match(u, v));
+}
+
+TEST(EngineEdgeCaseTest, EmptyCandidateSpanIsFine) {
+  GraphBuilder b1;
+  const VertexId u = b1.AddVertex("item");
+  GraphBuilder b2;
+  b2.AddVertex("item");
+  ContextHarness h(std::move(b1).Build(), std::move(b2).Build(),
+                   {.sigma = 1.0, .delta = 0.4, .k = 5});
+  MatchEngine e(h.ctx);
+  EXPECT_TRUE(e.MatchCandidates(u, {}).empty());
+}
+
+}  // namespace
+}  // namespace her

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/joint_vocab.h"
+#include "sim/params.h"
+#include "sim/scores.h"
+
+namespace her {
+namespace {
+
+struct TwoGraphs {
+  Graph g1;
+  Graph g2;
+};
+
+TwoGraphs MakeGraphs() {
+  GraphBuilder b1;
+  const VertexId u0 = b1.AddVertex("item");
+  const VertexId u1 = b1.AddVertex("Germany");
+  const VertexId u2 = b1.AddVertex("white");
+  b1.AddEdge(u0, u1, "country");
+  b1.AddEdge(u0, u2, "color");
+
+  GraphBuilder b2;
+  const VertexId v0 = b2.AddVertex("item");
+  const VertexId v1 = b2.AddVertex("Germany");
+  const VertexId v2 = b2.AddVertex("White");
+  b2.AddEdge(v0, v1, "brandCountry");
+  b2.AddEdge(v0, v2, "hasColor");
+  b2.AddEdge(v1, v2, "country");  // shared label with g1
+
+  return {std::move(b1).Build(), std::move(b2).Build()};
+}
+
+TEST(JointVocabTest, SharedLabelsGetOneToken) {
+  const TwoGraphs tg = MakeGraphs();
+  const JointVocab vocab(tg.g1, tg.g2);
+  const LabelId c1 = tg.g1.edge_labels().Find("country");
+  const LabelId c2 = tg.g2.edge_labels().Find("country");
+  EXPECT_EQ(vocab.TokenOf(0, c1), vocab.TokenOf(1, c2));
+  // 5 distinct labels: country, color, brandCountry, hasColor (+ country shared).
+  EXPECT_EQ(vocab.size(), 4u);
+  EXPECT_EQ(vocab.eos(), 4);
+  EXPECT_EQ(vocab.size_with_eos(), 5u);
+}
+
+TEST(JointVocabTest, MapPathTranslatesLabels) {
+  const TwoGraphs tg = MakeGraphs();
+  const JointVocab vocab(tg.g1, tg.g2);
+  const LabelId c = tg.g1.edge_labels().Find("country");
+  const LabelId col = tg.g1.edge_labels().Find("color");
+  const auto mapped = vocab.MapPath(0, std::vector<LabelId>{c, col});
+  ASSERT_EQ(mapped.size(), 2u);
+  EXPECT_EQ(vocab.Name(mapped[0]), "country");
+  EXPECT_EQ(vocab.Name(mapped[1]), "color");
+}
+
+TEST(JaccardVertexScorerTest, ExactAndPartial) {
+  const TwoGraphs tg = MakeGraphs();
+  const JaccardVertexScorer hv(tg.g1, tg.g2);
+  EXPECT_DOUBLE_EQ(hv.Score(0, 0), 1.0);  // item ~ item
+  EXPECT_DOUBLE_EQ(hv.Score(1, 1), 1.0);  // Germany ~ Germany
+  EXPECT_DOUBLE_EQ(hv.Score(2, 2), 1.0);  // white ~ White (case-insensitive)
+  EXPECT_DOUBLE_EQ(hv.Score(1, 2), 0.0);
+}
+
+TEST(EmbeddingVertexScorerTest, AgreesWithEmbedderOnIdentity) {
+  const TwoGraphs tg = MakeGraphs();
+  const HashedTextEmbedder emb;
+  const EmbeddingVertexScorer hv(tg.g1, tg.g2, emb);
+  EXPECT_NEAR(hv.Score(0, 0), 1.0, 1e-6);
+  EXPECT_LT(hv.Score(1, 2), 0.5);
+}
+
+TEST(TokenOverlapPathScorerTest, PaperExamplePaths) {
+  const TwoGraphs tg = MakeGraphs();
+  const JointVocab vocab(tg.g1, tg.g2);
+  const TokenOverlapPathScorer mrho(&vocab);
+  const auto p1 = vocab.MapPath(
+      0, std::vector<LabelId>{tg.g1.edge_labels().Find("country")});
+  const auto p2 = vocab.MapPath(
+      1, std::vector<LabelId>{tg.g2.edge_labels().Find("brandCountry")});
+  // tokens {country} vs {brand, country}: jaccard 1/2.
+  EXPECT_DOUBLE_EQ(mrho.Score(p1, p2), 0.5);
+}
+
+TEST(CachingPathScorerTest, CachesAndAgrees) {
+  const TwoGraphs tg = MakeGraphs();
+  const JointVocab vocab(tg.g1, tg.g2);
+  const TokenOverlapPathScorer inner(&vocab);
+  const CachingPathScorer cached(&inner);
+  const auto p1 = vocab.MapPath(
+      0, std::vector<LabelId>{tg.g1.edge_labels().Find("country")});
+  const auto p2 = vocab.MapPath(
+      1, std::vector<LabelId>{tg.g2.edge_labels().Find("hasColor")});
+  const double a = cached.Score(p1, p2);
+  const double b = cached.Score(p1, p2);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a, inner.Score(p1, p2));
+  EXPECT_EQ(cached.CacheSize(), 1u);
+}
+
+TEST(MetricPathScorerTest, OutputsInUnitInterval) {
+  const TwoGraphs tg = MakeGraphs();
+  const JointVocab vocab(tg.g1, tg.g2);
+  SgnsModel sgns;
+  sgns.InitRandom(vocab.size_with_eos(), 8, 99);
+  Mlp metric({32, 16, 1}, 7);
+  const MetricPathScorer mrho(&sgns, &metric);
+  const std::vector<int> p1 = {0};
+  const std::vector<int> p2 = {1, 2};
+  const double s = mrho.Score(p1, p2);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(PraRankerTest, RanksByPraAndRespectsK) {
+  // root with children a (leaf), b -> c.
+  GraphBuilder b1;
+  const VertexId root = b1.AddVertex("root");
+  const VertexId a = b1.AddVertex("a");
+  const VertexId v_b = b1.AddVertex("b");
+  const VertexId c = b1.AddVertex("c");
+  b1.AddEdge(root, a, "ea");
+  b1.AddEdge(root, v_b, "eb");
+  b1.AddEdge(v_b, c, "ec");
+  const Graph g1 = std::move(b1).Build();
+  GraphBuilder b2;
+  b2.AddVertex("x");
+  const Graph g2 = std::move(b2).Build();
+
+  const PraRanker hr(g1, g2);
+  const auto top2 = hr.TopK(0, root, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  // Children have PRA 1/2; c has 1/2*1/1 = 1/2; tie-break by endpoint id
+  // keeps a and b first.
+  std::set<VertexId> ids = {top2[0].descendant, top2[1].descendant};
+  EXPECT_EQ(ids, (std::set<VertexId>{a, v_b}));
+  const auto top3 = hr.TopK(0, root, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[2].descendant, c);
+  EXPECT_EQ(top3[2].path.labels.size(), 2u);
+}
+
+TEST(PraRankerTest, LeafHasNoProperties) {
+  GraphBuilder b1;
+  b1.AddVertex("leaf");
+  const Graph g1 = std::move(b1).Build();
+  GraphBuilder b2;
+  b2.AddVertex("x");
+  const Graph g2 = std::move(b2).Build();
+  const PraRanker hr(g1, g2);
+  EXPECT_TRUE(hr.TopK(0, 0, 5).empty());
+}
+
+TEST(LstmPraRankerTest, StopsAtEosAndRanksByPra) {
+  // g: v -brandName-> n -follows-> deep. Train the LM so that after
+  // "brandName" it prefers <eos>, so the walk stops at n.
+  GraphBuilder b;
+  const VertexId v = b.AddVertex("item");
+  const VertexId n = b.AddVertex("Acme");
+  const VertexId deep = b.AddVertex("deep");
+  b.AddEdge(v, n, "brandName");
+  b.AddEdge(n, deep, "follows");
+  const Graph g = std::move(b).Build();
+  GraphBuilder b2;
+  b2.AddVertex("x");
+  const Graph g2 = std::move(b2).Build();
+
+  const JointVocab vocab(g, g2);
+  const int brand_tok = vocab.TokenOf(0, g.edge_labels().Find("brandName"));
+  // Training corpus: brandName <eos> (the paper's Example 6 behaviour).
+  std::vector<std::vector<int>> corpus(
+      50, std::vector<int>{brand_tok, vocab.eos()});
+  LstmLm lm;
+  LstmConfig cfg;
+  cfg.epochs = 20;
+  lm.Train(corpus, vocab.size_with_eos(), cfg);
+
+  const LstmPraRanker hr(g, g2, &vocab, &lm);
+  const auto props = hr.TopK(0, v, 5);
+  // The LM stopped at n (1-edge path); "deep" still competes as a
+  // descendant through its max-PRA path (h_r ranks descendants).
+  const auto it = std::find_if(props.begin(), props.end(),
+                               [&](const RankedProperty& p) {
+                                 return p.descendant == n;
+                               });
+  ASSERT_NE(it, props.end());
+  EXPECT_EQ(it->path.labels.size(), 1u);
+  // With k=1 only the best-PRA descendant survives: n (pra 1) beats deep.
+  const auto top1 = hr.TopK(0, v, 1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0].descendant, n);
+}
+
+TEST(LstmPraRankerTest, ContinuesWhenModelPrefersContinuation) {
+  // g: v -factorySite-> f -isIn-> country. Train LM on (factorySite, isIn,
+  // <eos>) so the walk extends one hop.
+  GraphBuilder b;
+  const VertexId v = b.AddVertex("brand");
+  const VertexId f = b.AddVertex("Can Duoc");
+  const VertexId country = b.AddVertex("VN");
+  b.AddEdge(v, f, "factorySite");
+  b.AddEdge(f, country, "isIn");
+  const Graph g = std::move(b).Build();
+  GraphBuilder b2;
+  b2.AddVertex("x");
+  const Graph g2 = std::move(b2).Build();
+
+  const JointVocab vocab(g, g2);
+  const int fs = vocab.TokenOf(0, g.edge_labels().Find("factorySite"));
+  const int isin = vocab.TokenOf(0, g.edge_labels().Find("isIn"));
+  std::vector<std::vector<int>> corpus(
+      50, std::vector<int>{fs, isin, vocab.eos()});
+  LstmLm lm;
+  LstmConfig cfg;
+  cfg.epochs = 20;
+  lm.Train(corpus, vocab.size_with_eos(), cfg);
+
+  const LstmPraRanker hr(g, g2, &vocab, &lm);
+  const auto props = hr.TopK(0, v, 5);
+  // The walk continued through f to country; f itself is still ranked as
+  // a descendant via its own (1-edge) path.
+  const auto it = std::find_if(props.begin(), props.end(),
+                               [&](const RankedProperty& p) {
+                                 return p.descendant == country;
+                               });
+  ASSERT_NE(it, props.end());
+  EXPECT_EQ(it->path.labels.size(), 2u);
+}
+
+TEST(SimulationParamsTest, PaperDefaults) {
+  const SimulationParams p;
+  EXPECT_DOUBLE_EQ(p.sigma, 0.8);
+  EXPECT_DOUBLE_EQ(p.delta, 2.1);
+  EXPECT_EQ(p.k, 20);
+}
+
+}  // namespace
+}  // namespace her

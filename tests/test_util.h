@@ -1,0 +1,101 @@
+#ifndef HER_TESTS_TEST_UTIL_H_
+#define HER_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/match_context.h"
+#include "core/match_engine.h"
+
+namespace her::testutil {
+
+/// Owns a MatchContext over two graphs with the deterministic test scorers
+/// (token-Jaccard h_v, token-overlap M_rho, PRA-only h_r).
+struct ContextHarness {
+  ContextHarness(Graph a, Graph b, SimulationParams params)
+      : g1(std::move(a)), g2(std::move(b)) {
+    hv = std::make_unique<JaccardVertexScorer>(g1, g2);
+    vocab = std::make_unique<JointVocab>(g1, g2);
+    mrho = std::make_unique<TokenOverlapPathScorer>(vocab.get());
+    hr = std::make_unique<PraRanker>(g1, g2);
+    ctx.gd = &g1;
+    ctx.g = &g2;
+    ctx.hv = hv.get();
+    ctx.mrho = mrho.get();
+    ctx.hr = hr.get();
+    ctx.vocab = vocab.get();
+    ctx.params = params;
+  }
+
+  Graph g1, g2;
+  std::unique_ptr<JaccardVertexScorer> hv;
+  std::unique_ptr<JointVocab> vocab;
+  std::unique_ptr<TokenOverlapPathScorer> mrho;
+  std::unique_ptr<PraRanker> hr;
+  MatchContext ctx;
+};
+
+/// Random "entity" graph pair: `roots` item vertices with noisy attribute
+/// subtrees, plus FK-style links between roots so recursion crosses
+/// fragments in the parallel tests. Roots are vertices labeled "item" in
+/// g1 / "item" in g2 with matching construction order.
+inline std::pair<Graph, Graph> RandomEntityGraphs(uint64_t seed, int roots) {
+  Rng rng(seed);
+  const char* values[] = {"red",  "white", "blue", "foam",
+                          "wool", "500",   "acme", "zenith"};
+  const char* edges[] = {"color", "material", "qty", "kind", "brand"};
+  GraphBuilder b1;
+  GraphBuilder b2;
+  std::vector<VertexId> roots1;
+  std::vector<VertexId> roots2;
+  for (int r = 0; r < roots; ++r) {
+    roots1.push_back(b1.AddVertex("item"));
+    roots2.push_back(b2.AddVertex("item"));
+  }
+  for (int r = 0; r < roots; ++r) {
+    const int attrs = 2 + static_cast<int>(rng.Below(3));
+    for (int a = 0; a < attrs; ++a) {
+      const char* e = edges[rng.Below(5)];
+      const char* val1 = values[rng.Below(8)];
+      const char* val2 = rng.Chance(0.7) ? val1 : values[rng.Below(8)];
+      const VertexId c1 = b1.AddVertex(val1);
+      b1.AddEdge(roots1[r], c1, e);
+      const VertexId c2 = b2.AddVertex(val2);
+      b2.AddEdge(roots2[r], c2, e);
+      if (rng.Chance(0.35)) {
+        const char* dv = values[rng.Below(8)];
+        const char* dv2 = rng.Chance(0.7) ? dv : values[rng.Below(8)];
+        const char* de = edges[rng.Below(5)];
+        b1.AddEdge(c1, b1.AddVertex(dv), de);
+        b2.AddEdge(c2, b2.AddVertex(dv2), de);
+      }
+    }
+    // FK-style links between roots (possible cycles across entities).
+    if (r > 0 && rng.Chance(0.6)) {
+      const int target = static_cast<int>(rng.Below(static_cast<uint64_t>(r)));
+      b1.AddEdge(roots1[r], roots1[target], "ref");
+      b2.AddEdge(roots2[r], roots2[target], "ref");
+      if (rng.Chance(0.4)) {  // back edge: SCC between entities
+        b1.AddEdge(roots1[target], roots1[r], "backref");
+        b2.AddEdge(roots2[target], roots2[r], "backref");
+      }
+    }
+  }
+  return {std::move(b1).Build(), std::move(b2).Build()};
+}
+
+/// Root vertices (labeled "item") of a graph built by RandomEntityGraphs.
+inline std::vector<VertexId> ItemRoots(const Graph& g) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.label(v) == "item") out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace her::testutil
+
+#endif  // HER_TESTS_TEST_UTIL_H_

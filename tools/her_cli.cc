@@ -1,0 +1,177 @@
+// her_cli — command-line front end for HER.
+//
+//   her_cli generate <profile> <dir> [entities] [seed]
+//       Generates a dataset (profiles: ukgov dbpedia dblp imdb fbwiki 2t
+//       scaling) and saves it as CSV relations + a graph file + annotated
+//       pairs under <dir>.
+//
+//   her_cli evaluate <dir> [workers]
+//       Loads <dir>, trains HER, reports held-out F-measure, then runs
+//       APair on the parallel engine.
+//
+//   her_cli spair <dir> <relation> <tuple-key> <vertex-id>
+//       Single-pair check with explanation.
+//
+//   her_cli vpair <dir> <relation> <tuple-key>
+//       All graph vertices matching the tuple.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datagen/dataset.h"
+#include "datagen/dataset_io.h"
+#include "learn/her_system.h"
+#include "learn/metrics.h"
+
+namespace her {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  her_cli generate <profile> <dir> [entities] [seed]\n"
+               "  her_cli evaluate <dir> [workers]\n"
+               "  her_cli spair <dir> <relation> <tuple-key> <vertex-id>\n"
+               "  her_cli vpair <dir> <relation> <tuple-key>\n");
+  return 2;
+}
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+Result<DatasetSpec> SpecFor(const std::string& profile, int entities,
+                            uint64_t seed) {
+  DatasetSpec spec;
+  if (profile == "ukgov") {
+    spec = UkgovSpec(seed);
+  } else if (profile == "dbpedia") {
+    spec = DbpediaSpec(seed);
+  } else if (profile == "dblp") {
+    spec = DblpSpec(seed);
+  } else if (profile == "imdb") {
+    spec = ImdbSpec(seed);
+  } else if (profile == "fbwiki") {
+    spec = FbwikiSpec(seed);
+  } else if (profile == "2t") {
+    spec = ToughTablesSpec(seed);
+  } else if (profile == "scaling") {
+    spec = ScalingSpec(entities > 0 ? entities : 400, seed);
+  } else {
+    return Status::InvalidArgument("unknown profile '" + profile + "'");
+  }
+  if (entities > 0) spec.num_entities = entities;
+  return spec;
+}
+
+/// Loads + trains a system over a saved dataset directory. The dataset is
+/// heap-allocated: HerSystem borrows its graphs, so their addresses must
+/// survive moves of this struct.
+struct LoadedSystem {
+  std::unique_ptr<GeneratedDataset> data;
+  AnnotationSplit split;
+  std::unique_ptr<HerSystem> system;
+
+  const GeneratedDataset& dataset() const { return *data; }
+};
+
+Result<LoadedSystem> LoadAndTrain(const std::string& dir) {
+  LoadedSystem out;
+  HER_ASSIGN_OR_RETURN(GeneratedDataset loaded, LoadDataset(dir));
+  out.data = std::make_unique<GeneratedDataset>(std::move(loaded));
+  out.split = SplitAnnotations(out.data->annotations);
+  out.system = std::make_unique<HerSystem>(out.data->canonical, out.data->g,
+                                           HerConfig{});
+  out.system->Train(out.data->path_pairs, out.split.validation);
+  std::printf("trained on %s: sigma=%.2f delta=%.2f k=%d\n",
+              out.data->name.c_str(), out.system->params().sigma,
+              out.system->params().delta, out.system->params().k);
+  return out;
+}
+
+Result<TupleRef> FindTuple(const Database& db, const std::string& relation,
+                           const std::string& key) {
+  const auto rel = db.FindRelation(relation);
+  if (!rel) return Status::NotFound("no relation '" + relation + "'");
+  const auto row = db.relation(*rel).FindByKey(key);
+  if (!row) return Status::NotFound("no tuple with key '" + key + "'");
+  return TupleRef{*rel, *row};
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const int entities = argc > 4 ? std::atoi(argv[4]) : 0;
+  const uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+  const auto spec = SpecFor(argv[2], entities, seed);
+  if (!spec.ok()) return Fail(spec.status());
+  const GeneratedDataset data = Generate(*spec);
+  const Status s = SaveDataset(data, argv[3]);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %zu tuples, graph with %zu vertices / %zu edges, "
+              "%zu annotated pairs\n",
+              argv[3], data.db.TotalTuples(), data.g.num_vertices(),
+              data.g.num_edges(), data.annotations.size());
+  return 0;
+}
+
+int CmdEvaluate(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const uint32_t workers = argc > 3 ? std::atoi(argv[3]) : 4;
+  auto loaded = LoadAndTrain(argv[2]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const Confusion c =
+      EvaluatePredictor(loaded->split.test, [&](VertexId u, VertexId v) {
+        return loaded->system->SPairVertex(u, v);
+      });
+  std::printf("held-out: %s\n", c.ToString().c_str());
+  const ParallelResult r = loaded->system->APairParallel(workers);
+  std::printf("APair (%u workers): %zu matches, %zu supersteps, "
+              "simulated %.3fs\n",
+              workers, r.matches.size(), r.supersteps, r.simulated_seconds);
+  return 0;
+}
+
+int CmdSpair(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  auto loaded = LoadAndTrain(argv[2]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const auto t = FindTuple(loaded->data->db, argv[3], argv[4]);
+  if (!t.ok()) return Fail(t.status());
+  const VertexId v = static_cast<VertexId>(std::atoi(argv[5]));
+  if (v >= loaded->data->g.num_vertices()) {
+    return Fail(Status::OutOfRange("vertex id out of range"));
+  }
+  std::printf("%s", loaded->system->Explain(*t, v).c_str());
+  return 0;
+}
+
+int CmdVpair(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  auto loaded = LoadAndTrain(argv[2]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const auto t = FindTuple(loaded->data->db, argv[3], argv[4]);
+  if (!t.ok()) return Fail(t.status());
+  const auto matches = loaded->system->VPair(*t);
+  std::printf("%zu match(es):\n", matches.size());
+  for (const VertexId v : matches) {
+    std::printf("  vertex %u (%s)\n", v, loaded->data->g.label(v).c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(argc, argv);
+  if (cmd == "evaluate") return CmdEvaluate(argc, argv);
+  if (cmd == "spair") return CmdSpair(argc, argv);
+  if (cmd == "vpair") return CmdVpair(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace her
+
+int main(int argc, char** argv) { return her::Main(argc, argv); }
