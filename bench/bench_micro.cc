@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "bench/bench_util.h"
 
 namespace {
@@ -34,6 +37,50 @@ void BM_VertexScore(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VertexScore);
+
+void BM_VertexScoreBatch(benchmark::State& state) {
+  // The batched h_v kernel: one ScoreBatch call over `range(0)` candidate
+  // rows. Compare per-pair cost against BM_VertexScore.
+  BenchSystem& bs = Shared();
+  const auto& ctx = bs.system->context();
+  const VertexId u = bs.data.canonical.TupleVertices().front();
+  const size_t n =
+      std::min<size_t>(state.range(0), bs.data.g.num_vertices());
+  std::vector<VertexId> vs(n);
+  for (size_t i = 0; i < n; ++i) vs[i] = static_cast<VertexId>(i);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    ctx.hv->ScoreBatch(u, vs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["hv_batch_calls"] =
+      static_cast<double>(ctx.hv->BatchCalls());
+}
+BENCHMARK(BM_VertexScoreBatch)->Arg(64)->Arg(512);
+
+void BM_GenerateCandidates(benchmark::State& state) {
+  // Fig. 8 lines 1-4 over every tuple vertex, exhaustive scan of G,
+  // fanned across range(0) threads.
+  BenchSystem& bs = Shared();
+  const auto& ctx = bs.system->context();
+  const auto tuples = bs.data.canonical.TupleVertices();
+  const size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateCandidates(ctx, tuples, nullptr, threads));
+  }
+  MatchEngine::Stats stats;
+  (void)ParallelAllParaMatch(ctx, tuples, threads, nullptr, &stats);
+  state.counters["hv_batch_calls"] = static_cast<double>(stats.hv_batch_calls);
+  state.counters["hv_cache_hits"] = static_cast<double>(stats.hv_cache_hits);
+  state.counters["cand_gen_s"] = stats.candidate_gen_seconds;
+}
+BENCHMARK(BM_GenerateCandidates)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_PathScoreTrained(benchmark::State& state) {
   BenchSystem& bs = Shared();

@@ -2,32 +2,36 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
 namespace her {
 
-namespace {
-
-/// Filters candidate vertices by h_v(u_t, .) >= sigma.
-std::vector<VertexId> FilterBySigma(MatchEngine& engine, VertexId u_t,
-                                    std::span<const VertexId> candidates) {
-  const MatchContext& ctx = engine.context();
-  std::vector<VertexId> out;
-  for (const VertexId v : candidates) {
-    if (ctx.hv->Score(u_t, v) >= ctx.params.sigma) out.push_back(v);
-  }
-  return out;
-}
-
-std::vector<VertexId> AllVerticesOfG(const MatchEngine& engine) {
-  const Graph& g = *engine.context().g;
+std::vector<VertexId> AllVertices(const Graph& g) {
   std::vector<VertexId> all(g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
   return all;
 }
 
+namespace {
+
+/// Filters candidate vertices by h_v(u_t, .) >= sigma, one batch call.
+std::vector<VertexId> FilterBySigma(MatchEngine& engine, VertexId u_t,
+                                    std::span<const VertexId> candidates) {
+  const MatchContext& ctx = engine.context();
+  std::vector<double> scores(candidates.size());
+  ctx.hv->ScoreBatch(u_t, candidates, scores);
+  std::vector<VertexId> out;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (scores[i] >= ctx.params.sigma) out.push_back(candidates[i]);
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<VertexId> VParaMatch(MatchEngine& engine, VertexId u_t) {
-  const auto all = AllVerticesOfG(engine);
+  const auto all = AllVertices(*engine.context().g);
   return engine.MatchCandidates(u_t, FilterBySigma(engine, u_t, all));
 }
 
@@ -39,35 +43,73 @@ std::vector<VertexId> VParaMatch(MatchEngine& engine, VertexId u_t,
 
 std::vector<MatchPair> GenerateCandidates(
     const MatchContext& ctx, std::span<const VertexId> tuple_vertices,
-    const InvertedIndex* index) {
-  // Fig. 8 lines 1-3: candidate set C across G_D and G.
+    const InvertedIndex* index, size_t num_threads) {
+  // Fig. 8 lines 1-3: candidate set C across G_D and G. One ScoreBatch
+  // per tuple vertex over its pool; tuple vertices fan out across the
+  // ParallelFor workers into per-vertex buffers.
   struct Cand {
     VertexId u, v;
     size_t degree;  // of v, for the increasing-degree order (line 4)
   };
-  std::vector<Cand> cands;
-  std::vector<VertexId> all;
-  if (index == nullptr) {
-    all.resize(ctx.g->num_vertices());
-    for (VertexId v = 0; v < ctx.g->num_vertices(); ++v) all[v] = v;
-  }
-  for (const VertexId u : tuple_vertices) {
-    const std::vector<VertexId> pool =
-        index == nullptr ? all : index->Lookup(ctx.gd->label(u));
-    for (const VertexId v : pool) {
-      if (ctx.hv->Score(u, v) >= ctx.params.sigma) {
-        cands.push_back(Cand{u, v, ctx.g->Degree(v)});
+  const std::vector<VertexId> all =
+      index == nullptr ? AllVertices(*ctx.g) : std::vector<VertexId>{};
+  std::vector<std::vector<Cand>> per_tuple(tuple_vertices.size());
+  ParallelFor(tuple_vertices.size(), num_threads, [&](size_t i) {
+    const VertexId u = tuple_vertices[i];
+    std::vector<VertexId> blocked;
+    std::span<const VertexId> pool = all;
+    if (index != nullptr) {
+      blocked = index->Lookup(ctx.gd->label(u));
+      pool = blocked;
+    }
+    std::vector<double> scores(pool.size());
+    ctx.hv->ScoreBatch(u, pool, scores);
+    auto& out = per_tuple[i];
+    for (size_t j = 0; j < pool.size(); ++j) {
+      if (scores[j] >= ctx.params.sigma) {
+        out.push_back(Cand{u, pool[j], ctx.g->Degree(pool[j])});
       }
     }
-  }
-  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
-    if (a.degree != b.degree) return a.degree < b.degree;
-    if (a.u != b.u) return a.u < b.u;
-    return a.v < b.v;
   });
-  std::vector<MatchPair> out;
-  out.reserve(cands.size());
-  for (const Cand& c : cands) out.emplace_back(c.u, c.v);
+  // Merge (Fig. 8 line 4): increasing degree, ties broken by (u, v).
+  // Each per-tuple buffer holds one u and is already v-sorted, so a
+  // stable counting scatter by degree -- visiting buffers in u-ascending
+  // order -- yields exactly the (degree, u, v) sequence a comparison
+  // sort would, in O(N + max_degree) instead of O(N log N). Buffers are
+  // indexed by tuple position, never completion order, so the output is
+  // byte-identical for every num_threads.
+  std::vector<size_t> order(per_tuple.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (tuple_vertices[a] != tuple_vertices[b]) {
+      return tuple_vertices[a] < tuple_vertices[b];
+    }
+    return a < b;
+  });
+  size_t max_degree = 0;
+  for (VertexId v = 0; v < ctx.g->num_vertices(); ++v) {
+    max_degree = std::max(max_degree, ctx.g->Degree(v));
+  }
+  std::vector<size_t> cursor(max_degree + 1, 0);
+  size_t total = 0;
+  for (const auto& pt : per_tuple) {
+    total += pt.size();
+    for (const Cand& c : pt) ++cursor[c.degree];
+  }
+  // Exclusive prefix sum: cursor[d] becomes the first write index of the
+  // degree-d bucket, then advances as the scatter fills it.
+  size_t run = 0;
+  for (size_t d = 0; d < cursor.size(); ++d) {
+    const size_t in_bucket = cursor[d];
+    cursor[d] = run;
+    run += in_bucket;
+  }
+  std::vector<MatchPair> out(total);
+  for (const size_t i : order) {
+    for (const Cand& c : per_tuple[i]) {
+      out[cursor[c.degree]++] = MatchPair(c.u, c.v);
+    }
+  }
   return out;
 }
 
@@ -76,10 +118,13 @@ namespace {
 std::vector<MatchPair> AllParaMatchImpl(
     MatchEngine& engine, std::span<const VertexId> tuple_vertices,
     const InvertedIndex* index) {
+  WallTimer gen_timer;
+  const std::vector<MatchPair> candidates =
+      GenerateCandidates(engine.context(), tuple_vertices, index);
+  engine.RecordCandidateGen(gen_timer.Seconds());
   // Line 5 of Fig. 8: verify each candidate as in VParaMatch (cache-aware).
   std::vector<MatchPair> result;
-  for (const MatchPair& c :
-       GenerateCandidates(engine.context(), tuple_vertices, index)) {
+  for (const MatchPair& c : candidates) {
     if (engine.Match(c.first, c.second)) result.push_back(c);
   }
   std::sort(result.begin(), result.end());
@@ -97,6 +142,58 @@ std::vector<MatchPair> AllParaMatch(MatchEngine& engine,
                                     std::span<const VertexId> tuple_vertices,
                                     const InvertedIndex& index) {
   return AllParaMatchImpl(engine, tuple_vertices, &index);
+}
+
+std::vector<MatchPair> ParallelAllParaMatch(
+    const MatchContext& ctx, std::span<const VertexId> tuple_vertices,
+    size_t num_workers, const InvertedIndex* index,
+    MatchEngine::Stats* stats) {
+  if (num_workers == 0) num_workers = 1;
+  const size_t n =
+      std::max<size_t>(1, std::min(num_workers, tuple_vertices.size()));
+  // Round-robin shares: neighbouring tuple vertices tend to have similar
+  // candidate counts, so striding balances better than contiguous chunks.
+  std::vector<std::vector<VertexId>> shares(n);
+  for (size_t i = 0; i < tuple_vertices.size(); ++i) {
+    shares[i % n].push_back(tuple_vertices[i]);
+  }
+  std::vector<std::vector<MatchPair>> partial(n);
+  std::vector<MatchEngine::Stats> worker_stats(n);
+  ParallelFor(n, n, [&](size_t w) {
+    // Private engine per worker; the context (graphs, scorers,
+    // PropertyTable) is shared read-only.
+    MatchEngine engine(ctx);
+    partial[w] = AllParaMatchImpl(engine, shares[w], index);
+    worker_stats[w] = engine.stats();
+  });
+  std::vector<MatchPair> out;
+  size_t total = 0;
+  for (const auto& p : partial) total += p.size();
+  out.reserve(total);
+  for (const auto& p : partial) out.insert(out.end(), p.begin(), p.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (stats != nullptr) {
+    for (const MatchEngine::Stats& s : worker_stats) {
+      stats->para_match_calls += s.para_match_calls;
+      stats->cache_hits += s.cache_hits;
+      stats->cleanup_reruns += s.cleanup_reruns;
+      stats->stale_restarts += s.stale_restarts;
+      stats->budget_exhausted += s.budget_exhausted;
+      stats->hrho_evaluations += s.hrho_evaluations;
+      stats->border_assumptions += s.border_assumptions;
+      stats->candidate_gen_seconds += s.candidate_gen_seconds;
+      stats->candidate_gen_runs += s.candidate_gen_runs;
+      // h_v counters snapshot the shared scorer (global, not per-engine):
+      // the freshest snapshot wins instead of summing.
+      stats->hv_batch_calls = std::max(stats->hv_batch_calls,
+                                       s.hv_batch_calls);
+      stats->hv_cache_hits = std::max(stats->hv_cache_hits, s.hv_cache_hits);
+      stats->hv_cache_evictions =
+          std::max(stats->hv_cache_evictions, s.hv_cache_evictions);
+    }
+  }
+  return out;
 }
 
 }  // namespace her

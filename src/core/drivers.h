@@ -35,9 +35,32 @@ std::vector<MatchPair> AllParaMatch(MatchEngine& engine,
 /// h_v >= sigma, sorted by increasing deg(v). `index` null means an
 /// exhaustive scan of G. Shared by the sequential driver and the BSP
 /// engine, which shards the result by fragment owner of v.
+///
+/// Scoring goes through VertexScorer::ScoreBatch (one batch per tuple
+/// vertex) and fans tuple vertices across `num_threads` ParallelFor
+/// workers; per-vertex buffers are merged in tuple order before the final
+/// sort, so the result is identical for every thread count.
 std::vector<MatchPair> GenerateCandidates(
     const MatchContext& ctx, std::span<const VertexId> tuple_vertices,
-    const InvertedIndex* index);
+    const InvertedIndex* index, size_t num_threads = 1);
+
+/// The identity candidate pool [0, |V(G)|) used by the exhaustive
+/// (index-less) VPair / APair scans.
+std::vector<VertexId> AllVertices(const Graph& g);
+
+/// AllParaMatch fanned across `num_workers` threads: tuple vertices are
+/// partitioned round-robin, each worker verifies its share with a private
+/// MatchEngine over the shared read-only context (graphs, scorers,
+/// PropertyTable), and the per-worker verdict sets are merged, deduped and
+/// sorted. An intra-process analogue of the BSP engine's shared-nothing
+/// discipline; by Proposition 4 verdicts are evaluation-order independent,
+/// so the result is bit-identical to serial AllParaMatch for every worker
+/// count. `index` enables inverted-index blocking; `stats`, when non-null,
+/// receives the summed per-worker engine counters.
+std::vector<MatchPair> ParallelAllParaMatch(
+    const MatchContext& ctx, std::span<const VertexId> tuple_vertices,
+    size_t num_workers, const InvertedIndex* index = nullptr,
+    MatchEngine::Stats* stats = nullptr);
 
 }  // namespace her
 

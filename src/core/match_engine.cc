@@ -76,6 +76,18 @@ const MatchEngine::CacheEntry* MatchEngine::Lookup(VertexId u,
   return it == cache_.end() ? nullptr : &it->second;
 }
 
+const MatchEngine::Stats& MatchEngine::stats() const {
+  if (ctx_.hv != nullptr) {
+    stats_.hv_batch_calls = ctx_.hv->BatchCalls();
+    if (const auto* caching =
+            dynamic_cast<const CachingVertexScorer*>(ctx_.hv)) {
+      stats_.hv_cache_hits = caching->CacheHits();
+      stats_.hv_cache_evictions = caching->CacheEvictions();
+    }
+  }
+  return stats_;
+}
+
 bool MatchEngine::Match(VertexId u, VertexId v) {
   if (const CacheEntry* e = Lookup(u, v)) {
     ++stats_.cache_hits;
@@ -199,6 +211,11 @@ bool MatchEngine::EvalOnce(VertexId u, VertexId v, bool* stale) {
   for (size_t i = 0; i < pu.size(); ++i) {
     const VertexId u2 = pu[i].descendant;
     const auto& list = lists[i];
+    // Cursor for the next-unused lookup on a miss (line 25). `used` only
+    // grows while this list is processed, so the cursor never has to move
+    // backwards: the whole list is scanned O(L) total instead of O(L) per
+    // miss.
+    size_t scan = 0;
     for (size_t idx = 0; idx < list.size(); ++idx) {
       const Cand& cand = list[idx];
       if (used.count(cand.v2) != 0) continue;
@@ -230,13 +247,9 @@ bool MatchEngine::EvalOnce(VertexId u, VertexId v, bool* stale) {
         break;  // u' found its best match; move to the next property
       }
       // Line 25: replace u's share of MaxSco with the next candidate's.
-      double next_hrho = 0.0;
-      for (size_t t = idx + 1; t < list.size(); ++t) {
-        if (used.count(list[t].v2) == 0) {
-          next_hrho = list[t].hrho;
-          break;
-        }
-      }
+      if (scan < idx + 1) scan = idx + 1;
+      while (scan < list.size() && used.count(list[scan].v2) != 0) ++scan;
+      const double next_hrho = scan < list.size() ? list[scan].hrho : 0.0;
       maxsco += next_hrho - contrib[i];
       contrib[i] = next_hrho;
       if (ctx_.enable_early_termination && maxsco < delta) {  // lines 26-27

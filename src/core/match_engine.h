@@ -80,6 +80,16 @@ class MatchEngine {
     size_t budget_exhausted = 0;   // pairs conservatively failed at budget
     size_t hrho_evaluations = 0;   // h_rho computations
     size_t border_assumptions = 0;  // pairs optimistically assumed (BSP)
+    // --- h_v kernel telemetry (snapshots of the context's scorer, which
+    // is shared: across engines these are global counters, not per-engine
+    // deltas, so the BSP aggregation does not sum them) ---
+    size_t hv_batch_calls = 0;     // ScoreBatch invocations
+    size_t hv_cache_hits = 0;      // memoized h_v probes (CachingVertexScorer)
+    size_t hv_cache_evictions = 0;  // h_v memo shard resets
+    // Wall time spent in GenerateCandidates by drivers running on this
+    // engine (AllParaMatch / ParallelAllParaMatch record it here).
+    double candidate_gen_seconds = 0.0;
+    size_t candidate_gen_runs = 0;
   };
 
   explicit MatchEngine(const MatchContext& ctx) : ctx_(ctx) {}
@@ -149,7 +159,16 @@ class MatchEngine {
   /// BSP driver routes them to their owner for authoritative evaluation.
   std::vector<MatchPair> DrainNewAssumptions();
 
-  const Stats& stats() const { return stats_; }
+  /// Engine counters, with the h_v scorer telemetry refreshed from the
+  /// context's (shared) VertexScorer at call time.
+  const Stats& stats() const;
+
+  /// Records one GenerateCandidates run's wall time (called by the
+  /// AllParaMatch drivers).
+  void RecordCandidateGen(double seconds) {
+    stats_.candidate_gen_seconds += seconds;
+    ++stats_.candidate_gen_runs;
+  }
 
  private:
   /// One attempt at evaluating (u, v). Returns the verdict; sets *stale if
@@ -177,7 +196,8 @@ class MatchEngine {
   bool ConsumeBudget(const MatchPair& key);
 
   const MatchContext& ctx_;
-  Stats stats_;
+  // mutable: stats() refreshes the h_v scorer snapshot fields on read.
+  mutable Stats stats_;
 
   std::unordered_map<MatchPair, CacheEntry, PairHash> cache_;
   std::unordered_map<MatchPair, std::unordered_set<MatchPair, PairHash>,

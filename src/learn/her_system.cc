@@ -68,7 +68,8 @@ void HerSystem::RebuildScorers() {
     hr_ = std::make_unique<PraRanker>(canonical_->graph(), *g_,
                                       config_.ranker_max_len);
   }
-  ctx_.hv = hv_.get();
+  hv_cache_ = std::make_unique<CachingVertexScorer>(hv_.get());
+  ctx_.hv = hv_cache_.get();
   ctx_.mrho = mrho_.get();
   ctx_.hr = hr_.get();
   ctx_.vocab = models_.vocab.get();
@@ -118,17 +119,24 @@ void HerSystem::EnsureBlockingIndex() {
   blocking_ = std::make_unique<InvertedIndex>(std::move(docs), cap);
 }
 
+std::vector<VertexId> HerSystem::BlockedSigmaCandidates(VertexId u_t) {
+  const std::vector<VertexId> pool =
+      blocking_->Lookup(DocOf(canonical_->graph(), u_t));
+  std::vector<double> scores(pool.size());
+  ctx_.hv->ScoreBatch(u_t, pool, scores);
+  std::vector<VertexId> out;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (scores[i] >= ctx_.params.sigma) out.push_back(pool[i]);
+  }
+  return out;
+}
+
 std::vector<VertexId> HerSystem::VPair(TupleRef t, bool use_blocking) {
   const VertexId u_t = canonical_->VertexOf(t);
   std::vector<VertexId> matches;
   if (use_blocking) {
     EnsureBlockingIndex();
-    std::vector<VertexId> cands;
-    for (const VertexId v :
-         blocking_->Lookup(DocOf(canonical_->graph(), u_t))) {
-      if (ctx_.hv->Score(u_t, v) >= ctx_.params.sigma) cands.push_back(v);
-    }
-    matches = engine_->MatchCandidates(u_t, cands);
+    matches = engine_->MatchCandidates(u_t, BlockedSigmaCandidates(u_t));
   } else {
     matches = VParaMatch(*engine_, u_t);
   }
@@ -154,12 +162,8 @@ std::vector<MatchPair> HerSystem::APair(bool use_blocking) {
   EnsureBlockingIndex();
   std::vector<MatchPair> result;
   for (const VertexId u_t : tuples) {
-    std::vector<VertexId> cands;
     for (const VertexId v :
-         blocking_->Lookup(DocOf(canonical_->graph(), u_t))) {
-      if (ctx_.hv->Score(u_t, v) >= ctx_.params.sigma) cands.push_back(v);
-    }
-    for (const VertexId v : engine_->MatchCandidates(u_t, cands)) {
+         engine_->MatchCandidates(u_t, BlockedSigmaCandidates(u_t))) {
       result.emplace_back(u_t, v);
     }
   }
@@ -200,11 +204,8 @@ ParallelResult HerSystem::APairParallel(uint32_t workers, bool use_blocking) {
   EnsureBlockingIndex();
   std::vector<MatchPair> candidates;
   for (const VertexId u_t : tuples) {
-    for (const VertexId v :
-         blocking_->Lookup(DocOf(canonical_->graph(), u_t))) {
-      if (ctx_.hv->Score(u_t, v) >= ctx_.params.sigma) {
-        candidates.emplace_back(u_t, v);
-      }
+    for (const VertexId v : BlockedSigmaCandidates(u_t)) {
+      candidates.emplace_back(u_t, v);
     }
   }
   return bsp.RunOnCandidates(std::move(candidates));

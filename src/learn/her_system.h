@@ -106,6 +106,9 @@ class HerSystem {
   void EnsureBlockingIndex();
   void EnsureRootOwners();
   void RebuildScorers();
+  /// Blocked candidate pool of a tuple vertex filtered by h_v >= sigma
+  /// (one ScoreBatch call). Requires the blocking index.
+  std::vector<VertexId> BlockedSigmaCandidates(VertexId u_t);
 
   const CanonicalGraph* canonical_;
   const Graph* g_;
@@ -114,6 +117,9 @@ class HerSystem {
 
   TrainedModels models_;
   std::unique_ptr<EmbeddingVertexScorer> hv_;
+  // Memoizing h_v decorator installed as ctx_.hv: EvalOnce re-probes the
+  // same descendant pairs across candidate root pairs.
+  std::unique_ptr<CachingVertexScorer> hv_cache_;
   std::unique_ptr<MetricPathScorer> mrho_inner_;
   std::unique_ptr<TokenOverlapPathScorer> mrho_fallback_;
   std::unique_ptr<CachingPathScorer> mrho_;

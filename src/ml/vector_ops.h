@@ -22,6 +22,15 @@ inline double Dot(const Vec& a, const Vec& b) {
 
 inline double Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
 
+/// Dot product of two contiguous float rows with a double accumulator.
+/// This is the inner loop of the batched h_v kernel; Score and ScoreBatch
+/// both go through it so their results are bit-identical.
+inline double DotRows(const float* a, const float* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
 /// Cosine similarity in [-1, 1]; 0 if either vector is (near) zero.
 inline double Cosine(const Vec& a, const Vec& b) {
   const double na = Norm(a);

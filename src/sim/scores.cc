@@ -3,11 +3,32 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/check.h"
 #include "common/hash.h"
 #include "common/string_util.h"
 #include "graph/traversal.h"
+#include "ml/vector_ops.h"
 
 namespace her {
+
+namespace {
+
+/// Rows are pre-normalized, so the dot product IS the cosine up to float
+/// rounding; clamp like Cosine does, then map into [0, 1].
+double UnitFromDot(double dot) {
+  if (dot > 1.0) dot = 1.0;
+  if (dot < -1.0) dot = -1.0;
+  return CosineToUnit(dot);
+}
+
+}  // namespace
+
+void VertexScorer::ScoreBatch(VertexId u, std::span<const VertexId> vs,
+                              std::span<double> out) const {
+  HER_DCHECK(vs.size() == out.size());
+  batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < vs.size(); ++i) out[i] = Score(u, vs[i]);
+}
 
 EmbeddingVertexScorer::EmbeddingVertexScorer(
     const Graph& g1, const Graph& g2, const HashedTextEmbedder& embedder)
@@ -18,19 +39,94 @@ EmbeddingVertexScorer::EmbeddingVertexScorer(
 EmbeddingVertexScorer::EmbeddingVertexScorer(
     const Graph& g1, const Graph& g2,
     const std::function<Vec(std::string_view)>& embed_fn) {
-  embeddings_.resize(2);
   const Graph* graphs[2] = {&g1, &g2};
   for (int gi = 0; gi < 2; ++gi) {
     const Graph& g = *graphs[gi];
-    embeddings_[gi].reserve(g.num_vertices());
+    std::vector<float>& m = matrix_[gi];
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      embeddings_[gi].push_back(embed_fn(g.label(v)));
+      Vec e = embed_fn(g.label(v));
+      NormalizeL2(e);
+      if (dim_ == 0) dim_ = e.size();
+      HER_CHECK(e.size() == dim_);
+      if (m.empty()) m.reserve(g.num_vertices() * dim_);
+      m.insert(m.end(), e.begin(), e.end());
     }
   }
 }
 
 double EmbeddingVertexScorer::Score(VertexId u, VertexId v) const {
-  return CosineToUnit(Cosine(embeddings_[0][u], embeddings_[1][v]));
+  return UnitFromDot(DotRows(Row(0, u), Row(1, v), dim_));
+}
+
+void EmbeddingVertexScorer::ScoreBatch(VertexId u,
+                                       std::span<const VertexId> vs,
+                                       std::span<double> out) const {
+  HER_DCHECK(vs.size() == out.size());
+  batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  const float* a = Row(0, u);
+  // Blocked GEMV: four candidate rows share one streaming pass over the
+  // u row. Each row keeps its own accumulator in index order, so results
+  // are bit-identical to the scalar DotRows path.
+  size_t i = 0;
+  for (; i + 4 <= vs.size(); i += 4) {
+    const float* b0 = Row(1, vs[i]);
+    const float* b1 = Row(1, vs[i + 1]);
+    const float* b2 = Row(1, vs[i + 2]);
+    const float* b3 = Row(1, vs[i + 3]);
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (size_t d = 0; d < dim_; ++d) {
+      const double ad = a[d];
+      s0 += ad * b0[d];
+      s1 += ad * b1[d];
+      s2 += ad * b2[d];
+      s3 += ad * b3[d];
+    }
+    out[i] = UnitFromDot(s0);
+    out[i + 1] = UnitFromDot(s1);
+    out[i + 2] = UnitFromDot(s2);
+    out[i + 3] = UnitFromDot(s3);
+  }
+  for (; i < vs.size(); ++i) {
+    out[i] = UnitFromDot(DotRows(a, Row(1, vs[i]), dim_));
+  }
+}
+
+double CachingVertexScorer::Score(VertexId u, VertexId v) const {
+  const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+  Shard& shard = shards_[Mix64(key) % kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  const double score = inner_->Score(u, v);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() >= shard_cap_) {
+      shard.map.clear();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.map.emplace(key, score);
+  }
+  return score;
+}
+
+void CachingVertexScorer::ScoreBatch(VertexId u, std::span<const VertexId> vs,
+                                     std::span<double> out) const {
+  batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  inner_->ScoreBatch(u, vs, out);
+}
+
+size_t CachingVertexScorer::CacheSize() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
 }
 
 double JaccardVertexScorer::Score(VertexId u, VertexId v) const {
@@ -84,6 +180,10 @@ double CachingPathScorer::Score(std::span<const int> p1,
   const double score = inner_->Score(p1, p2);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() >= shard_cap_) {
+      shard.map.clear();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
     shard.map.emplace(key, score);
   }
   return score;

@@ -1,6 +1,7 @@
 #ifndef HER_SIM_SCORES_H_
 #define HER_SIM_SCORES_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -23,11 +24,31 @@ class VertexScorer {
  public:
   virtual ~VertexScorer() = default;
   virtual double Score(VertexId u, VertexId v) const = 0;
+
+  /// Batched h_v: out[i] = Score(u, vs[i]) with vs.size() == out.size().
+  /// The candidate generators score one tuple vertex against a whole
+  /// candidate pool per call; implementations may use a vectorized kernel.
+  /// The default loops over Score.
+  virtual void ScoreBatch(VertexId u, std::span<const VertexId> vs,
+                          std::span<double> out) const;
+
+  /// Number of ScoreBatch invocations on this scorer (telemetry; feeds
+  /// MatchEngine::Stats::hv_batch_calls).
+  size_t BatchCalls() const {
+    return batch_calls_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  mutable std::atomic<size_t> batch_calls_{0};
 };
 
 /// M_v backed by precomputed label embeddings of every vertex of both
 /// graphs (the Sentence-BERT substitute): (|cos| + cos)/2 of the label
 /// embeddings.
+///
+/// Embeddings are stored L2-normalized in one contiguous row-major matrix
+/// per graph, so Score is a single dot product (no norm re-derivation) and
+/// ScoreBatch is a blocked GEMV-style kernel over the candidate rows.
 class EmbeddingVertexScorer : public VertexScorer {
  public:
   EmbeddingVertexScorer(const Graph& g1, const Graph& g2,
@@ -40,15 +61,64 @@ class EmbeddingVertexScorer : public VertexScorer {
       const std::function<Vec(std::string_view)>& embed_fn);
 
   double Score(VertexId u, VertexId v) const override;
+  void ScoreBatch(VertexId u, std::span<const VertexId> vs,
+                  std::span<double> out) const override;
 
-  /// Embedding of a vertex label; `graph` is 0 for g1, 1 for g2. Exposed
-  /// so baselines can reuse the precomputed matrix.
-  const Vec& EmbeddingOf(int graph, VertexId v) const {
-    return embeddings_[graph][v];
+  /// L2-normalized embedding row of a vertex label; `graph` is 0 for g1,
+  /// 1 for g2. Exposed so baselines can reuse the precomputed matrix.
+  std::span<const float> EmbeddingOf(int graph, VertexId v) const {
+    return {Row(graph, v), dim_};
   }
 
+  size_t dim() const { return dim_; }
+
  private:
-  std::vector<std::vector<Vec>> embeddings_;  // [graph][vertex]
+  const float* Row(int graph, VertexId v) const {
+    return matrix_[graph].data() + static_cast<size_t>(v) * dim_;
+  }
+
+  size_t dim_ = 0;
+  // [graph]: num_vertices x dim_, row v = normalized embedding of label(v).
+  std::vector<float> matrix_[2];
+};
+
+/// Memoizing h_v decorator (mirrors CachingPathScorer): EvalOnce probes the
+/// same descendant pairs for every candidate root pair sharing properties,
+/// so a (u, v) -> score memo pays off. Sharded and lock-guarded; safe to
+/// share across threads. Each shard resets wholesale when it exceeds
+/// `shard_cap` entries (cheap bounded memory, counted by CacheEvictions).
+/// ScoreBatch intentionally bypasses the memo: the bulk candidate scans
+/// would thrash it for values that are never probed twice.
+class CachingVertexScorer : public VertexScorer {
+ public:
+  static constexpr size_t kDefaultShardCap = 1 << 16;
+
+  explicit CachingVertexScorer(const VertexScorer* inner,
+                               size_t shard_cap = kDefaultShardCap)
+      : inner_(inner), shard_cap_(shard_cap == 0 ? 1 : shard_cap) {}
+
+  double Score(VertexId u, VertexId v) const override;
+  void ScoreBatch(VertexId u, std::span<const VertexId> vs,
+                  std::span<double> out) const override;
+
+  size_t CacheSize() const;
+  size_t CacheHits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t CacheEvictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  const VertexScorer* inner() const { return inner_; }
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    mutable std::unordered_map<uint64_t, double> map;
+  };
+  const VertexScorer* inner_;
+  size_t shard_cap_;
+  mutable Shard shards_[kShards];
+  mutable std::atomic<size_t> hits_{0};
+  mutable std::atomic<size_t> evictions_{0};
 };
 
 /// Deterministic h_v for unit tests: token-set Jaccard of the two labels
@@ -107,15 +177,24 @@ class TokenOverlapPathScorer : public PathScorer {
 /// Memoizing decorator: M_rho is called with heavily repeated path pairs
 /// (every candidate pair sharing predicates), so a cache pays off. The
 /// cache is sharded by hash and lock-guarded; safe to share across threads,
-/// though the BSP workers typically own one each.
+/// though the BSP workers typically own one each. Each shard is capped at
+/// `shard_cap` entries and resets wholesale on overflow (cheap bounded
+/// memory for long AllParaMatch runs), counted by CacheEvictions.
 class CachingPathScorer : public PathScorer {
  public:
-  explicit CachingPathScorer(const PathScorer* inner) : inner_(inner) {}
+  static constexpr size_t kDefaultShardCap = 1 << 16;
+
+  explicit CachingPathScorer(const PathScorer* inner,
+                             size_t shard_cap = kDefaultShardCap)
+      : inner_(inner), shard_cap_(shard_cap == 0 ? 1 : shard_cap) {}
 
   double Score(std::span<const int> p1,
                std::span<const int> p2) const override;
 
   size_t CacheSize() const;
+  size_t CacheEvictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   static constexpr size_t kShards = 16;
@@ -124,7 +203,9 @@ class CachingPathScorer : public PathScorer {
     mutable std::unordered_map<uint64_t, double> map;
   };
   const PathScorer* inner_;
+  size_t shard_cap_;
   mutable Shard shards_[kShards];
+  mutable std::atomic<size_t> evictions_{0};
 };
 
 /// One important property of a vertex, as selected by h_r: a descendant

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/rng.h"
 #include "sim/joint_vocab.h"
 #include "sim/params.h"
 #include "sim/scores.h"
@@ -74,6 +75,92 @@ TEST(EmbeddingVertexScorerTest, AgreesWithEmbedderOnIdentity) {
   EXPECT_LT(hv.Score(1, 2), 0.5);
 }
 
+/// Two graphs with enough label variety to exercise the batch kernel's
+/// 4-wide main loop plus its scalar tail.
+TwoGraphs MakeWideGraphs(int n) {
+  GraphBuilder b1;
+  GraphBuilder b2;
+  for (int i = 0; i < n; ++i) {
+    b1.AddVertex("label one " + std::to_string(i % 7));
+    b2.AddVertex("label two " + std::to_string(i % 5));
+  }
+  return {std::move(b1).Build(), std::move(b2).Build()};
+}
+
+TEST(EmbeddingVertexScorerTest, ScoreBatchBitIdenticalToScore) {
+  const TwoGraphs tg = MakeWideGraphs(37);
+  const HashedTextEmbedder emb;
+  const EmbeddingVertexScorer hv(tg.g1, tg.g2, emb);
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const VertexId u = static_cast<VertexId>(rng.Below(37));
+    std::vector<VertexId> vs;
+    const size_t len = rng.Below(37) + 1;  // covers tail sizes 1..3 too
+    for (size_t i = 0; i < len; ++i) {
+      vs.push_back(static_cast<VertexId>(rng.Below(37)));
+    }
+    std::vector<double> batch(vs.size());
+    hv.ScoreBatch(u, vs, batch);
+    for (size_t i = 0; i < vs.size(); ++i) {
+      EXPECT_EQ(batch[i], hv.Score(u, vs[i]))
+          << "u=" << u << " v=" << vs[i] << " i=" << i;
+    }
+  }
+  EXPECT_EQ(hv.BatchCalls(), 20u);
+}
+
+TEST(VertexScorerTest, DefaultScoreBatchLoopsOverScore) {
+  const TwoGraphs tg = MakeGraphs();
+  const JaccardVertexScorer hv(tg.g1, tg.g2);
+  const std::vector<VertexId> vs = {0, 1, 2};
+  std::vector<double> out(vs.size());
+  hv.ScoreBatch(0, vs, out);
+  for (size_t i = 0; i < vs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], hv.Score(0, vs[i]));
+  }
+  EXPECT_EQ(hv.BatchCalls(), 1u);
+}
+
+TEST(CachingVertexScorerTest, CachesAgreesAndCountsHits) {
+  const TwoGraphs tg = MakeGraphs();
+  const JaccardVertexScorer inner(tg.g1, tg.g2);
+  const CachingVertexScorer cached(&inner);
+  EXPECT_DOUBLE_EQ(cached.Score(0, 0), inner.Score(0, 0));
+  EXPECT_EQ(cached.CacheSize(), 1u);
+  EXPECT_EQ(cached.CacheHits(), 0u);
+  EXPECT_DOUBLE_EQ(cached.Score(0, 0), inner.Score(0, 0));
+  EXPECT_EQ(cached.CacheHits(), 1u);
+  EXPECT_EQ(cached.CacheSize(), 1u);
+}
+
+TEST(CachingVertexScorerTest, ScoreBatchBypassesTheMemo) {
+  const TwoGraphs tg = MakeGraphs();
+  const JaccardVertexScorer inner(tg.g1, tg.g2);
+  const CachingVertexScorer cached(&inner);
+  const std::vector<VertexId> vs = {0, 1, 2};
+  std::vector<double> out(vs.size());
+  cached.ScoreBatch(0, vs, out);
+  EXPECT_EQ(cached.CacheSize(), 0u);  // bulk scans never populate the memo
+  EXPECT_EQ(cached.BatchCalls(), 1u);
+  for (size_t i = 0; i < vs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], inner.Score(0, vs[i]));
+  }
+}
+
+TEST(CachingVertexScorerTest, ShardCapResetsAndCountsEvictions) {
+  const TwoGraphs tg = MakeWideGraphs(32);
+  const JaccardVertexScorer inner(tg.g1, tg.g2);
+  const CachingVertexScorer cached(&inner, /*shard_cap=*/1);
+  for (VertexId u = 0; u < 32; ++u) {
+    for (VertexId v = 0; v < 32; ++v) cached.Score(u, v);
+  }
+  EXPECT_GE(cached.CacheEvictions(), 1u);
+  // Every shard holds at most shard_cap entries after the resets.
+  EXPECT_LE(cached.CacheSize(), 16u);
+  // Values stay correct after evictions.
+  EXPECT_DOUBLE_EQ(cached.Score(3, 4), inner.Score(3, 4));
+}
+
 TEST(TokenOverlapPathScorerTest, PaperExamplePaths) {
   const TwoGraphs tg = MakeGraphs();
   const JointVocab vocab(tg.g1, tg.g2);
@@ -100,6 +187,31 @@ TEST(CachingPathScorerTest, CachesAndAgrees) {
   EXPECT_DOUBLE_EQ(a, b);
   EXPECT_DOUBLE_EQ(a, inner.Score(p1, p2));
   EXPECT_EQ(cached.CacheSize(), 1u);
+}
+
+TEST(CachingPathScorerTest, ShardCapResetsAndCountsEvictions) {
+  const TwoGraphs tg = MakeGraphs();
+  const JointVocab vocab(tg.g1, tg.g2);
+  const TokenOverlapPathScorer inner(&vocab);
+  const CachingPathScorer cached(&inner, /*shard_cap=*/1);
+  // Distinct path pairs scatter over the shards; with a cap of one entry
+  // per shard, repeats within a shard force a reset.
+  for (int a = 0; a < static_cast<int>(vocab.size()); ++a) {
+    for (int b = 0; b < static_cast<int>(vocab.size()); ++b) {
+      const std::vector<int> p1 = {a};
+      const std::vector<int> p2 = {b};
+      for (int len = 1; len <= 3; ++len) {
+        const std::vector<int> p3(static_cast<size_t>(len), b);
+        cached.Score(p1, p3);
+      }
+      cached.Score(p1, p2);
+    }
+  }
+  EXPECT_GE(cached.CacheEvictions(), 1u);
+  EXPECT_LE(cached.CacheSize(), 16u);  // <= shard_cap per shard
+  const std::vector<int> q1 = {0};
+  const std::vector<int> q2 = {1};
+  EXPECT_DOUBLE_EQ(cached.Score(q1, q2), inner.Score(q1, q2));
 }
 
 TEST(MetricPathScorerTest, OutputsInUnitInterval) {

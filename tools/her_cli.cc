@@ -15,6 +15,7 @@
 //   her_cli vpair <dir> <relation> <tuple-key>
 //       All graph vertices matching the tuple.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -118,7 +119,9 @@ int CmdGenerate(int argc, char** argv) {
 
 int CmdEvaluate(int argc, char** argv) {
   if (argc < 3) return Usage();
-  const uint32_t workers = argc > 3 ? std::atoi(argv[3]) : 4;
+  // The fragment partitioner divides by the worker count; clamp 0 to 1.
+  const uint32_t workers =
+      argc > 3 ? std::max(1, std::atoi(argv[3])) : 4;
   auto loaded = LoadAndTrain(argv[2]);
   if (!loaded.ok()) return Fail(loaded.status());
   const Confusion c =

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full build + ctest suite, then a ThreadSanitizer
+# build (-DHER_SANITIZE=thread) of the parallel-driver determinism tests —
+# the shared read-only MatchContext fan-out must be data-race free.
+# Usage: tools/run_tier1.sh [build-dir] [tsan-build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${2:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+echo "=== TSan: parallel_driver_test ==="
+cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHER_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j --target parallel_driver_test
+"$TSAN_DIR/tests/parallel_driver_test"
+echo "tier-1 OK (ctest + TSan parallel driver)"
