@@ -74,6 +74,14 @@ void BM_GenerateCandidates(benchmark::State& state) {
   (void)ParallelAllParaMatch(ctx, tuples, threads, nullptr, &stats);
   state.counters["hv_batch_calls"] = static_cast<double>(stats.hv_batch_calls);
   state.counters["hv_cache_hits"] = static_cast<double>(stats.hv_cache_hits);
+  state.counters["hrho_batch_calls"] =
+      static_cast<double>(stats.hrho_batch_calls);
+  state.counters["hrho_embed_reuse"] =
+      static_cast<double>(stats.hrho_embed_reuse);
+  state.counters["hrho_list_memo_hits"] =
+      static_cast<double>(stats.hrho_list_memo_hits);
+  state.counters["hrho_hash_rejects"] =
+      static_cast<double>(stats.hrho_hash_rejects);
   state.counters["cand_gen_s"] = stats.candidate_gen_seconds;
 }
 BENCHMARK(BM_GenerateCandidates)
@@ -94,6 +102,33 @@ void BM_PathScoreTrained(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PathScoreTrained);
+
+void BM_PathScoreBatchTrained(benchmark::State& state) {
+  // The batched h_rho kernel at CandidateListsFor granularity: range(0)
+  // path pairs per ScoreBatch call, operands carrying precomputed
+  // embeddings the way PropertyTable stores them. Compare per-pair cost
+  // against BM_PathScoreTrained.
+  BenchSystem& bs = Shared();
+  const auto& ctx = bs.system->context();
+  const int a = ctx.vocab->FindToken("color");
+  const int b = ctx.vocab->FindToken("hasColor");
+  const std::vector<int> p1 = {a};
+  const std::vector<int> p2 = {b};
+  const Vec e1 = ctx.mrho->EmbedPath(p1);
+  const Vec e2 = ctx.mrho->EmbedPath(p2);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<EmbeddedPath> p1s(n, EmbeddedPath{p1, e1});
+  std::vector<EmbeddedPath> p2s(n, EmbeddedPath{p2, e2});
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    ctx.mrho->ScoreBatch(p1s, p2s, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["hrho_batch_calls"] =
+      static_cast<double>(ctx.mrho->BatchCalls());
+}
+BENCHMARK(BM_PathScoreBatchTrained)->Arg(16)->Arg(256);
 
 void BM_RankerTopK(benchmark::State& state) {
   BenchSystem& bs = Shared();

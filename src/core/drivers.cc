@@ -15,12 +15,22 @@ std::vector<VertexId> AllVertices(const Graph& g) {
 
 namespace {
 
+/// Bulk candidate scans touch each (u, v) pair once by construction, so
+/// routing them through the memo decorator would only thrash its shards
+/// (and the shard locks serialize the ParallelFor fan-out); score them
+/// against the raw kernel instead. Scalar probes and the small repeated
+/// per-descendant batches inside EvalOnce keep the coherent memo.
+const VertexScorer* BulkScorer(const VertexScorer* hv) {
+  const auto* caching = dynamic_cast<const CachingVertexScorer*>(hv);
+  return caching != nullptr ? caching->inner() : hv;
+}
+
 /// Filters candidate vertices by h_v(u_t, .) >= sigma, one batch call.
 std::vector<VertexId> FilterBySigma(MatchEngine& engine, VertexId u_t,
                                     std::span<const VertexId> candidates) {
   const MatchContext& ctx = engine.context();
   std::vector<double> scores(candidates.size());
-  ctx.hv->ScoreBatch(u_t, candidates, scores);
+  BulkScorer(ctx.hv)->ScoreBatch(u_t, candidates, scores);
   std::vector<VertexId> out;
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (scores[i] >= ctx.params.sigma) out.push_back(candidates[i]);
@@ -54,6 +64,7 @@ std::vector<MatchPair> GenerateCandidates(
   const std::vector<VertexId> all =
       index == nullptr ? AllVertices(*ctx.g) : std::vector<VertexId>{};
   std::vector<std::vector<Cand>> per_tuple(tuple_vertices.size());
+  const VertexScorer* hv = BulkScorer(ctx.hv);
   ParallelFor(tuple_vertices.size(), num_threads, [&](size_t i) {
     const VertexId u = tuple_vertices[i];
     std::vector<VertexId> blocked;
@@ -63,7 +74,7 @@ std::vector<MatchPair> GenerateCandidates(
       pool = blocked;
     }
     std::vector<double> scores(pool.size());
-    ctx.hv->ScoreBatch(u, pool, scores);
+    hv->ScoreBatch(u, pool, scores);
     auto& out = per_tuple[i];
     for (size_t j = 0; j < pool.size(); ++j) {
       if (scores[j] >= ctx.params.sigma) {
@@ -184,13 +195,20 @@ std::vector<MatchPair> ParallelAllParaMatch(
       stats->border_assumptions += s.border_assumptions;
       stats->candidate_gen_seconds += s.candidate_gen_seconds;
       stats->candidate_gen_runs += s.candidate_gen_runs;
-      // h_v counters snapshot the shared scorer (global, not per-engine):
-      // the freshest snapshot wins instead of summing.
+      stats->hrho_embed_reuse += s.hrho_embed_reuse;
+      stats->hrho_list_memo_hits += s.hrho_list_memo_hits;
+      stats->hrho_list_memo_evictions += s.hrho_list_memo_evictions;
+      // h_v / h_rho scorer counters snapshot the shared scorer (global,
+      // not per-engine): the freshest snapshot wins instead of summing.
       stats->hv_batch_calls = std::max(stats->hv_batch_calls,
                                        s.hv_batch_calls);
       stats->hv_cache_hits = std::max(stats->hv_cache_hits, s.hv_cache_hits);
       stats->hv_cache_evictions =
           std::max(stats->hv_cache_evictions, s.hv_cache_evictions);
+      stats->hrho_batch_calls =
+          std::max(stats->hrho_batch_calls, s.hrho_batch_calls);
+      stats->hrho_hash_rejects =
+          std::max(stats->hrho_hash_rejects, s.hrho_hash_rejects);
     }
   }
   return out;

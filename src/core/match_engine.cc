@@ -21,21 +21,32 @@ std::vector<Property> RankProperties(const MatchContext& ctx, int graph,
     p.descendant = r.descendant;
     p.labels = r.path.labels;
     p.joint = ctx.vocab->MapPath(graph, r.path.labels);
+    // Embed the joint path once at ranking time; every later h_rho against
+    // this property reuses the stored vector instead of re-running the
+    // SGNS encoder (empty when the scorer has no embedding stage).
+    if (ctx.mrho != nullptr) p.embedding = ctx.mrho->EmbedPath(p.joint);
     p.pra = r.pra;
     props.push_back(std::move(p));
   }
   return props;
 }
 
+/// M_rho operand view of a ranked property.
+EmbeddedPath OperandOf(const Property& p) {
+  return EmbeddedPath{p.joint, p.embedding};
+}
+
 }  // namespace
 
 PropertyTable PropertyTable::Build(const Graph& gd, const Graph& g,
                                    const DescendantRanker& hr,
-                                   const JointVocab& vocab, size_t threads) {
+                                   const JointVocab& vocab, size_t threads,
+                                   const PathScorer* mrho) {
   PropertyTable table;
-  MatchContext ctx;  // only hr + vocab are consulted by RankProperties
+  MatchContext ctx;  // only hr + vocab + mrho are consulted by RankProperties
   ctx.hr = &hr;
   ctx.vocab = &vocab;
+  ctx.mrho = mrho;
   const Graph* graphs[2] = {&gd, &g};
   for (int gi = 0; gi < 2; ++gi) {
     auto& out = table.table_[gi];
@@ -83,6 +94,13 @@ const MatchEngine::Stats& MatchEngine::stats() const {
             dynamic_cast<const CachingVertexScorer*>(ctx_.hv)) {
       stats_.hv_cache_hits = caching->CacheHits();
       stats_.hv_cache_evictions = caching->CacheEvictions();
+    }
+  }
+  if (ctx_.mrho != nullptr) {
+    stats_.hrho_batch_calls = ctx_.mrho->BatchCalls();
+    if (const auto* caching =
+            dynamic_cast<const CachingPathScorer*>(ctx_.mrho)) {
+      stats_.hrho_hash_rejects = caching->HashRejects();
     }
   }
   return stats_;
@@ -149,6 +167,67 @@ bool MatchEngine::ParaMatch(VertexId u, VertexId v) {
   }
 }
 
+std::shared_ptr<const MatchEngine::CandLists> MatchEngine::CandidateListsFor(
+    VertexId u, VertexId v, std::span<const Property> pu,
+    std::span<const Property> pv) {
+  const MatchPair key{u, v};
+  if (auto it = lists_memo_.find(key); it != lists_memo_.end()) {
+    ++stats_.hrho_list_memo_hits;
+    return it->second;
+  }
+
+  auto built = std::make_shared<CandLists>();
+  built->per_property.resize(pu.size());
+  const double sigma = ctx_.params.sigma;
+
+  // Sigma filter (Fig. 4 line 8): one batched h_v evaluation per selected
+  // descendant of u over ALL of v's descendants, replacing the
+  // |P(u)| x |P(v)| scalar Score calls.
+  std::vector<VertexId> vs(pv.size());
+  for (size_t j = 0; j < pv.size(); ++j) vs[j] = pv[j].descendant;
+  std::vector<double> hv(pv.size());
+  std::vector<EmbeddedPath> p1s, p2s;
+  std::vector<std::pair<size_t, size_t>> pair_ij;
+  for (size_t i = 0; i < pu.size(); ++i) {
+    if (!vs.empty()) ctx_.hv->ScoreBatch(pu[i].descendant, vs, hv);
+    for (size_t j = 0; j < pv.size(); ++j) {
+      if (hv[j] < sigma) continue;
+      p1s.push_back(OperandOf(pu[i]));
+      p2s.push_back(OperandOf(pv[j]));
+      if (!pu[i].embedding.empty()) ++stats_.hrho_embed_reuse;
+      if (!pv[j].embedding.empty()) ++stats_.hrho_embed_reuse;
+      pair_ij.emplace_back(i, j);
+    }
+  }
+
+  // One batched M_rho call for every surviving pair; h_rho's length
+  // normalization (Eq. 2) is applied per pair exactly as HRho does, so
+  // scores are bit-identical to the scalar path.
+  if (!pair_ij.empty()) {
+    std::vector<double> m(pair_ij.size());
+    ctx_.mrho->ScoreBatch(p1s, p2s, m);
+    stats_.hrho_evaluations += pair_ij.size();
+    for (size_t n = 0; n < pair_ij.size(); ++n) {
+      const auto [i, j] = pair_ij[n];
+      const double hrho =
+          m[n] / static_cast<double>(pu[i].joint.size() + pv[j].joint.size());
+      built->per_property[i].push_back(Cand{pv[j].descendant, hrho});
+    }
+  }
+  for (auto& list : built->per_property) {
+    std::sort(list.begin(), list.end(), [](const Cand& a, const Cand& b) {
+      return a.hrho != b.hrho ? a.hrho > b.hrho : a.v2 < b.v2;
+    });
+  }
+
+  if (lists_memo_.size() >= kListMemoCap) {
+    lists_memo_.clear();
+    ++stats_.hrho_list_memo_evictions;
+  }
+  lists_memo_.emplace(key, built);
+  return built;
+}
+
 bool MatchEngine::EvalOnce(VertexId u, VertexId v, bool* stale) {
   *stale = false;
   ++stats_.para_match_calls;
@@ -171,25 +250,18 @@ bool MatchEngine::EvalOnce(VertexId u, VertexId v, bool* stale) {
   const auto& pu = PropertiesOf(0, u);
   const auto& pv = PropertiesOf(1, v);
 
-  // Lines 6-11: per-descendant candidate lists sorted by descending h_rho.
-  struct Cand {
-    VertexId v2;
-    double hrho;
-  };
-  std::vector<std::vector<Cand>> lists(pu.size());
+  // Lines 6-11: per-descendant candidate lists sorted by descending h_rho,
+  // built with the batched kernel (or served from the memo on
+  // stale-restarts and cleanup reruns). Hold the shared_ptr for the whole
+  // evaluation: recursive ParaMatch calls below may clear the memo.
+  const std::shared_ptr<const CandLists> memo =
+      CandidateListsFor(u, v, pu, pv);
+  const auto& lists = memo->per_property;
   std::vector<double> contrib(pu.size(), 0.0);  // current MaxSco share of u'
   double maxsco = 0.0;
   for (size_t i = 0; i < pu.size(); ++i) {
-    auto& list = lists[i];
-    for (size_t j = 0; j < pv.size(); ++j) {
-      if (ctx_.hv->Score(pu[i].descendant, pv[j].descendant) < sigma) continue;
-      list.push_back(Cand{pv[j].descendant, HRho(pu[i], pv[j])});
-    }
-    std::sort(list.begin(), list.end(), [](const Cand& a, const Cand& b) {
-      return a.hrho != b.hrho ? a.hrho > b.hrho : a.v2 < b.v2;
-    });
-    if (!list.empty()) {
-      contrib[i] = list[0].hrho;
+    if (!lists[i].empty()) {
+      contrib[i] = lists[i][0].hrho;
       maxsco += contrib[i];
     }
   }
@@ -314,10 +386,12 @@ void MatchEngine::RecheckDependents(const MatchPair& key) {
 void PropertyTable::Refresh(int graph, const Graph& g,
                             std::span<const VertexId> vertices,
                             const DescendantRanker& hr,
-                            const JointVocab& vocab) {
+                            const JointVocab& vocab,
+                            const PathScorer* mrho) {
   MatchContext ctx;
   ctx.hr = &hr;
   ctx.vocab = &vocab;
+  ctx.mrho = mrho;
   auto& out = table_[graph];
   HER_CHECK(out.size() == g.num_vertices());
   for (const VertexId v : vertices) {
@@ -356,6 +430,16 @@ void MatchEngine::InvalidateForUpdate(std::span<const VertexId> affected_u,
   }
   for (const VertexId v : affected_u) ecache_[0].erase(v);
   for (const VertexId v : affected_v) ecache_[1].erase(v);
+  // Candidate lists are derived from the properties and h_v scores of the
+  // pair's vertices; drop the rows the update touches (same granularity as
+  // the ecache rows above).
+  for (auto it = lists_memo_.begin(); it != lists_memo_.end();) {
+    if (su.count(it->first.first) != 0 || sv.count(it->first.second) != 0) {
+      it = lists_memo_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void MatchEngine::ClearPairCache() {

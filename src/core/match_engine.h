@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -23,6 +24,12 @@ struct Property {
   VertexId descendant = kInvalidVertex;
   std::vector<LabelId> labels;  // per-graph edge labels along the path
   std::vector<int> joint;       // same path in joint-vocab tokens
+  /// Precomputed M_rho embedding of `joint` (PathScorer::EmbedPath), filled
+  /// once when the property is ranked so the h_rho inner loop never
+  /// re-embeds. Empty when the scorer has no embedding stage (token-overlap
+  /// fallback) or none was supplied at build time; scorers then embed from
+  /// `joint` on the fly.
+  Vec embedding;
   double pra = 0.0;
 };
 
@@ -35,9 +42,12 @@ class PropertyTable {
  public:
   /// Ranks every vertex of gd (graph 0) and g (graph 1) with `hr`,
   /// translating paths via `vocab`. `threads` parallelizes the build.
+  /// When `mrho` is given, each property's joint path is embedded once via
+  /// PathScorer::EmbedPath and stored in Property::embedding.
   static PropertyTable Build(const Graph& gd, const Graph& g,
                              const DescendantRanker& hr,
-                             const JointVocab& vocab, size_t threads = 1);
+                             const JointVocab& vocab, size_t threads = 1,
+                             const PathScorer* mrho = nullptr);
 
   std::span<const Property> Get(int graph, VertexId v, int k) const {
     const auto& all = table_[graph][v];
@@ -46,8 +56,11 @@ class PropertyTable {
 
   /// Re-ranks the listed vertices against an updated graph (incremental
   /// maintenance; `hr` must already be bound to the new graph version).
+  /// Pass the same `mrho` as Build so refreshed rows keep their
+  /// precomputed path embeddings.
   void Refresh(int graph, const Graph& g, std::span<const VertexId> vertices,
-               const DescendantRanker& hr, const JointVocab& vocab);
+               const DescendantRanker& hr, const JointVocab& vocab,
+               const PathScorer* mrho = nullptr);
 
  private:
   std::vector<std::vector<Property>> table_[2];  // [graph][vertex]
@@ -86,6 +99,14 @@ class MatchEngine {
     size_t hv_batch_calls = 0;     // ScoreBatch invocations
     size_t hv_cache_hits = 0;      // memoized h_v probes (CachingVertexScorer)
     size_t hv_cache_evictions = 0;  // h_v memo shard resets
+    // --- h_rho kernel telemetry. The first two are snapshots of the
+    // shared PathScorer (same aggregation caveat as the h_v fields); the
+    // rest are per-engine counters and sum across engines. ---
+    size_t hrho_batch_calls = 0;   // PathScorer::ScoreBatch invocations
+    size_t hrho_hash_rejects = 0;  // CachingPathScorer collisions caught
+    size_t hrho_embed_reuse = 0;   // precomputed path embeddings consumed
+    size_t hrho_list_memo_hits = 0;       // candidate-list memo hits
+    size_t hrho_list_memo_evictions = 0;  // candidate-list memo resets
     // Wall time spent in GenerateCandidates by drivers running on this
     // engine (AllParaMatch / ParallelAllParaMatch record it here).
     double candidate_gen_seconds = 0.0;
@@ -171,6 +192,31 @@ class MatchEngine {
   }
 
  private:
+  /// One candidate for a selected descendant u' of u: a descendant v' of v
+  /// that passed the sigma filter, with its h_rho value.
+  struct Cand {
+    VertexId v2;
+    double hrho;
+  };
+  /// The per-property candidate lists of Fig. 4 lines 6-11 for one root
+  /// pair (u, v), each sorted by descending h_rho. Deterministic given the
+  /// graphs, models and parameters, so stale-restarts and cleanup reruns
+  /// of the same pair reuse the memoized value instead of rebuilding the
+  /// |P(u)| x |P(v)| matrix.
+  struct CandLists {
+    std::vector<std::vector<Cand>> per_property;
+  };
+
+  /// Returns the candidate lists for (u, v), from lists_memo_ when
+  /// present; otherwise builds them with one hv->ScoreBatch per property
+  /// and a single batched M_rho call over the sigma-surviving pairs, then
+  /// memoizes. The result is shared_ptr-held: deep recursion below the
+  /// caller can wholesale-clear the memo on overflow, and the caller's
+  /// copy must survive that.
+  std::shared_ptr<const CandLists> CandidateListsFor(
+      VertexId u, VertexId v, std::span<const Property> pu,
+      std::span<const Property> pv);
+
   /// One attempt at evaluating (u, v). Returns the verdict; sets *stale if
   /// a witness consumed as true got invalidated mid-evaluation (in which
   /// case the verdict must be recomputed).
@@ -211,6 +257,14 @@ class MatchEngine {
 
   // ecache: [graph] vertex -> properties. Filled lazily via h_r.
   std::unordered_map<VertexId, std::vector<Property>> ecache_[2];
+
+  // Candidate-list memo: (u, v) -> the sorted per-property lists of
+  // EvalOnce. Like ecache it is graph/parameter-determined, so it survives
+  // ClearPairCache; InvalidateForUpdate drops the affected rows. Cleared
+  // wholesale when it exceeds kListMemoCap (counted as an eviction).
+  static constexpr size_t kListMemoCap = 1 << 15;
+  std::unordered_map<MatchPair, std::shared_ptr<const CandLists>, PairHash>
+      lists_memo_;
 };
 
 }  // namespace her

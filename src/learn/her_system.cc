@@ -84,7 +84,8 @@ void HerSystem::Train(std::span<const PathPairExample> path_pairs,
   // Materialize h_r for every vertex (Section IV runs h_r as part of
   // Learn); the BSP workers then share it read-only like the graphs.
   properties_ = std::make_unique<PropertyTable>(PropertyTable::Build(
-      canonical_->graph(), *g_, *hr_, *models_.vocab, /*threads=*/4));
+      canonical_->graph(), *g_, *hr_, *models_.vocab, /*threads=*/4,
+      mrho_.get()));
   ctx_.properties = properties_.get();
   engine_ = std::make_unique<MatchEngine>(ctx_);
   trained_ = true;
@@ -310,7 +311,7 @@ void HerSystem::UpdateGraph(const Graph& new_g) {
   }
   ctx_.hr = hr_.get();
   if (properties_ != nullptr) {
-    properties_->Refresh(1, *g_, affected, *hr_, *models_.vocab);
+    properties_->Refresh(1, *g_, affected, *hr_, *models_.vocab, mrho_.get());
   }
   engine_->InvalidateForUpdate({}, affected);
   blocking_.reset();  // attribute values reachable per vertex changed

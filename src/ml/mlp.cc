@@ -1,6 +1,7 @@
 #include "ml/mlp.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -11,6 +12,18 @@ namespace {
 constexpr double kBeta1 = 0.9;
 constexpr double kBeta2 = 0.999;
 constexpr double kEps = 1e-8;
+
+// Lane count of the batched forward pass: enough independent accumulator
+// chains to saturate the FP-add pipes instead of serializing on one
+// chain's add latency (the scalar Dot's bound).
+constexpr size_t kLanes = 8;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define HER_MLP_PACKED_LANES 1
+// Native 128-bit pairs (SSE2-class on x86): two lanes per register halve
+// the uop count per lane without touching any lane's reduction order.
+typedef double Vd2 __attribute__((vector_size(16)));
+#endif
 }  // namespace
 
 Mlp::Mlp(std::vector<size_t> dims, uint64_t seed) : dims_(std::move(dims)) {
@@ -59,6 +72,95 @@ double Mlp::ForwardKeep(const Vec& x, std::vector<Vec>& activations) const {
 double Mlp::Predict(const Vec& x) const {
   std::vector<Vec> acts;
   return Sigmoid(ForwardKeep(x, acts));
+}
+
+void Mlp::PredictBatch(std::span<const float> rows,
+                       std::span<double> out) const {
+  const size_t in_dim = dims_.front();
+  HER_DCHECK(rows.size() == out.size() * in_dim);
+  const size_t n = out.size();
+  if (n == 0) return;
+  size_t max_dim = in_dim;
+  for (size_t l = 1; l < dims_.size(); ++l) {
+    max_dim = std::max(max_dim, dims_[l]);
+  }
+  // Lane-major interleaved activations (buf[kLanes*i + r] is lane r's
+  // activation i): the lanes of one activation sit contiguous for the
+  // packed inner loop. Held widened to double — activations still round
+  // through float exactly as ForwardKeep stores them (the widening after
+  // that rounding is exact), but each value is converted once per layer
+  // instead of once per output row. Two ping-pong buffers per batch.
+  std::vector<double> front(kLanes * max_dim), back(kLanes * max_dim);
+
+  for (size_t r0 = 0; r0 < n; r0 += kLanes) {
+    const size_t lanes = std::min<size_t>(kLanes, n - r0);
+    // Short groups pad with the last real row; padded lanes compute the
+    // same values and are simply not written out.
+    for (size_t r = 0; r < kLanes; ++r) {
+      const float* src = rows.data() + (r0 + std::min(r, lanes - 1)) * in_dim;
+      for (size_t i = 0; i < in_dim; ++i) {
+        front[kLanes * i + r] = static_cast<double>(src[i]);
+      }
+    }
+    double* cur = front.data();
+    double* nxt = back.data();
+    double logit[kLanes] = {};
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      const Layer& layer = layers_[l];
+      const bool last = (l + 1 == layers_.size());
+      const size_t width = dims_[l];
+      for (size_t o = 0; o < layer.w.size(); ++o) {
+        const float* w = layer.w[o].data();
+        // Independent accumulator chains, one per lane, each in ascending
+        // index order: per lane the arithmetic is exactly Dot + bias, so
+        // results match the scalar ForwardKeep bit for bit. Lanes are
+        // mutually independent, so packing two of them per 128-bit
+        // register changes no lane's reduction order.
+        double s[kLanes];
+#ifdef HER_MLP_PACKED_LANES
+        Vd2 acc0 = {0.0, 0.0}, acc1 = {0.0, 0.0};
+        Vd2 acc2 = {0.0, 0.0}, acc3 = {0.0, 0.0};
+        for (size_t i = 0; i < width; ++i) {
+          const double wi = w[i];
+          const double* c = cur + kLanes * i;
+          Vd2 c0, c1, c2, c3;
+          std::memcpy(&c0, c + 0, sizeof c0);
+          std::memcpy(&c1, c + 2, sizeof c1);
+          std::memcpy(&c2, c + 4, sizeof c2);
+          std::memcpy(&c3, c + 6, sizeof c3);
+          acc0 += wi * c0;
+          acc1 += wi * c1;
+          acc2 += wi * c2;
+          acc3 += wi * c3;
+        }
+        s[0] = acc0[0];
+        s[1] = acc0[1];
+        s[2] = acc1[0];
+        s[3] = acc1[1];
+        s[4] = acc2[0];
+        s[5] = acc2[1];
+        s[6] = acc3[0];
+        s[7] = acc3[1];
+#else
+        for (size_t r = 0; r < kLanes; ++r) s[r] = 0.0;
+        for (size_t i = 0; i < width; ++i) {
+          const double wi = w[i];
+          const double* c = cur + kLanes * i;
+          for (size_t r = 0; r < kLanes; ++r) s[r] += wi * c[r];
+        }
+#endif
+        for (size_t r = 0; r < kLanes; ++r) {
+          double z = layer.b[o] + s[r];
+          if (!last && z < 0) z = 0;  // ReLU
+          const float rounded = static_cast<float>(z);
+          nxt[kLanes * o + r] = static_cast<double>(rounded);
+          if (last && o == 0) logit[r] = rounded;
+        }
+      }
+      std::swap(cur, nxt);
+    }
+    for (size_t r = 0; r < lanes; ++r) out[r0 + r] = Sigmoid(logit[r]);
+  }
 }
 
 void Mlp::BackwardApply(const Vec& x, const std::vector<Vec>& activations,
@@ -140,6 +242,17 @@ Vec PairFeatures(const Vec& a, const Vec& b) {
   for (size_t i = 0; i < a.size(); ++i) f.push_back(std::fabs(a[i] - b[i]));
   for (size_t i = 0; i < a.size(); ++i) f.push_back(a[i] * b[i]);
   return f;
+}
+
+void PairFeaturesInto(std::span<const float> a, std::span<const float> b,
+                      std::span<float> out) {
+  const size_t d = a.size();
+  HER_DCHECK(b.size() == d);
+  HER_DCHECK(out.size() == 4 * d);
+  for (size_t i = 0; i < d; ++i) out[i] = a[i];
+  for (size_t i = 0; i < d; ++i) out[d + i] = b[i];
+  for (size_t i = 0; i < d; ++i) out[2 * d + i] = std::fabs(a[i] - b[i]);
+  for (size_t i = 0; i < d; ++i) out[3 * d + i] = a[i] * b[i];
 }
 
 }  // namespace her

@@ -2,6 +2,7 @@
 #define HER_ML_MLP_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ml/vector_ops.h"
@@ -25,6 +26,16 @@ class Mlp {
 
   /// Sigmoid score in (0, 1).
   double Predict(const Vec& x) const;
+
+  /// Batched Predict over a row-major feature matrix: `rows` holds
+  /// out.size() rows of input_dim() floats each, and out[r] equals
+  /// Predict(row r) bit for bit. Rows are processed four at a time with
+  /// one independent accumulator chain per row (each in index order, so
+  /// per-row arithmetic is identical to the scalar path); the interleaving
+  /// hides the FP-add latency that bounds the scalar matvec, and the
+  /// activation scratch is reused across rows instead of being allocated
+  /// per call the way Predict's ForwardKeep does.
+  void PredictBatch(std::span<const float> rows, std::span<double> out) const;
 
   /// One Adam step on binary-cross-entropy against `target` in {0, 1}
   /// (or a soft target in [0,1]). Returns the BCE loss before the step.
@@ -66,6 +77,13 @@ class Mlp {
 /// Builds the pair-feature vector [a; b; |a-b|; a*b] consumed by the metric
 /// model. Size is 4 * a.size(); a and b must have equal dimension.
 Vec PairFeatures(const Vec& a, const Vec& b);
+
+/// Writes the same pair features into a preallocated row of exactly
+/// 4 * a.size() floats (no allocation; the batched M_rho kernel fills one
+/// feature-matrix row per candidate pair with this). Values are identical
+/// to PairFeatures.
+void PairFeaturesInto(std::span<const float> a, std::span<const float> b,
+                      std::span<float> out);
 
 }  // namespace her
 

@@ -171,6 +171,9 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates) {
     result.stats.budget_exhausted += s.budget_exhausted;
     result.stats.hrho_evaluations += s.hrho_evaluations;
     result.stats.border_assumptions += s.border_assumptions;
+    result.stats.hrho_embed_reuse += s.hrho_embed_reuse;
+    result.stats.hrho_list_memo_hits += s.hrho_list_memo_hits;
+    result.stats.hrho_list_memo_evictions += s.hrho_list_memo_evictions;
     result.max_worker_calls =
         std::max(result.max_worker_calls, s.para_match_calls);
   }
@@ -311,6 +314,9 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
     result.stats.para_match_calls += s.para_match_calls;
     result.stats.hrho_evaluations += s.hrho_evaluations;
     result.stats.border_assumptions += s.border_assumptions;
+    result.stats.hrho_embed_reuse += s.hrho_embed_reuse;
+    result.stats.hrho_list_memo_hits += s.hrho_list_memo_hits;
+    result.stats.hrho_list_memo_evictions += s.hrho_list_memo_evictions;
     result.max_worker_calls =
         std::max(result.max_worker_calls, s.para_match_calls);
   }

@@ -116,8 +116,41 @@ double CachingVertexScorer::Score(VertexId u, VertexId v) const {
 
 void CachingVertexScorer::ScoreBatch(VertexId u, std::span<const VertexId> vs,
                                      std::span<double> out) const {
+  HER_DCHECK(vs.size() == out.size());
   batch_calls_.fetch_add(1, std::memory_order_relaxed);
-  inner_->ScoreBatch(u, vs, out);
+  std::vector<VertexId> miss_vs;
+  std::vector<size_t> miss_idx;
+  size_t batch_hits = 0;
+  for (size_t i = 0; i < vs.size(); ++i) {
+    const uint64_t key = (static_cast<uint64_t>(u) << 32) | vs[i];
+    Shard& shard = shards_[Mix64(key) % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      out[i] = it->second;
+      ++batch_hits;
+    } else {
+      miss_vs.push_back(vs[i]);
+      miss_idx.push_back(i);
+    }
+  }
+  if (batch_hits != 0) {
+    hits_.fetch_add(batch_hits, std::memory_order_relaxed);
+  }
+  if (miss_vs.empty()) return;
+  std::vector<double> miss_out(miss_vs.size());
+  inner_->ScoreBatch(u, miss_vs, miss_out);
+  for (size_t j = 0; j < miss_vs.size(); ++j) {
+    out[miss_idx[j]] = miss_out[j];
+    const uint64_t key = (static_cast<uint64_t>(u) << 32) | miss_vs[j];
+    Shard& shard = shards_[Mix64(key) % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() >= shard_cap_) {
+      shard.map.clear();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.map.emplace(key, miss_out[j]);
+  }
 }
 
 size_t CachingVertexScorer::CacheSize() const {
@@ -133,11 +166,49 @@ double JaccardVertexScorer::Score(VertexId u, VertexId v) const {
   return TokenJaccard(g1_->label(u), g2_->label(v));
 }
 
+void PathScorer::ScoreBatch(std::span<const EmbeddedPath> p1s,
+                            std::span<const EmbeddedPath> p2s,
+                            std::span<double> out) const {
+  HER_DCHECK(p1s.size() == out.size() && p2s.size() == out.size());
+  batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = Score(p1s[i].tokens, p2s[i].tokens);
+  }
+}
+
 double MetricPathScorer::Score(std::span<const int> p1,
                                std::span<const int> p2) const {
   const Vec e1 = sgns_->EmbedSequence(p1);
   const Vec e2 = sgns_->EmbedSequence(p2);
   return metric_->Predict(PairFeatures(e1, e2));
+}
+
+void MetricPathScorer::ScoreBatch(std::span<const EmbeddedPath> p1s,
+                                  std::span<const EmbeddedPath> p2s,
+                                  std::span<double> out) const {
+  HER_DCHECK(p1s.size() == out.size() && p2s.size() == out.size());
+  batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (out.empty()) return;
+  const size_t dim = sgns_->dim();
+  const size_t fdim = 4 * dim;
+  HER_DCHECK(fdim == metric_->input_dim());
+  std::vector<float> rows(out.size() * fdim);
+  Vec e1, e2;  // scratch for operands without a precomputed embedding
+  for (size_t i = 0; i < out.size(); ++i) {
+    std::span<const float> a = p1s[i].embedding;
+    if (a.empty()) {
+      e1 = sgns_->EmbedSequence(p1s[i].tokens);
+      a = e1;
+    }
+    std::span<const float> b = p2s[i].embedding;
+    if (b.empty()) {
+      e2 = sgns_->EmbedSequence(p2s[i].tokens);
+      b = e2;
+    }
+    PairFeaturesInto(a, b,
+                     std::span<float>(rows).subspan(i * fdim, fdim));
+  }
+  metric_->PredictBatch(rows, out);
 }
 
 double TokenOverlapPathScorer::Score(std::span<const int> p1,
@@ -168,25 +239,84 @@ uint64_t HashTokenPath(std::span<const int> p) {
 
 }  // namespace
 
+namespace {
+
+bool SamePath(const std::vector<int>& stored, std::span<const int> probe) {
+  return stored.size() == probe.size() &&
+         std::equal(stored.begin(), stored.end(), probe.begin());
+}
+
+}  // namespace
+
+bool CachingPathScorer::Probe(uint64_t key, std::span<const int> p1,
+                              std::span<const int> p2, double* score) const {
+  Shard& shard = shards_[key % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  if (!SamePath(it->second.p1, p1) || !SamePath(it->second.p2, p2)) {
+    hash_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *score = it->second.score;
+  return true;
+}
+
+void CachingPathScorer::Insert(uint64_t key, std::span<const int> p1,
+                               std::span<const int> p2, double score) const {
+  Shard& shard = shards_[key % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.size() >= shard_cap_) {
+    shard.map.clear();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // insert_or_assign so a hash-colliding resident entry is replaced by the
+  // fresher pair instead of permanently shadowing it.
+  shard.map.insert_or_assign(
+      key, Entry{std::vector<int>(p1.begin(), p1.end()),
+                 std::vector<int>(p2.begin(), p2.end()), score});
+}
+
+uint64_t CachingPathScorer::HashPair(std::span<const int> p1,
+                                     std::span<const int> p2) const {
+  return HashCombine(HashTokenPath(p1), HashTokenPath(p2));
+}
+
 double CachingPathScorer::Score(std::span<const int> p1,
                                 std::span<const int> p2) const {
-  const uint64_t key = HashCombine(HashTokenPath(p1), HashTokenPath(p2));
-  Shard& shard = shards_[key % kShards];
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(key);
-    if (it != shard.map.end()) return it->second;
-  }
-  const double score = inner_->Score(p1, p2);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.map.size() >= shard_cap_) {
-      shard.map.clear();
-      evictions_.fetch_add(1, std::memory_order_relaxed);
-    }
-    shard.map.emplace(key, score);
-  }
+  const uint64_t key = HashPair(p1, p2);
+  double score = 0.0;
+  if (Probe(key, p1, p2, &score)) return score;
+  score = inner_->Score(p1, p2);
+  Insert(key, p1, p2, score);
   return score;
+}
+
+void CachingPathScorer::ScoreBatch(std::span<const EmbeddedPath> p1s,
+                                   std::span<const EmbeddedPath> p2s,
+                                   std::span<double> out) const {
+  HER_DCHECK(p1s.size() == out.size() && p2s.size() == out.size());
+  batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint64_t> keys(out.size());
+  std::vector<size_t> miss_idx;
+  std::vector<EmbeddedPath> m1, m2;
+  for (size_t i = 0; i < out.size(); ++i) {
+    keys[i] = HashPair(p1s[i].tokens, p2s[i].tokens);
+    if (!Probe(keys[i], p1s[i].tokens, p2s[i].tokens, &out[i])) {
+      miss_idx.push_back(i);
+      m1.push_back(p1s[i]);
+      m2.push_back(p2s[i]);
+    }
+  }
+  if (miss_idx.empty()) return;
+  std::vector<double> miss_out(miss_idx.size());
+  inner_->ScoreBatch(m1, m2, miss_out);
+  for (size_t j = 0; j < miss_idx.size(); ++j) {
+    const size_t i = miss_idx[j];
+    out[i] = miss_out[j];
+    Insert(keys[i], p1s[i].tokens, p2s[i].tokens, miss_out[j]);
+  }
 }
 
 size_t CachingPathScorer::CacheSize() const {
@@ -214,6 +344,11 @@ std::vector<RankedProperty> PraRanker::TopK(int graph, VertexId v,
 std::vector<RankedProperty> LstmPraRanker::TopK(int graph, VertexId v,
                                                 int k) const {
   const Graph& g = *graphs_[graph];
+  // The maximum-PRA traversal is the expensive part of ranking a vertex
+  // during PropertyTable::Build; run it exactly once per (graph, v) and
+  // reuse the result in the descendant merge below rather than
+  // re-traversing there.
+  auto max_pra_paths = MaxPraPaths(g, v, max_len_);
   std::vector<RankedProperty> collected;
 
   for (const Edge& first : g.OutEdges(v)) {
@@ -266,7 +401,7 @@ std::vector<RankedProperty> LstmPraRanker::TopK(int graph, VertexId v,
   for (const RankedProperty& p : collected) {
     lm_endpoints.insert(p.descendant);
   }
-  for (auto& extra : MaxPraPaths(g, v, max_len_)) {
+  for (auto& extra : max_pra_paths) {
     if (lm_endpoints.count(extra.path.endpoint) != 0) continue;
     RankedProperty prop;
     prop.descendant = extra.path.endpoint;

@@ -87,8 +87,10 @@ class EmbeddingVertexScorer : public VertexScorer {
 /// so a (u, v) -> score memo pays off. Sharded and lock-guarded; safe to
 /// share across threads. Each shard resets wholesale when it exceeds
 /// `shard_cap` entries (cheap bounded memory, counted by CacheEvictions).
-/// ScoreBatch intentionally bypasses the memo: the bulk candidate scans
-/// would thrash it for values that are never probed twice.
+/// ScoreBatch goes through the same memo: cached entries are served
+/// directly, only the misses reach inner_->ScoreBatch, and their results
+/// are inserted — so the scalar and batch paths see one coherent cache and
+/// CacheHits/CacheEvictions cover both.
 class CachingVertexScorer : public VertexScorer {
  public:
   static constexpr size_t kDefaultShardCap = 1 << 16;
@@ -134,6 +136,16 @@ class JaccardVertexScorer : public VertexScorer {
   const Graph* g2_;
 };
 
+/// One M_rho operand for the batched kernel: the joint-vocab token path
+/// plus an optional precomputed path embedding. An empty `embedding` span
+/// means "not precomputed" — the scorer embeds `tokens` itself. Both spans
+/// borrow; the backing storage (e.g. Property::joint / Property::embedding
+/// in the PropertyTable) must outlive the ScoreBatch call.
+struct EmbeddedPath {
+  std::span<const int> tokens;
+  std::span<const float> embedding;
+};
+
 /// M_rho: similarity in [0, 1] of two edge-label sequences, given as joint
 /// vocabulary tokens (Section IV, "Edge model"). Thread-safe.
 /// Note h_rho = Score / (len1 + len2) is applied by the caller (Eq. 2).
@@ -142,6 +154,29 @@ class PathScorer {
   virtual ~PathScorer() = default;
   virtual double Score(std::span<const int> p1,
                        std::span<const int> p2) const = 0;
+
+  /// Batched M_rho over parallel pair arrays: out[i] =
+  /// Score(p1s[i], p2s[i]) bit for bit. Implementations may honor the
+  /// precomputed embeddings in the operands; the default loops over Score
+  /// on the token spans (embeddings ignored).
+  virtual void ScoreBatch(std::span<const EmbeddedPath> p1s,
+                          std::span<const EmbeddedPath> p2s,
+                          std::span<double> out) const;
+
+  /// Embeds a token path exactly as Score would internally, so callers can
+  /// precompute EmbeddedPath::embedding once per property. Returns an
+  /// empty vector when this scorer has no embedding stage (e.g. the
+  /// token-overlap fallback); such operands are scored from tokens.
+  virtual Vec EmbedPath(std::span<const int> /*p*/) const { return {}; }
+
+  /// Number of ScoreBatch invocations on this scorer (telemetry; feeds
+  /// MatchEngine::Stats::hrho_batch_calls).
+  size_t BatchCalls() const {
+    return batch_calls_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  mutable std::atomic<size_t> batch_calls_{0};
 };
 
 /// The paper's M_rho: SGNS path embeddings (BERT substitute) compared by a
@@ -154,6 +189,17 @@ class MetricPathScorer : public PathScorer {
 
   double Score(std::span<const int> p1,
                std::span<const int> p2) const override;
+
+  /// Builds one pair-feature row per pair (reusing precomputed embeddings,
+  /// embedding the rest) and scores the whole matrix with one
+  /// Mlp::PredictBatch call. Bit-identical to the scalar Score path.
+  void ScoreBatch(std::span<const EmbeddedPath> p1s,
+                  std::span<const EmbeddedPath> p2s,
+                  std::span<double> out) const override;
+
+  Vec EmbedPath(std::span<const int> p) const override {
+    return sgns_->EmbedSequence(p);
+  }
 
  private:
   const SgnsModel* sgns_;
@@ -180,6 +226,11 @@ class TokenOverlapPathScorer : public PathScorer {
 /// though the BSP workers typically own one each. Each shard is capped at
 /// `shard_cap` entries and resets wholesale on overflow (cheap bounded
 /// memory for long AllParaMatch runs), counted by CacheEvictions.
+///
+/// Entries keep the token-path pair as key material: a 64-bit combined
+/// hash alone would silently alias distinct pairs, so every probe verifies
+/// the stored paths against the operands and treats a mismatch as a miss
+/// (counted by HashRejects; the colliding entry is replaced).
 class CachingPathScorer : public PathScorer {
  public:
   static constexpr size_t kDefaultShardCap = 1 << 16;
@@ -191,21 +242,58 @@ class CachingPathScorer : public PathScorer {
   double Score(std::span<const int> p1,
                std::span<const int> p2) const override;
 
+  /// Serves cached pairs, forwards only the misses (with their precomputed
+  /// embeddings intact) to inner_->ScoreBatch, and inserts the results —
+  /// the scalar and batch paths share one coherent memo.
+  void ScoreBatch(std::span<const EmbeddedPath> p1s,
+                  std::span<const EmbeddedPath> p2s,
+                  std::span<double> out) const override;
+
+  Vec EmbedPath(std::span<const int> p) const override {
+    return inner_->EmbedPath(p);
+  }
+
   size_t CacheSize() const;
+  size_t CacheHits() const { return hits_.load(std::memory_order_relaxed); }
   size_t CacheEvictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  /// Probes whose 64-bit hash matched a resident entry holding a
+  /// *different* token-path pair (hash collision caught by verification).
+  size_t HashRejects() const {
+    return hash_rejects_.load(std::memory_order_relaxed);
+  }
+  const PathScorer* inner() const { return inner_; }
+
+ protected:
+  /// 64-bit key of a path pair. Virtual so tests can inject a colliding
+  /// hash and exercise the verification/reject path deterministically.
+  virtual uint64_t HashPair(std::span<const int> p1,
+                            std::span<const int> p2) const;
 
  private:
   static constexpr size_t kShards = 16;
+  struct Entry {
+    std::vector<int> p1, p2;  // verification key material
+    double score = 0.0;
+  };
   struct Shard {
     mutable std::mutex mu;
-    mutable std::unordered_map<uint64_t, double> map;
+    mutable std::unordered_map<uint64_t, Entry> map;
   };
+
+  /// Probes one pair; returns true on a verified hit (score in *score).
+  bool Probe(uint64_t key, std::span<const int> p1, std::span<const int> p2,
+             double* score) const;
+  void Insert(uint64_t key, std::span<const int> p1, std::span<const int> p2,
+              double score) const;
+
   const PathScorer* inner_;
   size_t shard_cap_;
   mutable Shard shards_[kShards];
+  mutable std::atomic<size_t> hits_{0};
   mutable std::atomic<size_t> evictions_{0};
+  mutable std::atomic<size_t> hash_rejects_{0};
 };
 
 /// One important property of a vertex, as selected by h_r: a descendant

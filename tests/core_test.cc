@@ -6,6 +6,9 @@
 #include "core/drivers.h"
 #include "core/match_engine.h"
 #include "core/schema_match.h"
+#include "ml/mlp.h"
+#include "ml/sgns.h"
+#include "sim/scores.h"
 
 namespace her {
 namespace {
@@ -406,6 +409,166 @@ TEST(ExplainTest, ReportsNonMatch) {
             std::string::npos);
 }
 
+TEST(ParaMatchTest, CleanupRerunReusesCandidateListMemo) {
+  // MakeCycleGraphs(false): (u1, v1) is optimistically consumed as a
+  // witness and invalidated mid-evaluation of the root pair; the cleanup
+  // stage re-runs EvalOnce on its dependents, which must reuse the
+  // memoized candidate lists instead of rebuilding the h_rho matrix.
+  CycleGraphs cg = MakeCycleGraphs(/*u3_matches=*/false);
+  Harness h(std::move(cg.g1), std::move(cg.g2),
+            {.sigma = 1.0, .delta = 0.9, .k = 5});
+  EXPECT_FALSE(h.engine->Match(0, 0));
+  const auto& s = h.engine->stats();
+  EXPECT_GE(s.cleanup_reruns, 1u);
+  EXPECT_GE(s.hrho_list_memo_hits, 1u);
+  EXPECT_GE(s.hrho_batch_calls, 1u);
+  // The rerun-heavy warm state must agree with a cold engine pairwise.
+  Harness cold(Graph(h.g1), Graph(h.g2), h.ctx.params);
+  for (VertexId u = 0; u < h.g1.num_vertices(); ++u) {
+    for (VertexId v = 0; v < h.g2.num_vertices(); ++v) {
+      const auto* e = h.engine->Lookup(u, v);
+      if (e == nullptr) continue;
+      EXPECT_EQ(e->valid, cold.engine->Match(u, v))
+          << "pair (" << u << ", " << v << ")";
+    }
+  }
+}
+
+/// h_v scorer that injects an external invalidation (ForceInvalid, the
+/// message a BSP peer would send) into the engine the first time a chosen
+/// pair is scored — i.e. mid-evaluation of that pair's parent, after the
+/// parent consumed its first witness. This drives EvalOnce's stale-restart
+/// branch deterministically, which a serial cold-cache run cannot reach on
+/// its own (consumed witnesses only depend on live ancestors, so they
+/// cannot flip before the verification pass).
+class InvalidatingVertexScorer : public VertexScorer {
+ public:
+  InvalidatingVertexScorer(const Graph& g1, const Graph& g2,
+                           VertexId trigger_u, VertexId trigger_v,
+                           MatchPair victim)
+      : inner_(g1, g2),
+        trigger_u_(trigger_u),
+        trigger_v_(trigger_v),
+        victim_(victim) {}
+
+  void set_engine(MatchEngine* engine) { engine_ = engine; }
+  bool fired() const { return fired_; }
+
+  double Score(VertexId u, VertexId v) const override {
+    if (!fired_ && u == trigger_u_ && v == trigger_v_ && engine_ != nullptr) {
+      fired_ = true;
+      engine_->ForceInvalid(victim_.first, victim_.second);
+    }
+    return inner_.Score(u, v);
+  }
+
+  // Batched scoring (candidate-list construction) must not trigger: the
+  // injection models an invalidation arriving during the matching stage.
+  void ScoreBatch(VertexId u, std::span<const VertexId> vs,
+                  std::span<double> out) const override {
+    batch_calls_.fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0; i < vs.size(); ++i) out[i] = inner_.Score(u, vs[i]);
+  }
+
+ private:
+  JaccardVertexScorer inner_;
+  VertexId trigger_u_, trigger_v_;
+  MatchPair victim_;
+  mutable MatchEngine* engine_ = nullptr;
+  mutable bool fired_ = false;
+};
+
+TEST(ParaMatchTest, StaleRestartReusesMemoAndConvergesToColdVerdict) {
+  // u("item") needs both attribute children (h_rho 1/2 each, delta 0.9).
+  // The scorer invalidates the already-consumed witness (1, 1) when the
+  // second child pair (2, 2) enters its initial stage, so the verification
+  // pass at sum >= delta sees a dead witness and must restart EvalOnce.
+  Graph g1 = Star({{"color", "white"}, {"material", "foam"}});
+  Graph g2 = Star({{"color", "white"}, {"material", "foam"}});
+  const JointVocab vocab(g1, g2);
+  const TokenOverlapPathScorer mrho(&vocab);
+  const PraRanker hr(g1, g2);
+  InvalidatingVertexScorer hv(g1, g2, /*trigger_u=*/2, /*trigger_v=*/2,
+                              /*victim=*/MatchPair{1, 1});
+  MatchContext ctx;
+  ctx.gd = &g1;
+  ctx.g = &g2;
+  ctx.hv = &hv;
+  ctx.mrho = &mrho;
+  ctx.hr = &hr;
+  ctx.vocab = &vocab;
+  ctx.params = {.sigma = 1.0, .delta = 0.9, .k = 5};
+  MatchEngine engine(ctx);
+  hv.set_engine(&engine);
+
+  const bool verdict = engine.Match(0, 0);
+  EXPECT_TRUE(hv.fired());
+  const auto& s = engine.stats();
+  EXPECT_GE(s.stale_restarts, 1u);
+  // The restarted evaluation must serve its candidate lists from the memo
+  // instead of re-running the batched kernel for (0, 0).
+  EXPECT_GE(s.hrho_list_memo_hits, 1u);
+  EXPECT_EQ(s.budget_exhausted, 0u);
+
+  // A cold engine that learns of the invalidation up front agrees.
+  Harness cold(Graph(g1), Graph(g2), ctx.params);
+  cold.engine->ForceInvalid(1, 1);
+  EXPECT_EQ(verdict, cold.engine->Match(0, 0));
+}
+
+/// Forwards M_rho Score but hides the batch/embedding interface: the
+/// default ScoreBatch loops over Score (re-embedding per pair) and
+/// EmbedPath returns empty — exactly the pre-kernel scalar path.
+class ScalarOnlyPathScorer : public PathScorer {
+ public:
+  explicit ScalarOnlyPathScorer(const PathScorer* inner) : inner_(inner) {}
+  double Score(std::span<const int> p1,
+               std::span<const int> p2) const override {
+    return inner_->Score(p1, p2);
+  }
+
+ private:
+  const PathScorer* inner_;
+};
+
+/// Harness with the paper's metric M_rho (SGNS + MLP) so the batched
+/// kernel's float arithmetic is actually exercised; `scalar_only` swaps in
+/// the pre-kernel per-pair scoring path over the same models.
+struct MetricHarness {
+  MetricHarness(Graph a, Graph b, SimulationParams params, bool scalar_only)
+      : g1(std::move(a)), g2(std::move(b)) {
+    hv = std::make_unique<JaccardVertexScorer>(g1, g2);
+    vocab = std::make_unique<JointVocab>(g1, g2);
+    sgns = std::make_unique<SgnsModel>();
+    sgns->InitRandom(vocab->size_with_eos(), 8, 99);
+    metric = std::make_unique<Mlp>(std::vector<size_t>{32, 16, 1}, 7);
+    metric_scorer =
+        std::make_unique<MetricPathScorer>(sgns.get(), metric.get());
+    scalar = std::make_unique<ScalarOnlyPathScorer>(metric_scorer.get());
+    hr = std::make_unique<PraRanker>(g1, g2);
+    ctx.gd = &g1;
+    ctx.g = &g2;
+    ctx.hv = hv.get();
+    ctx.mrho = scalar_only ? static_cast<const PathScorer*>(scalar.get())
+                           : metric_scorer.get();
+    ctx.hr = hr.get();
+    ctx.vocab = vocab.get();
+    ctx.params = params;
+    engine = std::make_unique<MatchEngine>(ctx);
+  }
+
+  Graph g1, g2;
+  std::unique_ptr<JaccardVertexScorer> hv;
+  std::unique_ptr<JointVocab> vocab;
+  std::unique_ptr<SgnsModel> sgns;
+  std::unique_ptr<Mlp> metric;
+  std::unique_ptr<MetricPathScorer> metric_scorer;
+  std::unique_ptr<ScalarOnlyPathScorer> scalar;
+  std::unique_ptr<PraRanker> hr;
+  MatchContext ctx;
+  std::unique_ptr<MatchEngine> engine;
+};
+
 /// Property test: warm-cache evaluation order must not change verdicts.
 /// Random attribute-graph pairs; every pair's verdict from a shared engine
 /// (evaluated in APair order) must equal a fresh engine's verdict.
@@ -466,6 +629,46 @@ TEST_P(OrderIndependenceTest, SharedCacheAgreesWithFreshEngines) {
 INSTANTIATE_TEST_SUITE_P(Seeds, OrderIndependenceTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
                                            12, 13, 14, 15, 16));
+
+TEST(BatchedHRhoTest, BatchedAndScalarEnginesAgreeBitForBit) {
+  // The batched h_rho kernel (precomputed path embeddings + PredictBatch)
+  // must leave verdicts AND witness sets untouched relative to the
+  // pre-kernel per-pair scoring path over the same SGNS + MLP models.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    auto [g1, g2] = RandomGraphPair(seed);
+    const SimulationParams params{.sigma = 0.99, .delta = 0.4, .k = 4};
+    MetricHarness batched(Graph(g1), Graph(g2), params,
+                          /*scalar_only=*/false);
+    MetricHarness scalar(Graph(g1), Graph(g2), params, /*scalar_only=*/true);
+    for (VertexId u = 0; u < batched.g1.num_vertices(); ++u) {
+      if (batched.g1.label(u) != "item") continue;
+      for (VertexId v = 0; v < batched.g2.num_vertices(); ++v) {
+        if (batched.g2.label(v) != "item") continue;
+        EXPECT_EQ(batched.engine->Match(u, v), scalar.engine->Match(u, v))
+            << "seed " << seed << " pair (" << u << ", " << v << ")";
+      }
+    }
+    for (VertexId u = 0; u < batched.g1.num_vertices(); ++u) {
+      for (VertexId v = 0; v < batched.g2.num_vertices(); ++v) {
+        const auto* eb = batched.engine->Lookup(u, v);
+        const auto* es = scalar.engine->Lookup(u, v);
+        ASSERT_EQ(eb == nullptr, es == nullptr)
+            << "seed " << seed << " pair (" << u << ", " << v << ")";
+        if (eb == nullptr) continue;
+        EXPECT_EQ(eb->valid, es->valid)
+            << "seed " << seed << " pair (" << u << ", " << v << ")";
+        EXPECT_EQ(eb->witnesses, es->witnesses)
+            << "seed " << seed << " pair (" << u << ", " << v << ")";
+      }
+    }
+    const auto& bs = batched.engine->stats();
+    EXPECT_EQ(scalar.engine->stats().hrho_embed_reuse, 0u);
+    if (bs.hrho_evaluations > 0) {
+      EXPECT_GT(bs.hrho_batch_calls, 0u);
+      EXPECT_GT(bs.hrho_embed_reuse, 0u);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace her

@@ -191,6 +191,53 @@ TEST(MlpTest, PairFeaturesShape) {
   EXPECT_FLOAT_EQ(f[6], 3);   // 1*3
 }
 
+TEST(MlpTest, PairFeaturesIntoMatchesPairFeatures) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t dim = rng.Below(16) + 1;
+    Vec a(dim), b(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      a[i] = static_cast<float>(rng.Uniform(-2, 2));
+      b[i] = static_cast<float>(rng.Uniform(-2, 2));
+    }
+    const Vec expect = PairFeatures(a, b);
+    Vec row(4 * dim, -1.0f);
+    PairFeaturesInto(a, b, row);
+    ASSERT_EQ(row.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(row[i], expect[i]) << "dim=" << dim << " i=" << i;
+    }
+  }
+}
+
+TEST(MlpTest, PredictBatchBitIdenticalToPredict) {
+  // A lightly trained net (non-trivial weights), a hidden layer wider than
+  // the 4-row block, and batch sizes covering every n % 4 tail.
+  Mlp mlp({6, 9, 1}, 123);
+  Rng rng(8);
+  for (int it = 0; it < 200; ++it) {
+    Vec x(6);
+    for (float& v : x) v = static_cast<float>(rng.Uniform(-1, 1));
+    mlp.StepBce(x, (x[0] > 0) ? 1.0 : 0.0);
+  }
+  for (size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u}) {
+    std::vector<float> rows(n * 6);
+    for (float& v : rows) v = static_cast<float>(rng.Uniform(-3, 3));
+    std::vector<double> batch(n);
+    mlp.PredictBatch(rows, batch);
+    for (size_t r = 0; r < n; ++r) {
+      const Vec x(rows.begin() + static_cast<long>(r * 6),
+                  rows.begin() + static_cast<long>((r + 1) * 6));
+      EXPECT_EQ(batch[r], mlp.Predict(x)) << "n=" << n << " row=" << r;
+    }
+  }
+}
+
+TEST(MlpTest, PredictBatchHandlesEmptyBatch) {
+  const Mlp mlp({4, 8, 1}, 5);
+  mlp.PredictBatch(std::span<const float>{}, std::span<double>{});
+}
+
 TEST(LstmTest, LearnsDeterministicSuccessor) {
   // Grammar: 0 -> 1 -> 2 -> eos(3). 100 copies.
   std::vector<std::vector<int>> corpus(60, std::vector<int>{0, 1, 2, 3});

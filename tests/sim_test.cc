@@ -133,18 +133,45 @@ TEST(CachingVertexScorerTest, CachesAgreesAndCountsHits) {
   EXPECT_EQ(cached.CacheSize(), 1u);
 }
 
-TEST(CachingVertexScorerTest, ScoreBatchBypassesTheMemo) {
+TEST(CachingVertexScorerTest, ScoreBatchSharesTheMemoWithScore) {
   const TwoGraphs tg = MakeGraphs();
   const JaccardVertexScorer inner(tg.g1, tg.g2);
   const CachingVertexScorer cached(&inner);
+  // Seed one entry via the scalar path; the batch must serve it as a hit
+  // and insert the two misses.
+  cached.Score(0, 1);
   const std::vector<VertexId> vs = {0, 1, 2};
   std::vector<double> out(vs.size());
   cached.ScoreBatch(0, vs, out);
-  EXPECT_EQ(cached.CacheSize(), 0u);  // bulk scans never populate the memo
+  EXPECT_EQ(cached.CacheSize(), 3u);
+  EXPECT_EQ(cached.CacheHits(), 1u);
   EXPECT_EQ(cached.BatchCalls(), 1u);
   for (size_t i = 0; i < vs.size(); ++i) {
     EXPECT_DOUBLE_EQ(out[i], inner.Score(0, vs[i]));
   }
+  // A scalar probe after the batch hits the batch-inserted entry, and a
+  // second batch is answered fully from the memo.
+  EXPECT_DOUBLE_EQ(cached.Score(0, 2), inner.Score(0, 2));
+  EXPECT_EQ(cached.CacheHits(), 2u);
+  cached.ScoreBatch(0, vs, out);
+  EXPECT_EQ(cached.CacheHits(), 5u);
+  EXPECT_EQ(cached.CacheSize(), 3u);
+  for (size_t i = 0; i < vs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], inner.Score(0, vs[i]));
+  }
+}
+
+TEST(CachingVertexScorerTest, ScoreBatchEvictsAtTheShardCap) {
+  const TwoGraphs tg = MakeWideGraphs(32);
+  const JaccardVertexScorer inner(tg.g1, tg.g2);
+  const CachingVertexScorer cached(&inner, /*shard_cap=*/1);
+  std::vector<VertexId> vs(32);
+  for (VertexId v = 0; v < 32; ++v) vs[v] = v;
+  std::vector<double> out(vs.size());
+  for (VertexId u = 0; u < 32; ++u) cached.ScoreBatch(u, vs, out);
+  EXPECT_GE(cached.CacheEvictions(), 1u);
+  EXPECT_LE(cached.CacheSize(), 16u);  // <= shard_cap per shard
+  EXPECT_DOUBLE_EQ(cached.Score(3, 4), inner.Score(3, 4));
 }
 
 TEST(CachingVertexScorerTest, ShardCapResetsAndCountsEvictions) {
@@ -214,6 +241,64 @@ TEST(CachingPathScorerTest, ShardCapResetsAndCountsEvictions) {
   EXPECT_DOUBLE_EQ(cached.Score(q1, q2), inner.Score(q1, q2));
 }
 
+/// CachingPathScorer with every pair hashed to one bucket: all distinct
+/// pairs alias, so each probe exercises the key-verification path.
+class CollidingPathScorer : public CachingPathScorer {
+ public:
+  using CachingPathScorer::CachingPathScorer;
+
+ protected:
+  uint64_t HashPair(std::span<const int>, std::span<const int>) const override {
+    return 0x1234;
+  }
+};
+
+TEST(CachingPathScorerTest, VerifiesKeysAndCountsHashRejects) {
+  const TwoGraphs tg = MakeGraphs();
+  const JointVocab vocab(tg.g1, tg.g2);
+  const TokenOverlapPathScorer inner(&vocab);
+  const CollidingPathScorer cached(&inner);
+  const std::vector<int> p1 = {0};
+  const std::vector<int> p2 = {1};
+  const std::vector<int> p3 = {2};
+  EXPECT_DOUBLE_EQ(cached.Score(p1, p2), inner.Score(p1, p2));
+  EXPECT_EQ(cached.HashRejects(), 0u);
+  // Same 64-bit key, different pair: without verification this would
+  // silently return the (p1, p2) score. It must detect the collision,
+  // recompute, and replace the entry.
+  EXPECT_DOUBLE_EQ(cached.Score(p1, p3), inner.Score(p1, p3));
+  EXPECT_EQ(cached.HashRejects(), 1u);
+  EXPECT_EQ(cached.CacheHits(), 0u);
+  // The fresher pair now owns the bucket and verifies as a real hit.
+  EXPECT_DOUBLE_EQ(cached.Score(p1, p3), inner.Score(p1, p3));
+  EXPECT_EQ(cached.CacheHits(), 1u);
+  EXPECT_EQ(cached.HashRejects(), 1u);
+  EXPECT_EQ(cached.CacheSize(), 1u);  // aliased pairs replace, never pile up
+}
+
+TEST(CachingPathScorerTest, ScoreBatchSharesTheMemoWithScore) {
+  const TwoGraphs tg = MakeGraphs();
+  const JointVocab vocab(tg.g1, tg.g2);
+  const TokenOverlapPathScorer inner(&vocab);
+  const CachingPathScorer cached(&inner);
+  const std::vector<int> pa = {0};
+  const std::vector<int> pb = {1};
+  const std::vector<int> pc = {0, 1};
+  cached.Score(pa, pb);  // seed one entry via the scalar path
+  const std::vector<EmbeddedPath> p1s = {{pa, {}}, {pa, {}}};
+  const std::vector<EmbeddedPath> p2s = {{pb, {}}, {pc, {}}};
+  std::vector<double> out(2);
+  cached.ScoreBatch(p1s, p2s, out);
+  EXPECT_EQ(cached.CacheHits(), 1u);   // (pa, pb) served from the memo
+  EXPECT_EQ(cached.CacheSize(), 2u);   // (pa, pc) inserted by the batch
+  EXPECT_EQ(cached.BatchCalls(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], inner.Score(pa, pb));
+  EXPECT_DOUBLE_EQ(out[1], inner.Score(pa, pc));
+  // The batch-inserted entry serves the scalar path.
+  EXPECT_DOUBLE_EQ(cached.Score(pa, pc), inner.Score(pa, pc));
+  EXPECT_EQ(cached.CacheHits(), 2u);
+}
+
 TEST(MetricPathScorerTest, OutputsInUnitInterval) {
   const TwoGraphs tg = MakeGraphs();
   const JointVocab vocab(tg.g1, tg.g2);
@@ -226,6 +311,63 @@ TEST(MetricPathScorerTest, OutputsInUnitInterval) {
   const double s = mrho.Score(p1, p2);
   EXPECT_GT(s, 0.0);
   EXPECT_LT(s, 1.0);
+}
+
+TEST(MetricPathScorerTest, ScoreBatchBitIdenticalToScore) {
+  const TwoGraphs tg = MakeGraphs();
+  const JointVocab vocab(tg.g1, tg.g2);
+  SgnsModel sgns;
+  sgns.InitRandom(vocab.size_with_eos(), 8, 99);
+  Mlp metric({32, 16, 1}, 7);
+  const MetricPathScorer mrho(&sgns, &metric);
+
+  // Enough pairs to cover the 4-wide PredictBatch main loop and its tail.
+  Rng rng(17);
+  std::vector<std::vector<int>> paths;
+  for (int i = 0; i < 11; ++i) {
+    std::vector<int> p(rng.Below(3) + 1);
+    for (int& t : p) t = static_cast<int>(rng.Below(vocab.size_with_eos()));
+    paths.push_back(std::move(p));
+  }
+  std::vector<EmbeddedPath> p1s, p2s;
+  std::vector<Vec> embeddings;  // stable storage for the spans
+  embeddings.reserve(2 * paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    const auto& a = paths[i];
+    const auto& b = paths[(i + 3) % paths.size()];
+    // Alternate between precomputed-embedding operands and token-only
+    // ones; both must reproduce the scalar Score exactly.
+    if (i % 2 == 0) {
+      embeddings.push_back(mrho.EmbedPath(a));
+      p1s.push_back(EmbeddedPath{a, embeddings.back()});
+      p2s.push_back(EmbeddedPath{b, {}});
+    } else {
+      embeddings.push_back(mrho.EmbedPath(b));
+      p1s.push_back(EmbeddedPath{a, {}});
+      p2s.push_back(EmbeddedPath{b, embeddings.back()});
+    }
+  }
+  std::vector<double> batch(paths.size());
+  mrho.ScoreBatch(p1s, p2s, batch);
+  for (size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_EQ(batch[i], mrho.Score(p1s[i].tokens, p2s[i].tokens)) << "i=" << i;
+  }
+  EXPECT_EQ(mrho.BatchCalls(), 1u);
+}
+
+TEST(PathScorerTest, DefaultScoreBatchLoopsOverScore) {
+  const TwoGraphs tg = MakeGraphs();
+  const JointVocab vocab(tg.g1, tg.g2);
+  const TokenOverlapPathScorer mrho(&vocab);
+  EXPECT_TRUE(mrho.EmbedPath(std::vector<int>{0}).empty());
+  const std::vector<int> pa = {0};
+  const std::vector<int> pb = {1};
+  const std::vector<EmbeddedPath> p1s = {{pa, {}}};
+  const std::vector<EmbeddedPath> p2s = {{pb, {}}};
+  std::vector<double> out(1);
+  mrho.ScoreBatch(p1s, p2s, out);
+  EXPECT_DOUBLE_EQ(out[0], mrho.Score(pa, pb));
+  EXPECT_EQ(mrho.BatchCalls(), 1u);
 }
 
 TEST(PraRankerTest, RanksByPraAndRespectsK) {

@@ -1,21 +1,39 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full build + ctest suite, then a ThreadSanitizer
-# build (-DHER_SANITIZE=thread) of the parallel-driver determinism tests —
-# the shared read-only MatchContext fan-out must be data-race free.
-# Usage: tools/run_tier1.sh [build-dir] [tsan-build-dir]
+# Tier-1 verification: the full build + ctest suite, then a sanitizer
+# build of the parallel-driver determinism tests — the shared read-only
+# MatchContext fan-out must be data-race free (tsan) and leak/UB free
+# (asan/ubsan).
+# Usage: tools/run_tier1.sh [sanitizer] [build-dir] [san-build-dir]
+#   sanitizer: tsan (default) | asan | ubsan | none
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
-TSAN_DIR="${2:-build-tsan}"
+SAN="${1:-tsan}"
+BUILD_DIR="${2:-build}"
+SAN_DIR="${3:-build-${SAN}}"
+
+case "$SAN" in
+  tsan)  HER_SANITIZE=thread ;;
+  asan)  HER_SANITIZE=address ;;
+  ubsan) HER_SANITIZE=undefined ;;
+  none)  HER_SANITIZE="" ;;
+  *)
+    echo "usage: tools/run_tier1.sh [tsan|asan|ubsan|none] [build-dir]" >&2
+    exit 64
+    ;;
+esac
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j)
 
-echo "=== TSan: parallel_driver_test ==="
-cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DHER_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j --target parallel_driver_test
-"$TSAN_DIR/tests/parallel_driver_test"
-echo "tier-1 OK (ctest + TSan parallel driver)"
+if [ -n "$HER_SANITIZE" ]; then
+  echo "=== ${SAN} (-DHER_SANITIZE=${HER_SANITIZE}): parallel_driver_test ==="
+  cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHER_SANITIZE="$HER_SANITIZE"
+  cmake --build "$SAN_DIR" -j --target parallel_driver_test
+  "$SAN_DIR/tests/parallel_driver_test"
+  echo "tier-1 OK (ctest + ${SAN} parallel driver)"
+else
+  echo "tier-1 OK (ctest, sanitizer skipped)"
+fi
