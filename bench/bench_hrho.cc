@@ -46,10 +46,18 @@ double BestOf(int reps, const Fn& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_hrho.json";
-  const int reps = 3;
+  std::string out_path = "BENCH_hrho.json";
+  bool smoke = false;  // CI kernel-regression check: tiny workload, 1 rep
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  const int reps = smoke ? 1 : 3;
 
-  DatasetSpec spec = ScalingSpec(1200);
+  DatasetSpec spec = ScalingSpec(smoke ? 150 : 1200);
   spec.name = "synthetic";
   BenchSystem bs(spec);
   const MatchContext& ctx = bs.system->context();

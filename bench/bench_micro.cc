@@ -143,6 +143,56 @@ void BM_RankerTopK(benchmark::State& state) {
 }
 BENCHMARK(BM_RankerTopK);
 
+void BM_RankerTopKBatch(benchmark::State& state) {
+  // The lockstep h_r kernel: one TopKBatch call over a block of range(0)
+  // vertices (every greedy walk advanced by shared StepProbBatch rounds).
+  // Compare per-vertex cost against BM_RankerTopK.
+  BenchSystem& bs = Shared();
+  const auto& ctx = bs.system->context();
+  const auto items = ItemVertices(bs.data.g);
+  const size_t n = std::min<size_t>(state.range(0), items.size());
+  const std::vector<VertexId> block(items.begin(),
+                                    items.begin() + static_cast<long>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.hr->TopKBatch(1, block, ctx.params.k));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["hr_batch_calls"] =
+      static_cast<double>(ctx.hr->BatchCalls());
+  if (const auto* lstm = dynamic_cast<const LstmPraRanker*>(ctx.hr)) {
+    state.counters["hr_lstm_batch_calls"] =
+        static_cast<double>(lstm->LstmBatchCalls());
+    state.counters["hr_walk_rounds"] =
+        static_cast<double>(lstm->WalkRounds());
+    state.counters["hr_lanes_per_batch"] =
+        lstm->LstmBatchCalls() == 0
+            ? 0.0
+            : static_cast<double>(lstm->LstmBatchLanes()) /
+                  static_cast<double>(lstm->LstmBatchCalls());
+  }
+}
+BENCHMARK(BM_RankerTopKBatch)->Arg(16)->Arg(64);
+
+void BM_PropertyTableBuild(benchmark::State& state) {
+  // Full blocked parallel build over both graphs with range(0) threads;
+  // this is the dominant cost of module Learn and worker cold start.
+  BenchSystem& bs = Shared();
+  const auto& ctx = bs.system->context();
+  const size_t threads = static_cast<size_t>(state.range(0));
+  double build_seconds = 0.0;
+  for (auto _ : state) {
+    const PropertyTable table = PropertyTable::Build(
+        *ctx.gd, *ctx.g, *ctx.hr, *ctx.vocab, threads, ctx.mrho);
+    benchmark::DoNotOptimize(&table);
+    build_seconds = table.build_seconds();
+  }
+  state.counters["ptable_build_s"] = build_seconds;
+}
+BENCHMARK(BM_PropertyTableBuild)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SPairWarm(benchmark::State& state) {
   BenchSystem& bs = Shared();
   const auto& test = bs.split.test;

@@ -6,21 +6,21 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 
 namespace her {
 
 namespace {
 
-std::vector<Property> RankProperties(const MatchContext& ctx, int graph,
-                                     VertexId v, int k) {
-  const auto ranked = ctx.hr->TopK(graph, v, k);
+std::vector<Property> ToProperties(const MatchContext& ctx, int graph,
+                                   std::vector<RankedProperty> ranked) {
   std::vector<Property> props;
   props.reserve(ranked.size());
-  for (const auto& r : ranked) {
+  for (auto& r : ranked) {
     Property p;
     p.descendant = r.descendant;
-    p.labels = r.path.labels;
-    p.joint = ctx.vocab->MapPath(graph, r.path.labels);
+    p.labels = std::move(r.path.labels);
+    p.joint = ctx.vocab->MapPath(graph, p.labels);
     // Embed the joint path once at ranking time; every later h_rho against
     // this property reuses the stored vector instead of re-running the
     // SGNS encoder (empty when the scorer has no embedding stage).
@@ -29,6 +29,15 @@ std::vector<Property> RankProperties(const MatchContext& ctx, int graph,
     props.push_back(std::move(p));
   }
   return props;
+}
+
+std::vector<Property> RankProperties(const MatchContext& ctx, int graph,
+                                     VertexId v, int k) {
+  // Single-vertex block through the batch kernel: the scalar path shares
+  // the lockstep code (and its telemetry) instead of a parallel TopK path.
+  const VertexId vs[1] = {v};
+  auto ranked = ctx.hr->TopKBatch(graph, vs, k);
+  return ToProperties(ctx, graph, std::move(ranked.front()));
 }
 
 /// M_rho operand view of a ranked property.
@@ -41,23 +50,44 @@ EmbeddedPath OperandOf(const Property& p) {
 PropertyTable PropertyTable::Build(const Graph& gd, const Graph& g,
                                    const DescendantRanker& hr,
                                    const JointVocab& vocab, size_t threads,
-                                   const PathScorer* mrho) {
+                                   const PathScorer* mrho, size_t block_size) {
   PropertyTable table;
-  MatchContext ctx;  // only hr + vocab + mrho are consulted by RankProperties
+  WallTimer timer;
+  MatchContext ctx;  // only hr + vocab + mrho are consulted below
   ctx.hr = &hr;
   ctx.vocab = &vocab;
   ctx.mrho = mrho;
+  if (block_size == 0) block_size = 1;
   const Graph* graphs[2] = {&gd, &g};
   for (int gi = 0; gi < 2; ++gi) {
     auto& out = table.table_[gi];
     out.assign(graphs[gi]->num_vertices(), {});
-    ParallelFor(out.size(), threads, [&](size_t v) {
-      if (graphs[gi]->IsLeaf(static_cast<VertexId>(v))) return;
+    // Leaves have no properties; only internal vertices reach the ranker.
+    std::vector<VertexId> work;
+    work.reserve(out.size());
+    for (size_t v = 0; v < out.size(); ++v) {
+      if (!graphs[gi]->IsLeaf(static_cast<VertexId>(v))) {
+        work.push_back(static_cast<VertexId>(v));
+      }
+    }
+    // One TopKBatch call per vertex block: the lockstep kernel amortizes
+    // the LSTM weights across every live walk of the block. Blocks are
+    // independent (per-vertex results depend only on the graph), so the
+    // table is identical for any threads/block_size combination.
+    const size_t num_blocks = (work.size() + block_size - 1) / block_size;
+    ParallelFor(num_blocks, threads, [&](size_t b) {
+      const size_t begin = b * block_size;
+      const size_t end = std::min(begin + block_size, work.size());
+      const std::span<const VertexId> block(work.data() + begin, end - begin);
       // Rank without a k cap; engines slice the top-k they need.
-      out[v] = RankProperties(ctx, gi, static_cast<VertexId>(v),
-                              std::numeric_limits<int>::max());
+      auto ranked =
+          ctx.hr->TopKBatch(gi, block, std::numeric_limits<int>::max());
+      for (size_t i = 0; i < block.size(); ++i) {
+        out[block[i]] = ToProperties(ctx, gi, std::move(ranked[i]));
+      }
     });
   }
+  table.build_seconds_ = timer.Seconds();
   return table;
 }
 
@@ -102,6 +132,17 @@ const MatchEngine::Stats& MatchEngine::stats() const {
             dynamic_cast<const CachingPathScorer*>(ctx_.mrho)) {
       stats_.hrho_hash_rejects = caching->HashRejects();
     }
+  }
+  if (ctx_.hr != nullptr) {
+    stats_.hr_batch_calls = ctx_.hr->BatchCalls();
+    if (const auto* lstm = dynamic_cast<const LstmPraRanker*>(ctx_.hr)) {
+      stats_.hr_lstm_batch_calls = lstm->LstmBatchCalls();
+      stats_.hr_lstm_lanes = lstm->LstmBatchLanes();
+      stats_.hr_walk_rounds = lstm->WalkRounds();
+    }
+  }
+  if (ctx_.properties != nullptr) {
+    stats_.ptable_build_seconds = ctx_.properties->build_seconds();
   }
   return stats_;
 }
@@ -388,18 +429,35 @@ void PropertyTable::Refresh(int graph, const Graph& g,
                             const DescendantRanker& hr,
                             const JointVocab& vocab,
                             const PathScorer* mrho) {
+  WallTimer timer;
   MatchContext ctx;
   ctx.hr = &hr;
   ctx.vocab = &vocab;
   ctx.mrho = mrho;
   auto& out = table_[graph];
   HER_CHECK(out.size() == g.num_vertices());
+  std::vector<VertexId> work;
+  work.reserve(vertices.size());
   for (const VertexId v : vertices) {
-    out[v] = g.IsLeaf(v)
-                 ? std::vector<Property>{}
-                 : RankProperties(ctx, graph, v,
-                                  std::numeric_limits<int>::max());
+    // Updates may reference vertices beyond the table (e.g. ids minted by
+    // a graph version this table has not been rebuilt against yet); skip
+    // them instead of indexing out of range.
+    HER_DCHECK(static_cast<size_t>(v) < out.size());
+    if (static_cast<size_t>(v) >= out.size()) continue;
+    if (g.IsLeaf(v)) {
+      out[v].clear();
+    } else {
+      work.push_back(v);
+    }
   }
+  if (!work.empty()) {
+    // One batch over the whole refresh set: same lockstep path as Build.
+    auto ranked = hr.TopKBatch(graph, work, std::numeric_limits<int>::max());
+    for (size_t i = 0; i < work.size(); ++i) {
+      out[work[i]] = ToProperties(ctx, graph, std::move(ranked[i]));
+    }
+  }
+  build_seconds_ = timer.Seconds();
 }
 
 void MatchEngine::InvalidateForUpdate(std::span<const VertexId> affected_u,

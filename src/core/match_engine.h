@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/hash.h"
 #include "core/match_context.h"
 
@@ -31,6 +32,13 @@ struct Property {
   /// `joint` on the fly.
   Vec embedding;
   double pra = 0.0;
+
+  /// Field-wise equality (floats compared exactly); lets tests and benches
+  /// assert bit-identical PropertyTable builds.
+  bool operator==(const Property& o) const {
+    return descendant == o.descendant && labels == o.labels &&
+           joint == o.joint && embedding == o.embedding && pra == o.pra;
+  }
 };
 
 /// Offline-precomputed h_r output for every vertex of both graphs, ranked
@@ -40,30 +48,54 @@ struct Property {
 /// PropertiesOf then slices the top-k for whatever k is in force.
 class PropertyTable {
  public:
+  /// Vertices per DescendantRanker::TopKBatch call during Build/Refresh:
+  /// large enough that the lockstep LSTM kernel keeps many walk lanes
+  /// live, small enough that the thread pool load-balances across blocks.
+  static constexpr size_t kDefaultBuildBlock = 64;
+
   /// Ranks every vertex of gd (graph 0) and g (graph 1) with `hr`,
-  /// translating paths via `vocab`. `threads` parallelizes the build.
-  /// When `mrho` is given, each property's joint path is embedded once via
+  /// translating paths via `vocab`. `threads` parallelizes the build over
+  /// vertex blocks of `block_size`, each ranked with one hr.TopKBatch call;
+  /// per-vertex results are independent, so the table is byte-identical
+  /// for any threads/block_size combination (test-enforced). When `mrho`
+  /// is given, each property's joint path is embedded once via
   /// PathScorer::EmbedPath and stored in Property::embedding.
   static PropertyTable Build(const Graph& gd, const Graph& g,
                              const DescendantRanker& hr,
                              const JointVocab& vocab, size_t threads = 1,
-                             const PathScorer* mrho = nullptr);
+                             const PathScorer* mrho = nullptr,
+                             size_t block_size = kDefaultBuildBlock);
 
   std::span<const Property> Get(int graph, VertexId v, int k) const {
-    const auto& all = table_[graph][v];
+    HER_DCHECK(graph == 0 || graph == 1);
+    const auto& rows = table_[graph];
+    if (static_cast<size_t>(v) >= rows.size()) return {};
+    const auto& all = rows[static_cast<size_t>(v)];
     return {all.data(), std::min(all.size(), static_cast<size_t>(k))};
   }
 
   /// Re-ranks the listed vertices against an updated graph (incremental
-  /// maintenance; `hr` must already be bound to the new graph version).
-  /// Pass the same `mrho` as Build so refreshed rows keep their
-  /// precomputed path embeddings.
+  /// maintenance; `hr` must already be bound to the new graph version);
+  /// out-of-range vertices are skipped. Runs the block through the same
+  /// TopKBatch path as Build. Pass the same `mrho` as Build so refreshed
+  /// rows keep their precomputed path embeddings.
   void Refresh(int graph, const Graph& g, std::span<const VertexId> vertices,
                const DescendantRanker& hr, const JointVocab& vocab,
                const PathScorer* mrho = nullptr);
 
+  /// Wall seconds the last Build/Refresh spent ranking (telemetry; surfaced
+  /// as MatchEngine::Stats::ptable_build_seconds).
+  double build_seconds() const { return build_seconds_; }
+
+  /// Byte-level equality of the ranked contents (bench_hr's bit-identity
+  /// check between scalar and batched builds).
+  bool operator==(const PropertyTable& o) const {
+    return table_[0] == o.table_[0] && table_[1] == o.table_[1];
+  }
+
  private:
   std::vector<std::vector<Property>> table_[2];  // [graph][vertex]
+  double build_seconds_ = 0.0;
 };
 
 /// Implements algorithm ParaMatch of Section V (Fig. 4) plus the
@@ -107,6 +139,14 @@ class MatchEngine {
     size_t hrho_embed_reuse = 0;   // precomputed path embeddings consumed
     size_t hrho_list_memo_hits = 0;       // candidate-list memo hits
     size_t hrho_list_memo_evictions = 0;  // candidate-list memo resets
+    // --- h_r kernel telemetry (snapshots of the context's shared
+    // DescendantRanker / PropertyTable — same aggregation caveat as the
+    // h_v fields: the BSP aggregation assigns, never sums, them) ---
+    size_t hr_batch_calls = 0;       // TopKBatch invocations
+    size_t hr_lstm_batch_calls = 0;  // StepProbBatch rounds (LstmPraRanker)
+    size_t hr_lstm_lanes = 0;        // total lanes across those rounds
+    size_t hr_walk_rounds = 0;       // lockstep frontier rounds
+    double ptable_build_seconds = 0.0;  // last PropertyTable Build/Refresh
     // Wall time spent in GenerateCandidates by drivers running on this
     // engine (AllParaMatch / ParallelAllParaMatch record it here).
     double candidate_gen_seconds = 0.0;

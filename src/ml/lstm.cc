@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -14,6 +15,19 @@ namespace {
 enum Gate { kIn = 0, kForget = 1, kOut = 2, kCell = 3 };
 
 double TanhD(double y) { return 1.0 - y * y; }  // derivative via output
+
+// Lane count of the batched decode pass (mirrors Mlp::PredictBatch):
+// enough independent accumulator chains to saturate the FP-add pipes,
+// and one streaming pass over each weight row per lane group instead of
+// per lane.
+constexpr size_t kLanes = 8;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define HER_LSTM_PACKED_LANES 1
+// Native 128-bit pairs (SSE2-class on x86): two lanes per register halve
+// the uop count per lane without touching any lane's reduction order.
+typedef double Vd2 __attribute__((vector_size(16)));
+#endif
 
 }  // namespace
 
@@ -76,6 +90,151 @@ Vec LstmLm::StepProb(State& state, int token) const {
   state.h = cache.h;
   state.c = cache.c;
   return cache.probs;
+}
+
+void LstmLm::StepProbBatch(std::span<State> states,
+                           std::span<const int> tokens,
+                           std::span<Vec> probs) const {
+  HER_CHECK(trained());
+  const size_t n = states.size();
+  HER_DCHECK(tokens.size() == n && probs.size() == n);
+  if (n == 0) return;
+  const size_t H = hidden_;
+  const size_t E = embed_;
+  const size_t W = E + H;
+  // Lane-interleaved scratch (element i of lane r at [kLanes*i + r]): the
+  // inputs are widened to double once per step — the widening is exact,
+  // so per-lane products match StepProb's double(w[i]) * float operand
+  // arithmetic bit for bit.
+  std::vector<double> in_buf(kLanes * W);
+  std::vector<float> gates(kLanes * 4 * H);
+  std::vector<double> h_buf(kLanes * H, 0.0);
+
+  for (size_t g0 = 0; g0 < n; g0 += kLanes) {
+    const size_t lanes = std::min<size_t>(kLanes, n - g0);
+    // Short groups pad with the last real lane; padded lanes compute
+    // alongside and are simply not scattered back.
+    for (size_t r = 0; r < kLanes; ++r) {
+      const size_t lane = g0 + std::min(r, lanes - 1);
+      const int tok = tokens[lane];
+      const Vec& x = emb_[tok < 0 ? vocab_ : static_cast<size_t>(tok)];
+      const Vec& h_prev = states[lane].h;
+      for (size_t i = 0; i < E; ++i) in_buf[kLanes * i + r] = x[i];
+      for (size_t i = 0; i < H; ++i) {
+        in_buf[kLanes * (E + i) + r] = h_prev[i];
+      }
+    }
+
+    // Gate pre-activations: one pass over each weight row for the whole
+    // lane group, one independent accumulator chain per lane in ascending
+    // index order. Each chain is seeded with the bias because StepProb
+    // starts z at the bias before accumulating — same addition order,
+    // bit-identical sums.
+    for (size_t rr = 0; rr < 4 * H; ++rr) {
+      const float* w = w_gates_[rr].data();
+      const double b = b_gates_[rr];
+      double s[kLanes];
+#ifdef HER_LSTM_PACKED_LANES
+      Vd2 acc0 = {b, b}, acc1 = {b, b}, acc2 = {b, b}, acc3 = {b, b};
+      for (size_t i = 0; i < W; ++i) {
+        const double wi = w[i];
+        const double* c = in_buf.data() + kLanes * i;
+        Vd2 c0, c1, c2, c3;
+        std::memcpy(&c0, c + 0, sizeof c0);
+        std::memcpy(&c1, c + 2, sizeof c1);
+        std::memcpy(&c2, c + 4, sizeof c2);
+        std::memcpy(&c3, c + 6, sizeof c3);
+        acc0 += wi * c0;
+        acc1 += wi * c1;
+        acc2 += wi * c2;
+        acc3 += wi * c3;
+      }
+      s[0] = acc0[0];
+      s[1] = acc0[1];
+      s[2] = acc1[0];
+      s[3] = acc1[1];
+      s[4] = acc2[0];
+      s[5] = acc2[1];
+      s[6] = acc3[0];
+      s[7] = acc3[1];
+#else
+      for (size_t r = 0; r < kLanes; ++r) s[r] = b;
+      for (size_t i = 0; i < W; ++i) {
+        const double wi = w[i];
+        const double* c = in_buf.data() + kLanes * i;
+        for (size_t r = 0; r < kLanes; ++r) s[r] += wi * c[r];
+      }
+#endif
+      const bool is_cell = rr / H == kCell;
+      for (size_t r = 0; r < kLanes; ++r) {
+        gates[kLanes * rr + r] =
+            static_cast<float>(is_cell ? std::tanh(s[r]) : Sigmoid(s[r]));
+      }
+    }
+
+    // Cell/hidden update per real lane — exactly ForwardStep's arithmetic
+    // (gate values round through float first, tanh runs on the unrounded
+    // double cell).
+    for (size_t r = 0; r < lanes; ++r) {
+      State& st = states[g0 + r];
+      for (size_t i = 0; i < H; ++i) {
+        const double in = gates[kLanes * (kIn * H + i) + r];
+        const double fg = gates[kLanes * (kForget * H + i) + r];
+        const double ou = gates[kLanes * (kOut * H + i) + r];
+        const double g = gates[kLanes * (kCell * H + i) + r];
+        const double c = fg * st.c[i] + in * g;
+        st.c[i] = static_cast<float>(c);
+        const double tc = std::tanh(c);
+        const float h = static_cast<float>(ou * tc);
+        st.h[i] = h;
+        h_buf[kLanes * i + r] = h;
+      }
+    }
+
+    // Output projection over the new hidden states, then per-lane softmax
+    // on the float logits (same SoftmaxInPlace as the scalar path).
+    for (size_t r = 0; r < lanes; ++r) probs[g0 + r].assign(vocab_, 0.0f);
+    for (size_t v = 0; v < vocab_; ++v) {
+      const float* w = w_out_[v].data();
+      double s[kLanes];
+#ifdef HER_LSTM_PACKED_LANES
+      Vd2 acc0 = {0.0, 0.0}, acc1 = {0.0, 0.0};
+      Vd2 acc2 = {0.0, 0.0}, acc3 = {0.0, 0.0};
+      for (size_t i = 0; i < H; ++i) {
+        const double wi = w[i];
+        const double* c = h_buf.data() + kLanes * i;
+        Vd2 c0, c1, c2, c3;
+        std::memcpy(&c0, c + 0, sizeof c0);
+        std::memcpy(&c1, c + 2, sizeof c1);
+        std::memcpy(&c2, c + 4, sizeof c2);
+        std::memcpy(&c3, c + 6, sizeof c3);
+        acc0 += wi * c0;
+        acc1 += wi * c1;
+        acc2 += wi * c2;
+        acc3 += wi * c3;
+      }
+      s[0] = acc0[0];
+      s[1] = acc0[1];
+      s[2] = acc1[0];
+      s[3] = acc1[1];
+      s[4] = acc2[0];
+      s[5] = acc2[1];
+      s[6] = acc3[0];
+      s[7] = acc3[1];
+#else
+      for (size_t r = 0; r < kLanes; ++r) s[r] = 0.0;
+      for (size_t i = 0; i < H; ++i) {
+        const double wi = w[i];
+        const double* c = h_buf.data() + kLanes * i;
+        for (size_t r = 0; r < kLanes; ++r) s[r] += wi * c[r];
+      }
+#endif
+      for (size_t r = 0; r < lanes; ++r) {
+        probs[g0 + r][v] = static_cast<float>(b_out_[v] + s[r]);
+      }
+    }
+    for (size_t r = 0; r < lanes; ++r) SoftmaxInPlace(probs[g0 + r]);
+  }
 }
 
 double LstmLm::SequenceLogProb(const std::vector<int>& seq) const {

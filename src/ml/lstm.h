@@ -2,6 +2,7 @@
 #define HER_ML_LSTM_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ml/vector_ops.h"
@@ -50,6 +51,20 @@ class LstmLm {
   /// Feeds `token` (or -1 for BOS), advances `state`, and returns the
   /// probability distribution over the next token (size vocab_size()).
   Vec StepProb(State& state, int token) const;
+
+  /// Advances N independent decode lanes in one interleaved, cache-blocked
+  /// forward pass over the shared weights: lane r consumes tokens[r] (or
+  /// -1 for BOS), updates states[r] in place and writes its next-token
+  /// distribution to probs[r] (resized to vocab_size()). Lane states are
+  /// gathered into an SoA layout so each weight row streams through the
+  /// cache once per lane group instead of once per lane, with one
+  /// independent accumulator chain per lane in ascending index order —
+  /// per lane the arithmetic is exactly StepProb's, so results are
+  /// bit-identical to N scalar calls (test-enforced). Callers retire
+  /// lanes by simply omitting them from the next call; the remaining
+  /// lanes are unaffected.
+  void StepProbBatch(std::span<State> states, std::span<const int> tokens,
+                     std::span<Vec> probs) const;
 
   /// Log-probability of a full sequence (with implicit BOS), for
   /// perplexity-style evaluation in tests.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -37,6 +38,25 @@ struct Worker {
   // arrive later are answered directly at request time instead.
   std::unordered_set<MatchPair, PairHash> notified_false;
 };
+
+// Idle-wait discipline of the async message loop: a burst of yields keeps
+// latency minimal while messages are still flowing, then doubling sleeps
+// (capped) stop an idle worker from burning a core while the rest converge.
+constexpr size_t kBackoffYields = 16;
+constexpr size_t kMaxBackoffMicros = 1000;
+
+/// Copies the shared-scorer/table snapshot fields of one worker's stats
+/// into the aggregate. Every engine snapshots the same shared objects, so
+/// these are assigned (any worker's copy is the global value), never
+/// summed like the per-engine counters.
+void AssignSharedSnapshots(const MatchEngine::Stats& s,
+                           MatchEngine::Stats* agg) {
+  agg->hr_batch_calls = s.hr_batch_calls;
+  agg->hr_lstm_batch_calls = s.hr_lstm_batch_calls;
+  agg->hr_lstm_lanes = s.hr_lstm_lanes;
+  agg->hr_walk_rounds = s.hr_walk_rounds;
+  agg->ptable_build_seconds = s.ptable_build_seconds;
+}
 
 }  // namespace
 
@@ -174,6 +194,7 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates) {
     result.stats.hrho_embed_reuse += s.hrho_embed_reuse;
     result.stats.hrho_list_memo_hits += s.hrho_list_memo_hits;
     result.stats.hrho_list_memo_evictions += s.hrho_list_memo_evictions;
+    AssignSharedSnapshots(s, &result.stats);
     result.max_worker_calls =
         std::max(result.max_worker_calls, s.para_match_calls);
   }
@@ -218,6 +239,7 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
   // unit, so the counter cannot falsely reach zero.
   std::atomic<size_t> outstanding{n};
   std::atomic<size_t> total_messages{0};
+  std::atomic<size_t> backoff_sleeps{0};
 
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(n);
@@ -266,6 +288,7 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
     outstanding.fetch_sub(1);
 
     // Message loop until global quiescence.
+    size_t idle_rounds = 0;
     while (outstanding.load() > 0) {
       std::vector<Message> batch;
       {
@@ -273,9 +296,23 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
         batch.swap(channels[i].inbox);
       }
       if (batch.empty()) {
-        std::this_thread::yield();
+        // Bounded exponential backoff: yield while messages may still be
+        // in flight, then sleep with doubling (capped) waits instead of
+        // spinning a core until quiescence.
+        if (idle_rounds < kBackoffYields) {
+          std::this_thread::yield();
+        } else {
+          const size_t shift =
+              std::min<size_t>(idle_rounds - kBackoffYields, 10);
+          const size_t us =
+              std::min<size_t>(size_t{1} << shift, kMaxBackoffMicros);
+          std::this_thread::sleep_for(std::chrono::microseconds(us));
+          backoff_sleeps.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++idle_rounds;
         continue;
       }
+      idle_rounds = 0;
       for (const Message& m : batch) {
         if (m.is_request) {
           w.subscribers[m.pair].push_back(m.origin);
@@ -308,6 +345,7 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
   ParallelResult result;
   result.supersteps = 1;  // no rounds in the asynchronous model
   result.messages = total_messages.load();
+  result.backoff_sleeps = backoff_sleeps.load();
   result.simulated_seconds = *std::max_element(busy.begin(), busy.end());
   for (uint32_t i = 0; i < n; ++i) {
     const MatchEngine::Stats& s = workers[i]->engine.stats();
@@ -317,6 +355,7 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
     result.stats.hrho_embed_reuse += s.hrho_embed_reuse;
     result.stats.hrho_list_memo_hits += s.hrho_list_memo_hits;
     result.stats.hrho_list_memo_evictions += s.hrho_list_memo_evictions;
+    AssignSharedSnapshots(s, &result.stats);
     result.max_worker_calls =
         std::max(result.max_worker_calls, s.para_match_calls);
   }

@@ -33,8 +33,13 @@ struct ParallelResult {
   std::vector<MatchPair> matches;  // Pi, sorted
   size_t supersteps = 0;           // BSP rounds until fixpoint
   size_t messages = 0;             // cross-worker messages exchanged
-  MatchEngine::Stats stats;        // summed over all workers
+  MatchEngine::Stats stats;        // summed over all workers (shared-scorer
+                                   // snapshot fields assigned, not summed)
   size_t max_worker_calls = 0;     // ParaMatch calls of the busiest worker
+  /// Backoff sleeps taken by idle async workers waiting for quiescence
+  /// (RunAsyncOnCandidates replaces its pure yield spin with bounded
+  /// exponential backoff; each sleep is counted here). Zero for BSP runs.
+  size_t backoff_sleeps = 0;
   /// Simulated cluster makespan: sum over supersteps of the slowest
   /// worker's thread-CPU time, plus the synchronization phases. This is
   /// what an n-machine cluster's wall clock would approximate; on hosts

@@ -328,6 +328,15 @@ size_t CachingPathScorer::CacheSize() const {
   return n;
 }
 
+std::vector<std::vector<RankedProperty>> DescendantRanker::TopKBatch(
+    int graph, std::span<const VertexId> vs, int k) const {
+  batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::vector<RankedProperty>> out;
+  out.reserve(vs.size());
+  for (VertexId v : vs) out.push_back(TopK(graph, v, k));
+  return out;
+}
+
 std::vector<RankedProperty> PraRanker::TopK(int graph, VertexId v,
                                             int k) const {
   const Graph& g = *graphs_[graph];
@@ -341,14 +350,52 @@ std::vector<RankedProperty> PraRanker::TopK(int graph, VertexId v,
   return out;
 }
 
-std::vector<RankedProperty> LstmPraRanker::TopK(int graph, VertexId v,
-                                                int k) const {
+std::vector<RankedProperty> LstmPraRanker::Finalize(
+    int graph, VertexId v, int k,
+    std::vector<RankedProperty> collected) const {
   const Graph& g = *graphs_[graph];
   // The maximum-PRA traversal is the expensive part of ranking a vertex
   // during PropertyTable::Build; run it exactly once per (graph, v) and
   // reuse the result in the descendant merge below rather than
   // re-traversing there.
   auto max_pra_paths = MaxPraPaths(g, v, max_len_);
+
+  // h_r ranks DESCENDANTS (Section IV): the LM picks the preferred path
+  // per walk, but descendants it walked past (or stopped before) still
+  // compete for the top-k through their maximum-PRA paths. LM-chosen
+  // paths win ties for the same descendant.
+  std::unordered_set<VertexId> lm_endpoints;
+  for (const RankedProperty& p : collected) {
+    lm_endpoints.insert(p.descendant);
+  }
+  for (auto& extra : max_pra_paths) {
+    if (lm_endpoints.count(extra.path.endpoint) != 0) continue;
+    RankedProperty prop;
+    prop.descendant = extra.path.endpoint;
+    prop.path = std::move(extra.path);
+    prop.pra = extra.pra;
+    collected.push_back(std::move(prop));
+  }
+
+  // Keep the best-PRA path per distinct descendant (V_u^k is a vertex set).
+  std::sort(collected.begin(), collected.end(),
+            [](const RankedProperty& a, const RankedProperty& b) {
+              if (a.pra != b.pra) return a.pra > b.pra;
+              return a.descendant < b.descendant;
+            });
+  std::vector<RankedProperty> out;
+  std::unordered_set<VertexId> seen;
+  for (auto& p : collected) {
+    if (static_cast<int>(out.size()) >= k) break;
+    if (!seen.insert(p.descendant).second) continue;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<RankedProperty> LstmPraRanker::TopK(int graph, VertexId v,
+                                                int k) const {
+  const Graph& g = *graphs_[graph];
   std::vector<RankedProperty> collected;
 
   for (const Edge& first : g.OutEdges(v)) {
@@ -393,35 +440,129 @@ std::vector<RankedProperty> LstmPraRanker::TopK(int graph, VertexId v,
     collected.push_back(std::move(prop));
   }
 
-  // h_r ranks DESCENDANTS (Section IV): the LM picks the preferred path
-  // per walk, but descendants it walked past (or stopped before) still
-  // compete for the top-k through their maximum-PRA paths. LM-chosen
-  // paths win ties for the same descendant.
-  std::unordered_set<VertexId> lm_endpoints;
-  for (const RankedProperty& p : collected) {
-    lm_endpoints.insert(p.descendant);
-  }
-  for (auto& extra : max_pra_paths) {
-    if (lm_endpoints.count(extra.path.endpoint) != 0) continue;
-    RankedProperty prop;
-    prop.descendant = extra.path.endpoint;
-    prop.path = std::move(extra.path);
-    prop.pra = extra.pra;
-    collected.push_back(std::move(prop));
+  return Finalize(graph, v, k, std::move(collected));
+}
+
+/// One live lane of the lockstep kernel: a greedy walk in flight, with the
+/// same per-walk state the scalar loop keeps on its stack.
+struct LstmPraRanker::Walk {
+  size_t vertex_idx = 0;  // index into the TopKBatch vs block
+  size_t slot = 0;        // out-edge ordinal of the root (creation order)
+  RankedProperty prop;
+  double pra = 0.0;
+  std::unordered_set<VertexId> visited;
+  LstmLm::State state;
+  int next_token = -1;  // fed to the LM in the next lockstep round
+};
+
+std::vector<std::vector<RankedProperty>> LstmPraRanker::TopKBatch(
+    int graph, std::span<const VertexId> vs, int k) const {
+  batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  const Graph& g = *graphs_[graph];
+  const size_t n = vs.size();
+
+  // Walk results land in creation order (root-by-root, out-edge-by-
+  // out-edge) regardless of when each walk retires, so the sequence fed
+  // to Finalize's sort is exactly the scalar TopK's `collected` — ties
+  // between equal (pra, descendant) entries with different paths resolve
+  // identically.
+  std::vector<std::vector<RankedProperty>> collected(n);
+  std::vector<Walk> live;
+  for (size_t i = 0; i < n; ++i) {
+    const VertexId v = vs[i];
+    const auto edges = g.OutEdges(v);
+    collected[i].resize(edges.size());
+    size_t slot = 0;
+    for (const Edge& first : edges) {
+      Walk w;
+      w.vertex_idx = i;
+      w.slot = slot++;
+      w.prop.path.labels.push_back(first.label);
+      w.prop.descendant = first.dst;
+      w.pra = 1.0 / static_cast<double>(g.OutDegree(v));
+      w.visited = {v, first.dst};
+      w.state = lm_->InitialState();
+      w.next_token = vocab_->TokenOf(graph, first.label);
+      // The scalar loop's final StepProb at max_len is discarded unused;
+      // a length-capped walk retires without ever entering the frontier.
+      if (w.prop.path.labels.size() >= max_len_) {
+        w.prop.path.endpoint = w.prop.descendant;
+        w.prop.pra = w.pra;
+        collected[i][w.slot] = std::move(w.prop);
+      } else {
+        live.push_back(std::move(w));
+      }
+    }
   }
 
-  // Keep the best-PRA path per distinct descendant (V_u^k is a vertex set).
-  std::sort(collected.begin(), collected.end(),
-            [](const RankedProperty& a, const RankedProperty& b) {
-              if (a.pra != b.pra) return a.pra > b.pra;
-              return a.descendant < b.descendant;
-            });
-  std::vector<RankedProperty> out;
-  std::unordered_set<VertexId> seen;
-  for (auto& p : collected) {
-    if (static_cast<int>(out.size()) >= k) break;
-    if (!seen.insert(p.descendant).second) continue;
-    out.push_back(std::move(p));
+  // Lockstep frontier rounds: one batched LM call per round across every
+  // live walk, then one scalar round of edge selection per lane.
+  std::vector<LstmLm::State> states;
+  std::vector<int> tokens;
+  std::vector<Vec> probs;
+  while (!live.empty()) {
+    const size_t lanes = live.size();
+    walk_rounds_.fetch_add(1, std::memory_order_relaxed);
+    lstm_batch_calls_.fetch_add(1, std::memory_order_relaxed);
+    lstm_batch_lanes_.fetch_add(lanes, std::memory_order_relaxed);
+
+    // Gather lane states (cheap Vec moves), advance all lanes at once,
+    // scatter back.
+    states.resize(lanes);
+    tokens.resize(lanes);
+    probs.resize(lanes);
+    for (size_t r = 0; r < lanes; ++r) {
+      states[r] = std::move(live[r].state);
+      tokens[r] = live[r].next_token;
+    }
+    lm_->StepProbBatch(states, tokens, probs);
+    for (size_t r = 0; r < lanes; ++r) live[r].state = std::move(states[r]);
+
+    size_t kept = 0;
+    for (size_t r = 0; r < lanes; ++r) {
+      Walk& w = live[r];
+      const Vec& p_dist = probs[r];
+      const VertexId cur = w.prop.descendant;
+      // Candidate continuations, skipping edges that would form a cycle
+      // (condition (c) of Section IV).
+      const Edge* best_edge = nullptr;
+      double best_p = -1.0;
+      for (const Edge& e : g.OutEdges(cur)) {
+        if (w.visited.count(e.dst) != 0) continue;
+        const double p = p_dist[vocab_->TokenOf(graph, e.label)];
+        if (p > best_p) {
+          best_p = p;
+          best_edge = &e;
+        }
+      }
+      // Retirement: (b) dead end, (a) <eos> outranks every feasible
+      // continuation, or the extension below hits max_len (whose LM step
+      // the scalar path computes and discards).
+      bool retired = best_edge == nullptr || p_dist[vocab_->eos()] >= best_p;
+      if (!retired) {
+        w.pra /= static_cast<double>(g.OutDegree(cur));
+        w.prop.path.labels.push_back(best_edge->label);
+        w.prop.descendant = best_edge->dst;
+        w.visited.insert(best_edge->dst);
+        w.next_token = vocab_->TokenOf(graph, best_edge->label);
+        retired = w.prop.path.labels.size() >= max_len_;
+      }
+      if (retired) {
+        w.prop.path.endpoint = w.prop.descendant;
+        w.prop.pra = w.pra;
+        collected[w.vertex_idx][w.slot] = std::move(w.prop);
+      } else {
+        if (kept != r) live[kept] = std::move(w);
+        ++kept;
+      }
+    }
+    live.resize(kept);
+  }
+
+  std::vector<std::vector<RankedProperty>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Finalize(graph, vs[i], k, std::move(collected[i])));
   }
   return out;
 }

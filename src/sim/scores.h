@@ -312,6 +312,23 @@ class DescendantRanker {
   virtual ~DescendantRanker() = default;
   virtual std::vector<RankedProperty> TopK(int graph, VertexId v,
                                            int k) const = 0;
+
+  /// Batched h_r over a block of vertices: out[i] == TopK(graph, vs[i], k)
+  /// exactly (test-enforced). The PropertyTable build feeds vertex blocks
+  /// through this; implementations may run the per-vertex work in lockstep
+  /// (one model call per round across every live walk). The default loops
+  /// over TopK.
+  virtual std::vector<std::vector<RankedProperty>> TopKBatch(
+      int graph, std::span<const VertexId> vs, int k) const;
+
+  /// Number of TopKBatch invocations on this ranker (telemetry; feeds
+  /// MatchEngine::Stats::hr_batch_calls).
+  size_t BatchCalls() const {
+    return batch_calls_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  mutable std::atomic<size_t> batch_calls_{0};
 };
 
 /// PRA-only ranker: enumerates the maximum-PRA path to every descendant
@@ -343,11 +360,42 @@ class LstmPraRanker : public DescendantRanker {
   std::vector<RankedProperty> TopK(int graph, VertexId v,
                                    int k) const override;
 
+  /// Lockstep kernel: runs the greedy walks of every vertex in `vs`
+  /// simultaneously, one LstmLm::StepProbBatch call per frontier round
+  /// across all live walks (per-lane cycle sets, eos/dead-end retirement),
+  /// then applies the same max-PRA merge per vertex. Returns exactly what
+  /// per-vertex TopK returns.
+  std::vector<std::vector<RankedProperty>> TopKBatch(
+      int graph, std::span<const VertexId> vs, int k) const override;
+
+  /// LM-level telemetry of the lockstep kernel (all counts cumulative).
+  size_t LstmBatchCalls() const {
+    return lstm_batch_calls_.load(std::memory_order_relaxed);
+  }
+  size_t LstmBatchLanes() const {
+    return lstm_batch_lanes_.load(std::memory_order_relaxed);
+  }
+  size_t WalkRounds() const {
+    return walk_rounds_.load(std::memory_order_relaxed);
+  }
+
  private:
+  struct Walk;  // live lane of the lockstep kernel (scores.cc)
+
+  /// Shared merge stage of TopK/TopKBatch: combines the LM-guided walk
+  /// results of one vertex with its max-PRA descendants and keeps the k
+  /// best (sort by PRA desc, descendant asc; dedup by descendant).
+  std::vector<RankedProperty> Finalize(
+      int graph, VertexId v, int k,
+      std::vector<RankedProperty> lm_results) const;
+
   const Graph* graphs_[2];
   const JointVocab* vocab_;
   const LstmLm* lm_;
   size_t max_len_;
+  mutable std::atomic<size_t> lstm_batch_calls_{0};
+  mutable std::atomic<size_t> lstm_batch_lanes_{0};
+  mutable std::atomic<size_t> walk_rounds_{0};
 };
 
 }  // namespace her

@@ -293,6 +293,74 @@ TEST(LstmTest, ContextSensitivePrediction) {
   }
 }
 
+TEST(LstmTest, StepProbBatchBitIdenticalToStepProb) {
+  // Non-trivial weights via a short training run over a mixed grammar.
+  std::vector<std::vector<int>> corpus;
+  for (int i = 0; i < 30; ++i) {
+    corpus.push_back({0, 1, 2, 5});
+    corpus.push_back({3, 4, 0, 5});
+    corpus.push_back({2, 2, 1, 5});
+  }
+  LstmLm lm;
+  LstmConfig cfg;
+  cfg.epochs = 6;
+  lm.Train(corpus, 6, cfg);
+
+  Rng rng(77);
+  // Lane counts spanning both sides of the kernel's 8-lane group (1..9),
+  // decoded for several rounds with lanes retiring mid-stream: the
+  // surviving subset is re-batched each round, so group boundaries and
+  // padding shift under the same logical lanes.
+  for (size_t n = 1; n <= 9; ++n) {
+    std::vector<LstmLm::State> batch_st(n), scalar_st(n);
+    for (size_t r = 0; r < n; ++r) {
+      batch_st[r] = lm.InitialState();
+      scalar_st[r] = lm.InitialState();
+    }
+    std::vector<size_t> alive(n);
+    for (size_t r = 0; r < n; ++r) alive[r] = r;
+    for (int round = 0; round < 6 && !alive.empty(); ++round) {
+      std::vector<int> tokens(alive.size());
+      std::vector<LstmLm::State> states(alive.size());
+      std::vector<Vec> probs(alive.size());
+      for (size_t j = 0; j < alive.size(); ++j) {
+        // First round feeds BOS on even lanes; afterwards random tokens.
+        tokens[j] = (round == 0 && alive[j] % 2 == 0)
+                        ? -1
+                        : static_cast<int>(rng.Below(6));
+        states[j] = batch_st[alive[j]];
+      }
+      lm.StepProbBatch(states, tokens, probs);
+      for (size_t j = 0; j < alive.size(); ++j) {
+        const size_t lane = alive[j];
+        batch_st[lane] = std::move(states[j]);
+        const Vec expect = lm.StepProb(scalar_st[lane], tokens[j]);
+        EXPECT_EQ(probs[j], expect) << "n=" << n << " round=" << round
+                                    << " lane=" << lane;
+        EXPECT_EQ(batch_st[lane].h, scalar_st[lane].h)
+            << "n=" << n << " round=" << round << " lane=" << lane;
+        EXPECT_EQ(batch_st[lane].c, scalar_st[lane].c)
+            << "n=" << n << " round=" << round << " lane=" << lane;
+      }
+      // Mixed retirement: each live lane survives with probability 2/3.
+      std::vector<size_t> next;
+      for (const size_t lane : alive) {
+        if (rng.Below(3) != 0) next.push_back(lane);
+      }
+      alive = std::move(next);
+    }
+  }
+}
+
+TEST(LstmTest, StepProbBatchHandlesEmptyBatch) {
+  std::vector<std::vector<int>> corpus(10, std::vector<int>{0, 1});
+  LstmLm lm;
+  LstmConfig cfg;
+  cfg.epochs = 1;
+  lm.Train(corpus, 2, cfg);
+  lm.StepProbBatch({}, {}, {});
+}
+
 TEST(RandomForestTest, LearnsThresholdRule) {
   Rng rng(11);
   std::vector<Vec> x;

@@ -211,5 +211,58 @@ TEST(UniquenessTest, IndependentEnginesAgree) {
   }
 }
 
+/// The PropertyTable build must be a pure function of the graphs and the
+/// ranker: any threads/block_size combination yields byte-identical
+/// contents (ISSUE: 1-thread vs 8-thread builds byte-equal).
+TEST(PropertyTableTest, BuildIsDeterministicAcrossThreadsAndBlocks) {
+  auto [g1, g2] = RandomEntityGraphs(77, 10);
+  const JointVocab vocab(g1, g2);
+  // Small LM over the joint label tokens so the build runs the lockstep
+  // LSTM kernel (what the walks prefer is irrelevant to determinism).
+  std::vector<std::vector<int>> corpus;
+  for (LabelId l = 0; l < g1.edge_labels().size(); ++l) {
+    for (int rep = 0; rep < 5; ++rep) {
+      corpus.push_back({vocab.TokenOf(0, l), vocab.eos()});
+    }
+  }
+  LstmLm lm;
+  LstmConfig cfg;
+  cfg.epochs = 3;
+  lm.Train(corpus, vocab.size_with_eos(), cfg);
+  const LstmPraRanker hr(g1, g2, &vocab, &lm);
+  const TokenOverlapPathScorer mrho(&vocab);
+
+  const PropertyTable base =
+      PropertyTable::Build(g1, g2, hr, vocab, /*threads=*/1, &mrho,
+                           /*block_size=*/1);
+  const PropertyTable eight =
+      PropertyTable::Build(g1, g2, hr, vocab, /*threads=*/8, &mrho);
+  const PropertyTable odd_blocks =
+      PropertyTable::Build(g1, g2, hr, vocab, /*threads=*/3, &mrho,
+                           /*block_size=*/7);
+  EXPECT_TRUE(base == eight);
+  EXPECT_TRUE(base == odd_blocks);
+  EXPECT_GT(base.build_seconds(), 0.0);
+
+  // Spot-check the table is non-trivial: every item root has properties.
+  for (const VertexId r : ItemRoots(g1)) {
+    EXPECT_FALSE(base.Get(0, r, 4).empty()) << "root " << r;
+  }
+}
+
+/// Get must tolerate out-of-range vertices (e.g. ids minted by a newer
+/// graph version) by returning an empty span instead of indexing out of
+/// bounds.
+TEST(PropertyTableTest, GetOutOfRangeReturnsEmpty) {
+  auto [g1, g2] = RandomEntityGraphs(13, 4);
+  const JointVocab vocab(g1, g2);
+  const PraRanker hr(g1, g2);
+  const PropertyTable table = PropertyTable::Build(g1, g2, hr, vocab);
+  EXPECT_FALSE(table.Get(0, ItemRoots(g1).front(), 4).empty());
+  EXPECT_TRUE(
+      table.Get(0, static_cast<VertexId>(g1.num_vertices()), 4).empty());
+  EXPECT_TRUE(table.Get(1, static_cast<VertexId>(1u << 30), 4).empty());
+}
+
 }  // namespace
 }  // namespace her

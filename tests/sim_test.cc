@@ -485,6 +485,74 @@ TEST(LstmPraRankerTest, ContinuesWhenModelPrefersContinuation) {
   EXPECT_EQ(it->path.labels.size(), 2u);
 }
 
+TEST(LstmPraRankerTest, TopKBatchMatchesTopK) {
+  // Synthetic graph with mixed fan-out, shared labels, cycles and leaves:
+  // walks retire at different rounds (eos, dead ends, cycle blocks,
+  // max_len), exercising the lockstep kernel's retirement paths.
+  GraphBuilder b;
+  constexpr size_t kN = 40;
+  std::vector<VertexId> vs;
+  vs.reserve(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    vs.push_back(b.AddVertex("v" + std::to_string(i)));
+  }
+  const char* labels[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+  Rng rng(321);
+  for (size_t i = 0; i < kN; ++i) {
+    const size_t deg = rng.Below(4);  // 0..3 out-edges (0 = leaf)
+    for (size_t e = 0; e < deg; ++e) {
+      b.AddEdge(vs[i], vs[rng.Below(kN)], labels[rng.Below(5)]);
+    }
+  }
+  const Graph g = std::move(b).Build();
+  GraphBuilder b2;
+  b2.AddVertex("x");
+  const Graph g2 = std::move(b2).Build();
+
+  const JointVocab vocab(g, g2);
+  // Corpus with varied lengths so the LM's eos preference differs by
+  // prefix (some walks stop early, others run to max_len).
+  std::vector<std::vector<int>> corpus;
+  for (int i = 0; i < 30; ++i) {
+    for (size_t l0 = 0; l0 < 5; ++l0) {
+      std::vector<int> seq;
+      const size_t len = 1 + (i + l0) % 3;
+      for (size_t s = 0; s < len; ++s) {
+        seq.push_back(vocab.TokenOf(0, g.edge_labels().Find(
+                                           labels[(l0 + s) % 5])));
+      }
+      seq.push_back(vocab.eos());
+      corpus.push_back(std::move(seq));
+    }
+  }
+  LstmLm lm;
+  LstmConfig cfg;
+  cfg.epochs = 4;
+  lm.Train(corpus, vocab.size_with_eos(), cfg);
+
+  const LstmPraRanker hr(g, g2, &vocab, &lm);
+  for (const int k : {1, 3, 1 << 20}) {
+    const auto batched = hr.TopKBatch(0, vs, k);
+    ASSERT_EQ(batched.size(), vs.size());
+    for (size_t i = 0; i < vs.size(); ++i) {
+      const auto scalar = hr.TopK(0, vs[i], k);
+      ASSERT_EQ(batched[i].size(), scalar.size())
+          << "k=" << k << " v=" << vs[i];
+      for (size_t j = 0; j < scalar.size(); ++j) {
+        EXPECT_EQ(batched[i][j].descendant, scalar[j].descendant)
+            << "k=" << k << " v=" << vs[i] << " j=" << j;
+        EXPECT_EQ(batched[i][j].path.endpoint, scalar[j].path.endpoint);
+        EXPECT_EQ(batched[i][j].path.labels, scalar[j].path.labels);
+        EXPECT_EQ(batched[i][j].pra, scalar[j].pra);  // bit-exact
+      }
+    }
+  }
+  EXPECT_GT(hr.LstmBatchCalls(), 0u);
+  EXPECT_GE(hr.LstmBatchLanes(), hr.LstmBatchCalls());
+  EXPECT_EQ(hr.WalkRounds(), hr.LstmBatchCalls());
+  EXPECT_EQ(hr.BatchCalls(), 3u);
+}
+
 TEST(SimulationParamsTest, PaperDefaults) {
   const SimulationParams p;
   EXPECT_DOUBLE_EQ(p.sigma, 0.8);

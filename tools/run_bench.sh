@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds Release and runs the hot-path benchmarks: bench_micro (h_v /
-# M_rho / ParaMatch primitives), bench_candidates (serial-scalar vs
-# batched h_v comparison -> BENCH_candidates.json) and bench_hrho
-# (scalar vs batched h_rho kernel -> BENCH_hrho.json), both at the repo
+# M_rho / h_r / ParaMatch primitives), bench_candidates (serial-scalar vs
+# batched h_v comparison -> BENCH_candidates.json), bench_hrho (scalar vs
+# batched h_rho kernel -> BENCH_hrho.json) and bench_hr (scalar vs
+# lockstep h_r PropertyTable build -> BENCH_hr.json), all at the repo
 # root. Usage: tools/run_bench.sh [build-dir]
 set -euo pipefail
 
@@ -10,7 +11,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j --target bench_micro bench_candidates bench_hrho
+cmake --build "$BUILD_DIR" -j --target bench_micro bench_candidates bench_hrho bench_hr
 
 echo "=== bench_micro ==="
 # Note: this benchmark library wants a bare double (no "s" suffix).
@@ -41,3 +42,16 @@ echo "=== bench_hrho ==="
   fi
 }
 echo "wrote $(pwd)/BENCH_hrho.json"
+
+echo "=== bench_hr ==="
+# Exit code 2 means the 8-thread lockstep-build speedup target (>= 2x)
+# was missed; still keep the JSON for inspection.
+"$BUILD_DIR/bench/bench_hr" BENCH_hr.json || {
+  rc=$?
+  if [ "$rc" -eq 2 ]; then
+    echo "WARNING: lockstep h_r PropertyTable build speedup below 2x" >&2
+  else
+    exit "$rc"
+  fi
+}
+echo "wrote $(pwd)/BENCH_hr.json"

@@ -2,7 +2,8 @@
 # Tier-1 verification: the full build + ctest suite, then a sanitizer
 # build of the parallel-driver determinism tests — the shared read-only
 # MatchContext fan-out must be data-race free (tsan) and leak/UB free
-# (asan/ubsan).
+# (asan/ubsan) — plus the batched-kernel bit-identity tests (StepProbBatch,
+# TopKBatch, PropertyTable build determinism) under the same sanitizer.
 # Usage: tools/run_tier1.sh [sanitizer] [build-dir] [san-build-dir]
 #   sanitizer: tsan (default) | asan | ubsan | none
 set -euo pipefail
@@ -28,12 +29,17 @@ cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j)
 
 if [ -n "$HER_SANITIZE" ]; then
-  echo "=== ${SAN} (-DHER_SANITIZE=${HER_SANITIZE}): parallel_driver_test ==="
+  echo "=== ${SAN} (-DHER_SANITIZE=${HER_SANITIZE}): parallel driver + kernel tests ==="
   cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DHER_SANITIZE="$HER_SANITIZE"
-  cmake --build "$SAN_DIR" -j --target parallel_driver_test
+  cmake --build "$SAN_DIR" -j --target parallel_driver_test ml_test \
+    sim_test property_test
   "$SAN_DIR/tests/parallel_driver_test"
-  echo "tier-1 OK (ctest + ${SAN} parallel driver)"
+  "$SAN_DIR/tests/ml_test" \
+    --gtest_filter='LstmTest.StepProbBatch*:MlpTest.PredictBatch*'
+  "$SAN_DIR/tests/sim_test" --gtest_filter='LstmPraRankerTest.*'
+  "$SAN_DIR/tests/property_test" --gtest_filter='PropertyTableTest.*'
+  echo "tier-1 OK (ctest + ${SAN} parallel driver + kernel tests)"
 else
   echo "tier-1 OK (ctest, sanitizer skipped)"
 fi
