@@ -222,6 +222,71 @@ void BM_SPairCold(benchmark::State& state) {
 }
 BENCHMARK(BM_SPairCold)->Unit(benchmark::kMicrosecond);
 
+void BM_BspAllMatch(benchmark::State& state) {
+  // The parallel engine end to end over range(0) workers, surfacing the
+  // fault-tolerance telemetry (all zero here: no injector installed, so
+  // the checkpoint/recovery machinery is fully bypassed — this is the
+  // number HER_FAULTS=OFF release builds must match).
+  BenchSystem& bs = Shared();
+  const auto& ctx = bs.system->context();
+  const auto tuples = bs.data.canonical.TupleVertices();
+  const uint32_t workers = static_cast<uint32_t>(state.range(0));
+  ParallelResult last;
+  for (auto _ : state) {
+    BspAllMatch bsp(ctx, {.num_workers = workers});
+    last = bsp.Run(tuples);
+    benchmark::DoNotOptimize(&last);
+  }
+  state.counters["supersteps"] = static_cast<double>(last.supersteps);
+  state.counters["messages"] = static_cast<double>(last.messages);
+  state.counters["checkpoints"] = static_cast<double>(last.stats.checkpoints);
+  state.counters["recoveries"] = static_cast<double>(last.stats.recoveries);
+  state.counters["faults_injected"] =
+      static_cast<double>(last.stats.faults_injected);
+  state.counters["fault_retries"] =
+      static_cast<double>(last.stats.fault_retries);
+  state.counters["deadline_expired"] =
+      static_cast<double>(last.stats.deadline_expired);
+  state.counters["unresolved_pairs"] =
+      static_cast<double>(last.unresolved_pairs);
+  state.counters["sim_s"] = last.simulated_seconds;
+}
+BENCHMARK(BM_BspAllMatch)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_BspAllMatchFaulted(benchmark::State& state) {
+  // Same run under an injected fault plan (crash at superstep 1 plus 20%
+  // drop / 10% duplication): measures the checkpoint + recovery + audit
+  // overhead relative to BM_BspAllMatch. Compiled out with HER_FAULTS=OFF
+  // (the plan is simply ignored there, making the two benchmarks equal).
+  BenchSystem& bs = Shared();
+  const auto& ctx = bs.system->context();
+  const auto tuples = bs.data.canonical.TupleVertices();
+  const uint32_t workers = static_cast<uint32_t>(state.range(0));
+  ParallelResult last;
+  for (auto _ : state) {
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.crash = CrashFault{.worker = 1, .superstep = 1};
+    plan.drop_prob = 0.2;
+    plan.dup_prob = 0.1;
+    FaultInjector injector(plan);
+    BspAllMatch bsp(ctx, {.num_workers = workers, .faults = &injector});
+    last = bsp.Run(tuples);
+    benchmark::DoNotOptimize(&last);
+  }
+  state.counters["supersteps"] = static_cast<double>(last.supersteps);
+  state.counters["messages"] = static_cast<double>(last.messages);
+  state.counters["checkpoints"] = static_cast<double>(last.stats.checkpoints);
+  state.counters["recoveries"] = static_cast<double>(last.stats.recoveries);
+  state.counters["faults_injected"] =
+      static_cast<double>(last.stats.faults_injected);
+  state.counters["sim_s"] = last.simulated_seconds;
+}
+BENCHMARK(BM_BspAllMatchFaulted)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_VPairBlocked(benchmark::State& state) {
   BenchSystem& bs = Shared();
   size_t i = 0;

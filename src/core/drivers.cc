@@ -128,15 +128,34 @@ namespace {
 
 std::vector<MatchPair> AllParaMatchImpl(
     MatchEngine& engine, std::span<const VertexId> tuple_vertices,
-    const InvertedIndex* index) {
+    const InvertedIndex* index, const RunOptions* options = nullptr) {
+  if (options != nullptr) engine.SetRunOptions(*options);
   WallTimer gen_timer;
   const std::vector<MatchPair> candidates =
       GenerateCandidates(engine.context(), tuple_vertices, index);
   engine.RecordCandidateGen(gen_timer.Seconds());
   // Line 5 of Fig. 8: verify each candidate as in VParaMatch (cache-aware).
+  // After a stop every Match call is a cheap refusal that records the pair
+  // as unresolved, so the loop still terminates promptly.
   std::vector<MatchPair> result;
   for (const MatchPair& c : candidates) {
     if (engine.Match(c.first, c.second)) result.push_back(c);
+  }
+  if (engine.Stopped()) {
+    // Degraded run: call-time verdicts are unreliable (a pair proved early
+    // may rest on a witness later abandoned). Rebuild Pi from the
+    // support-closure resolver and account every non-proved candidate as
+    // unresolved or disproved explicitly.
+    result.clear();
+    const std::vector<PairOutcome> outcomes =
+        engine.ResolveOutcomes(candidates);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (outcomes[i] == PairOutcome::kProved) {
+        result.push_back(candidates[i]);
+      } else if (outcomes[i] == PairOutcome::kUnresolved) {
+        engine.NoteUnresolved(candidates[i]);
+      }
+    }
   }
   std::sort(result.begin(), result.end());
   return result;
@@ -155,10 +174,23 @@ std::vector<MatchPair> AllParaMatch(MatchEngine& engine,
   return AllParaMatchImpl(engine, tuple_vertices, &index);
 }
 
+std::vector<MatchPair> AllParaMatch(MatchEngine& engine,
+                                    std::span<const VertexId> tuple_vertices,
+                                    const RunOptions& options) {
+  return AllParaMatchImpl(engine, tuple_vertices, nullptr, &options);
+}
+
+std::vector<MatchPair> AllParaMatch(MatchEngine& engine,
+                                    std::span<const VertexId> tuple_vertices,
+                                    const InvertedIndex& index,
+                                    const RunOptions& options) {
+  return AllParaMatchImpl(engine, tuple_vertices, &index, &options);
+}
+
 std::vector<MatchPair> ParallelAllParaMatch(
     const MatchContext& ctx, std::span<const VertexId> tuple_vertices,
     size_t num_workers, const InvertedIndex* index,
-    MatchEngine::Stats* stats) {
+    MatchEngine::Stats* stats, const RunOptions* options) {
   if (num_workers == 0) num_workers = 1;
   const size_t n =
       std::max<size_t>(1, std::min(num_workers, tuple_vertices.size()));
@@ -174,7 +206,7 @@ std::vector<MatchPair> ParallelAllParaMatch(
     // Private engine per worker; the context (graphs, scorers,
     // PropertyTable) is shared read-only.
     MatchEngine engine(ctx);
-    partial[w] = AllParaMatchImpl(engine, shares[w], index);
+    partial[w] = AllParaMatchImpl(engine, shares[w], index, options);
     worker_stats[w] = engine.stats();
   });
   std::vector<MatchPair> out;
@@ -209,6 +241,12 @@ std::vector<MatchPair> ParallelAllParaMatch(
           std::max(stats->hrho_batch_calls, s.hrho_batch_calls);
       stats->hrho_hash_rejects =
           std::max(stats->hrho_hash_rejects, s.hrho_hash_rejects);
+      // Fault-tolerance telemetry: unresolved pairs sum across the disjoint
+      // worker shares; deadline_expired is a flag (any worker expiring
+      // marks the whole run degraded).
+      stats->unresolved_pairs += s.unresolved_pairs;
+      stats->deadline_expired =
+          std::max(stats->deadline_expired, s.deadline_expired);
     }
   }
   return out;

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/run_options.h"
 #include "core/candidates.h"
 #include "core/match_engine.h"
 
@@ -31,6 +32,24 @@ std::vector<MatchPair> AllParaMatch(MatchEngine& engine,
                                     std::span<const VertexId> tuple_vertices,
                                     const InvertedIndex& index);
 
+/// AllParaMatch under a deadline/cancellation contract. The options are
+/// installed on `engine` and checked at every pair evaluation; on expiry
+/// the run stops evaluating, and the returned Pi is rebuilt through
+/// MatchEngine::ResolveOutcomes so it contains exactly the candidates whose
+/// whole proof survived the stop (a subset of the fault-free Pi). Abandoned
+/// and demoted candidates are recorded in engine.UnresolvedPairs() and the
+/// `unresolved_pairs` stat; re-running without a deadline converges to the
+/// full fixpoint.
+std::vector<MatchPair> AllParaMatch(MatchEngine& engine,
+                                    std::span<const VertexId> tuple_vertices,
+                                    const RunOptions& options);
+
+/// Deadline-aware AllParaMatch with inverted-index blocking over G.
+std::vector<MatchPair> AllParaMatch(MatchEngine& engine,
+                                    std::span<const VertexId> tuple_vertices,
+                                    const InvertedIndex& index,
+                                    const RunOptions& options);
+
 /// APair candidate generation (Fig. 8 lines 1-4): all pairs (u_t, v) with
 /// h_v >= sigma, sorted by increasing deg(v). `index` null means an
 /// exhaustive scan of G. Shared by the sequential driver and the BSP
@@ -56,11 +75,14 @@ std::vector<VertexId> AllVertices(const Graph& g);
 /// discipline; by Proposition 4 verdicts are evaluation-order independent,
 /// so the result is bit-identical to serial AllParaMatch for every worker
 /// count. `index` enables inverted-index blocking; `stats`, when non-null,
-/// receives the summed per-worker engine counters.
+/// receives the summed per-worker engine counters. `options`, when
+/// non-null, is installed on every worker engine: on expiry each worker
+/// degrades independently (partial Pi, unresolved pairs summed into
+/// `stats->unresolved_pairs`, `stats->deadline_expired` set).
 std::vector<MatchPair> ParallelAllParaMatch(
     const MatchContext& ctx, std::span<const VertexId> tuple_vertices,
     size_t num_workers, const InvertedIndex* index = nullptr,
-    MatchEngine::Stats* stats = nullptr);
+    MatchEngine::Stats* stats = nullptr, const RunOptions* options = nullptr);
 
 }  // namespace her
 

@@ -144,6 +144,7 @@ const MatchEngine::Stats& MatchEngine::stats() const {
   if (ctx_.properties != nullptr) {
     stats_.ptable_build_seconds = ctx_.properties->build_seconds();
   }
+  stats_.unresolved_pairs = unresolved_.size();
   return stats_;
 }
 
@@ -186,6 +187,14 @@ bool MatchEngine::ConsumeBudget(const MatchPair& key) {
 }
 
 bool MatchEngine::ParaMatch(VertexId u, VertexId v) {
+  const MatchPair key{u, v};
+  if (ShouldStop()) {
+    // Expired: refuse without caching a verdict — false is the sound
+    // answer for Pi (it can only shrink the match set), and the missing
+    // cache entry is what marks the pair unresolved for ResolveOutcomes.
+    MarkUnresolved(key);
+    return false;
+  }
   if (is_local_ && !is_local_(u, v)) {
     // PPSim border assumption (Section VI-B): absent the data of v, assume
     // the pair valid; the owner's verdict arrives as a message.
@@ -194,7 +203,6 @@ bool MatchEngine::ParaMatch(VertexId u, VertexId v) {
     new_assumptions_.emplace_back(u, v);
     return true;
   }
-  const MatchPair key{u, v};
   for (;;) {
     if (!ConsumeBudget(key)) {
       ++stats_.budget_exhausted;
@@ -203,6 +211,12 @@ bool MatchEngine::ParaMatch(VertexId u, VertexId v) {
     }
     bool stale = false;
     const bool result = EvalOnce(u, v, &stale);
+    if (stopped_ && Lookup(u, v) == nullptr) {
+      // EvalOnce aborted on expiry (it unsets its optimistic placeholder);
+      // a completed evaluation would have left a cache entry.
+      MarkUnresolved(key);
+      return false;
+    }
     if (!stale) return result;
     ++stats_.stale_restarts;
   }
@@ -290,6 +304,12 @@ bool MatchEngine::EvalOnce(VertexId u, VertexId v, bool* stale) {
 
   const auto& pu = PropertiesOf(0, u);
   const auto& pv = PropertiesOf(1, v);
+  if (ShouldStop()) {
+    // Abort without a verdict: drop the optimistic placeholder so the pair
+    // (and anything that consumed the placeholder) resolves as unresolved.
+    Unset(MatchPair{u, v});
+    return false;
+  }
 
   // Lines 6-11: per-descendant candidate lists sorted by descending h_rho,
   // built with the batched kernel (or served from the memo on
@@ -332,12 +352,20 @@ bool MatchEngine::EvalOnce(VertexId u, VertexId v, bool* stale) {
     for (size_t idx = 0; idx < list.size(); ++idx) {
       const Cand& cand = list[idx];
       if (used.count(cand.v2) != 0) continue;
+      if (ShouldStop()) {
+        Unset(MatchPair{u, v});
+        return false;
+      }
       bool m;
       if (const CacheEntry* e = Lookup(u2, cand.v2)) {
         ++stats_.cache_hits;
         m = e->valid;
       } else {
         m = ParaMatch(u2, cand.v2);
+        if (stopped_) {  // recursion aborted: this evaluation is tainted
+          Unset(MatchPair{u, v});
+          return false;
+        }
       }
       if (m) {
         sum += cand.hrho;
@@ -552,6 +580,82 @@ std::vector<MatchPair> MatchEngine::Witness(VertexId u, VertexId v) const {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<PairOutcome> MatchEngine::ResolveOutcomes(
+    std::span<const MatchPair> roots) const {
+  std::vector<PairOutcome> out(roots.size(), PairOutcome::kUnresolved);
+  if (!stopped_) {
+    // Completed run: at the fixpoint every valid entry's witness closure is
+    // valid by construction, so the cached bit is the outcome.
+    for (size_t i = 0; i < roots.size(); ++i) {
+      const CacheEntry* e = Lookup(roots[i].first, roots[i].second);
+      if (e == nullptr) continue;
+      out[i] = e->valid ? PairOutcome::kProved : PairOutcome::kDisproved;
+    }
+    return out;
+  }
+  // Stopped run: collect the witness closure of the roots, then demote
+  // valid verdicts whose support chain contains a non-proved pair until the
+  // greatest fixpoint is reached. Cycles of valid pairs survive (optimistic
+  // semantics); anything resting on a missing/abandoned/false pair does not.
+  std::unordered_map<MatchPair, PairOutcome, PairHash> value;
+  std::deque<MatchPair> queue(roots.begin(), roots.end());
+  while (!queue.empty()) {
+    const MatchPair p = queue.front();
+    queue.pop_front();
+    if (value.count(p) != 0) continue;
+    const CacheEntry* e = Lookup(p.first, p.second);
+    if (e == nullptr) {
+      value[p] = PairOutcome::kUnresolved;
+      continue;
+    }
+    value[p] = e->valid ? PairOutcome::kProved : PairOutcome::kDisproved;
+    if (e->valid) {
+      for (const MatchPair& w : e->witnesses) queue.push_back(w);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [p, val] : value) {
+      if (val != PairOutcome::kProved) continue;
+      const CacheEntry* e = Lookup(p.first, p.second);
+      for (const MatchPair& w : e->witnesses) {
+        if (value.at(w) != PairOutcome::kProved) {
+          val = PairOutcome::kUnresolved;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < roots.size(); ++i) out[i] = value.at(roots[i]);
+  return out;
+}
+
+PairOutcome MatchEngine::OutcomeOf(VertexId u, VertexId v) const {
+  const MatchPair roots[] = {MatchPair{u, v}};
+  return ResolveOutcomes(roots).front();
+}
+
+MatchEngine::Snapshot MatchEngine::SnapshotLocalState() const {
+  Snapshot s;
+  s.verdicts.reserve(cache_.size());
+  for (const auto& [key, entry] : cache_) {
+    // Border assumptions about remote pairs are the owner's to checkpoint.
+    if (is_local_ && !is_local_(key.first, key.second)) continue;
+    s.verdicts.emplace_back(key, entry);
+  }
+  std::sort(s.verdicts.begin(), s.verdicts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (int g = 0; g < 2; ++g) {
+    s.ecache[g].reserve(ecache_[g].size());
+    for (const auto& [v, props] : ecache_[g]) s.ecache[g].emplace_back(v, props);
+    std::sort(s.ecache[g].begin(), s.ecache[g].end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  return s;
 }
 
 }  // namespace her

@@ -12,12 +12,24 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/run_options.h"
 #include "core/match_context.h"
 
 namespace her {
 
 /// A candidate match: u in G_D paired with v in G.
 using MatchPair = std::pair<VertexId, VertexId>;
+
+/// Verdict classification of a candidate pair at the end of a (possibly
+/// degraded) run. In a completed run every pair is proved or disproved; a
+/// run cut short by a deadline or cancellation additionally reports pairs
+/// as unresolved — never evaluated, aborted mid-evaluation, or proved only
+/// through a support chain that itself contains an unresolved pair.
+enum class PairOutcome {
+  kProved = 0,
+  kDisproved = 1,
+  kUnresolved = 2,
+};
 
 /// One important property selected by h_r, with its path pre-mapped into
 /// the joint token space so M_rho calls need no further translation.
@@ -151,11 +163,47 @@ class MatchEngine {
     // engine (AllParaMatch / ParallelAllParaMatch record it here).
     double candidate_gen_seconds = 0.0;
     size_t candidate_gen_runs = 0;
+    // --- fault-tolerance telemetry ---
+    size_t deadline_expired = 0;   // 1 if this run stopped on deadline/cancel
+    size_t unresolved_pairs = 0;   // pairs abandoned without a verdict
+    // Filled by the parallel engine (per-engine they are always zero):
+    size_t faults_injected = 0;    // crash/drop/dup/scorer faults fired
+    size_t fault_retries = 0;      // transient scorer failures retried
+    size_t checkpoints = 0;        // superstep-boundary snapshots taken
+    size_t recoveries = 0;         // crashed fragments reassigned + replayed
   };
 
   explicit MatchEngine(const MatchContext& ctx) : ctx_(ctx) {}
 
   const MatchContext& context() const { return ctx_; }
+
+  /// Installs a deadline/cancellation contract for subsequent evaluations
+  /// and resets any previous stop state. Expiry is checked cooperatively at
+  /// every (recursive) pair evaluation: once it fires, no further pairs are
+  /// evaluated, in-flight evaluations abort without caching a verdict, and
+  /// the abandoned pairs are reported via UnresolvedPairs()/OutcomeOf().
+  void SetRunOptions(const RunOptions& options) {
+    run_options_ = options;
+    stopped_ = false;
+    unresolved_.clear();
+    stats_.deadline_expired = 0;
+  }
+
+  /// True once a deadline/cancellation stopped this engine; verdicts
+  /// produced afterwards are refusals (false without caching), and Pi must
+  /// be recomputed through ResolveOutcomes/OutcomeOf.
+  bool Stopped() const { return stopped_; }
+
+  /// Pairs abandoned without a verdict because the run stopped.
+  const std::unordered_set<MatchPair, PairHash>& UnresolvedPairs() const {
+    return unresolved_;
+  }
+
+  /// Records a pair the caller classified as unresolved through
+  /// ResolveOutcomes (a cached verdict demoted because its support chain
+  /// broke), so UnresolvedPairs()/stats() account for it alongside the
+  /// never-evaluated pairs the engine tracks itself.
+  void NoteUnresolved(const MatchPair& key) { unresolved_.insert(key); }
 
   /// SPair: does (u, v) match by parametric simulation? Results (and all
   /// intermediate candidate verdicts) are cached across calls.
@@ -173,6 +221,34 @@ class MatchEngine {
   /// The witness Pi(u, v): every pair transitively referenced from (u, v)
   /// through lineage sets. Empty if (u, v) is not a cached valid match.
   std::vector<MatchPair> Witness(VertexId u, VertexId v) const;
+
+  /// Classifies each root pair as proved / disproved / unresolved. In a
+  /// completed run this is exactly the cached verdict. After a stop
+  /// (deadline/cancellation), a pair only counts as proved when its whole
+  /// witness closure is still cached valid: verdicts are demoted to
+  /// unresolved when any pair in their support chain is missing, was
+  /// abandoned, or flipped false without the cleanup stage having rerun —
+  /// this keeps the degraded Pi a subset of the fault-free Pi. Cycles of
+  /// valid pairs count as proved (the optimistic greatest-fixpoint
+  /// semantics of Proposition 4).
+  std::vector<PairOutcome> ResolveOutcomes(
+      std::span<const MatchPair> roots) const;
+
+  /// Single-pair convenience wrapper around ResolveOutcomes.
+  PairOutcome OutcomeOf(VertexId u, VertexId v) const;
+
+  /// The authoritative local state of this fragment: its pair verdicts
+  /// (locality-filtered when a filter is set — border assumptions about
+  /// remote pairs are the owner's state, not this fragment's) plus the
+  /// lazily-built ecache rows. The parallel engine collects these when a
+  /// degraded run must assemble a trustworthy global verdict map.
+  struct Snapshot {
+    std::vector<std::pair<MatchPair, CacheEntry>> verdicts;
+    std::vector<std::pair<VertexId, std::vector<Property>>> ecache[2];
+  };
+
+  /// Captures the local verdicts + ecache rows (see Snapshot).
+  Snapshot SnapshotLocalState() const;
 
   /// Top-k properties of a vertex (`graph` 0 = G_D, 1 = G), from the
   /// context's precomputed PropertyTable when present, otherwise via the
@@ -281,6 +357,21 @@ class MatchEngine {
   /// k^2 + 1, which we enforce so termination holds by construction.
   bool ConsumeBudget(const MatchPair& key);
 
+  /// Cooperative stop probe: latches `stopped_` the first time the run
+  /// options report expiry. Costs no clock read when no deadline is set.
+  bool ShouldStop() {
+    if (stopped_) return true;
+    if (!run_options_.Expired()) return false;
+    stopped_ = true;
+    stats_.deadline_expired = 1;
+    return true;
+  }
+
+  /// Records a pair abandoned without a cached verdict.
+  void MarkUnresolved(const MatchPair& key) {
+    if (cache_.find(key) == cache_.end()) unresolved_.insert(key);
+  }
+
   const MatchContext& ctx_;
   // mutable: stats() refreshes the h_v scorer snapshot fields on read.
   mutable Stats stats_;
@@ -292,6 +383,10 @@ class MatchEngine {
   std::unordered_map<MatchPair, int, PairHash> eval_count_;
   std::vector<MatchPair> newly_invalidated_;
   std::vector<MatchPair> new_assumptions_;
+  // Deadline/cancellation contract of the current run; default never fires.
+  RunOptions run_options_;
+  bool stopped_ = false;
+  std::unordered_set<MatchPair, PairHash> unresolved_;
   // (u, v) -> is this pair owned by this fragment? empty = everything is.
   std::function<bool(VertexId, VertexId)> is_local_;
 

@@ -189,7 +189,8 @@ void HerSystem::EnsureRootOwners() {
   }
 }
 
-ParallelResult HerSystem::APairParallel(uint32_t workers, bool use_blocking) {
+ParallelResult HerSystem::APairParallel(uint32_t workers, bool use_blocking,
+                                        const RunOptions& options) {
   EnsureRootOwners();
   const auto tuples = canonical_->TupleVertices();
   ParallelConfig pcfg;
@@ -201,7 +202,7 @@ ParallelResult HerSystem::APairParallel(uint32_t workers, bool use_blocking) {
     return static_cast<uint32_t>(Mix64(gd_root_[p.first]) % workers);
   };
   BspAllMatch bsp(ctx_, pcfg);
-  if (!use_blocking) return bsp.Run(tuples);
+  if (!use_blocking) return bsp.Run(tuples, nullptr, options);
   EnsureBlockingIndex();
   std::vector<MatchPair> candidates;
   for (const VertexId u_t : tuples) {
@@ -209,7 +210,7 @@ ParallelResult HerSystem::APairParallel(uint32_t workers, bool use_blocking) {
       candidates.emplace_back(u_t, v);
     }
   }
-  return bsp.RunOnCandidates(std::move(candidates));
+  return bsp.RunOnCandidates(std::move(candidates), options);
 }
 
 std::string HerSystem::Explain(TupleRef t, VertexId v_g) {

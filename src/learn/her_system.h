@@ -61,8 +61,11 @@ class HerSystem {
   /// APair: all matches across D and G (sequential).
   std::vector<MatchPair> APair(bool use_blocking = true);
 
-  /// APair on the BSP runtime with n workers.
-  ParallelResult APairParallel(uint32_t workers, bool use_blocking = true);
+  /// APair on the BSP runtime with n workers. `options` carries the
+  /// deadline/cancellation budget; on expiry the result is flagged
+  /// degraded with a partial (sound) Pi and per-pair outcomes.
+  ParallelResult APairParallel(uint32_t workers, bool use_blocking = true,
+                               const RunOptions& options = {});
 
   /// Explainability: why did (t, v_g) (not) match?
   std::string Explain(TupleRef t, VertexId v_g);

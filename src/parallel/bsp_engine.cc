@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,19 +18,26 @@ namespace her {
 
 namespace {
 
-/// Per-worker state: a private engine plus this superstep's inboxes.
+/// Per-fragment state: a private engine plus this superstep's inboxes.
+///
+/// A Worker is one logical FRAGMENT of the computation, not a host: crash
+/// recovery never merges fragments (the greedy lineage matching is not
+/// confluent, so merging would change which fixpoint the run lands on).
+/// Instead a crashed host's fragment is rebuilt from its checkpoint — a
+/// plain copy of this struct, which is why it is copyable — and carried on
+/// by a surviving host with its state, locality and routing unchanged.
 struct Worker {
   explicit Worker(const MatchContext& ctx) : engine(ctx) {}
 
   MatchEngine engine;
   std::vector<MatchPair> owned_candidates;  // root candidates to verify
-  // Assumption requests to answer, tagged with the requesting worker.
+  // Assumption requests to answer, tagged with the requesting fragment.
   std::vector<std::pair<MatchPair, uint32_t>> request_inbox;
   std::vector<MatchPair> invalid_inbox;     // remote invalidations to apply
   // Outboxes filled during a superstep, routed between supersteps.
   std::vector<MatchPair> assumptions_out;
   std::vector<MatchPair> invalidations_out;
-  // For each owned pair that remote workers assumed: who to notify when
+  // For each owned pair that remote fragments assumed: who to notify when
   // its verdict is (or becomes) false. This replaces broadcasting — the
   // GRAPE messages follow the cross edges that created the assumption.
   std::unordered_map<MatchPair, std::vector<uint32_t>, PairHash> subscribers;
@@ -37,13 +47,26 @@ struct Worker {
   // pair flips at most once, so one broadcast suffices. Requesters that
   // arrive later are answered directly at request time instead.
   std::unordered_set<MatchPair, PairHash> notified_false;
+  // Every border pair this fragment has optimistically assumed (requester
+  // side, never drained). The fault-recovery audit re-derives lost
+  // messages from these sets: each believed-true assumption is checked
+  // against its owner's authoritative verdict.
+  std::unordered_set<MatchPair, PairHash> assumed;
 };
 
-// Idle-wait discipline of the async message loop: a burst of yields keeps
-// latency minimal while messages are still flowing, then doubling sleeps
-// (capped) stop an idle worker from burning a core while the rest converge.
-constexpr size_t kBackoffYields = 16;
-constexpr size_t kMaxBackoffMicros = 1000;
+/// Bounded park of an idle async worker waiting for messages/quiescence;
+/// each expiry re-checks the deadline, so expiry detection latency is at
+/// most one wait (plus the message in flight).
+constexpr auto kIdleWait = std::chrono::milliseconds(1);
+
+/// Registers `origin` as a subscriber of `p` at worker `w`, once
+/// (duplicated/re-sent requests must not grow the list unboundedly).
+void Subscribe(Worker& w, const MatchPair& p, uint32_t origin) {
+  auto& subs = w.subscribers[p];
+  if (std::find(subs.begin(), subs.end(), origin) == subs.end()) {
+    subs.push_back(origin);
+  }
+}
 
 /// Copies the shared-scorer/table snapshot fields of one worker's stats
 /// into the aggregate. Every engine snapshots the same shared objects, so
@@ -58,16 +81,184 @@ void AssignSharedSnapshots(const MatchEngine::Stats& s,
   agg->ptable_build_seconds = s.ptable_build_seconds;
 }
 
+/// Sums one worker's per-engine counters into the aggregate.
+void SumWorkerStats(const MatchEngine::Stats& s, MatchEngine::Stats* agg) {
+  agg->para_match_calls += s.para_match_calls;
+  agg->cache_hits += s.cache_hits;
+  agg->cleanup_reruns += s.cleanup_reruns;
+  agg->stale_restarts += s.stale_restarts;
+  agg->budget_exhausted += s.budget_exhausted;
+  agg->hrho_evaluations += s.hrho_evaluations;
+  agg->border_assumptions += s.border_assumptions;
+  agg->hrho_embed_reuse += s.hrho_embed_reuse;
+  agg->hrho_list_memo_hits += s.hrho_list_memo_hits;
+  agg->hrho_list_memo_evictions += s.hrho_list_memo_evictions;
+  AssignSharedSnapshots(s, agg);
+}
+
+/// Fills matches/outcomes/unresolved_pairs from the workers' verdicts for
+/// the (sorted, deduplicated) root candidates.
+///
+/// Completed runs: the owner's cached verdict is the fixpoint answer.
+///
+/// Degraded runs (deadline/cancellation): only owner-side (authoritative)
+/// verdicts are trusted — a worker's own border assumptions may never have
+/// been confirmed — and a pair counts proved only when its whole witness
+/// closure across all fragments is proved. Valid verdicts are demoted to
+/// unresolved until that greatest fixpoint is reached (the cross-worker
+/// analogue of MatchEngine::ResolveOutcomes), which keeps the degraded Pi
+/// a subset of the fault-free Pi.
+void CollectResults(const std::vector<std::unique_ptr<Worker>>& workers,
+                    const std::function<uint32_t(const MatchPair&)>& owner_of,
+                    const std::vector<MatchPair>& roots,
+                    ParallelResult* result) {
+  result->outcomes.reserve(roots.size());
+  if (!result->degraded) {
+    for (const MatchPair& c : roots) {
+      const auto* e =
+          workers[owner_of(c)]->engine.Lookup(c.first, c.second);
+      PairOutcome o = e == nullptr
+                          ? PairOutcome::kUnresolved
+                          : (e->valid ? PairOutcome::kProved
+                                      : PairOutcome::kDisproved);
+      if (o == PairOutcome::kProved) result->matches.push_back(c);
+      if (o == PairOutcome::kUnresolved) ++result->unresolved_pairs;
+      result->outcomes.push_back({c, o});
+    }
+    result->stats.unresolved_pairs = result->unresolved_pairs;
+    return;
+  }
+  // Authoritative global verdict map: each fragment contributes its
+  // locality-filtered entries (assumption replicas about remote pairs are
+  // excluded by the snapshot's filter).
+  std::vector<MatchEngine::Snapshot> snaps;
+  snaps.reserve(workers.size());
+  for (size_t i = 0; i < workers.size(); ++i) {
+    snaps.push_back(workers[i]->engine.SnapshotLocalState());
+  }
+  std::unordered_map<MatchPair, const MatchEngine::CacheEntry*, PairHash>
+      global;
+  for (const auto& snap : snaps) {
+    for (const auto& [p, e] : snap.verdicts) global.emplace(p, &e);
+  }
+  std::unordered_map<MatchPair, PairOutcome, PairHash> value;
+  std::deque<MatchPair> queue(roots.begin(), roots.end());
+  while (!queue.empty()) {
+    const MatchPair p = queue.front();
+    queue.pop_front();
+    if (value.count(p) != 0) continue;
+    const auto it = global.find(p);
+    if (it == global.end()) {
+      value[p] = PairOutcome::kUnresolved;
+      continue;
+    }
+    value[p] = it->second->valid ? PairOutcome::kProved
+                                 : PairOutcome::kDisproved;
+    if (it->second->valid) {
+      for (const MatchPair& w : it->second->witnesses) queue.push_back(w);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [p, val] : value) {
+      if (val != PairOutcome::kProved) continue;
+      for (const MatchPair& w : global.at(p)->witnesses) {
+        if (value.at(w) != PairOutcome::kProved) {
+          val = PairOutcome::kUnresolved;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  for (const MatchPair& c : roots) {
+    const PairOutcome o = value.at(c);
+    if (o == PairOutcome::kProved) result->matches.push_back(c);
+    if (o == PairOutcome::kUnresolved) ++result->unresolved_pairs;
+    result->outcomes.push_back({c, o});
+  }
+  result->stats.unresolved_pairs = result->unresolved_pairs;
+  result->stats.deadline_expired = 1;
+}
+
+std::vector<MatchPair> SortedUnique(std::span<const MatchPair> candidates) {
+  std::vector<MatchPair> roots(candidates.begin(), candidates.end());
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  return roots;
+}
+
 }  // namespace
 
-ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates) {
-  const uint32_t n = std::max<uint32_t>(1, config_.num_workers);
+Status BspAllMatch::Validate(std::span<const MatchPair> candidates) const {
+  if (config_.num_workers == 0) {
+    return Status::InvalidArgument("ParallelConfig.num_workers must be > 0");
+  }
+  if constexpr (kFaultInjectionEnabled) {
+    if (config_.faults != nullptr && config_.faults->plan().crash) {
+      const CrashFault& crash = *config_.faults->plan().crash;
+      if (config_.num_workers < 2) {
+        return Status::InvalidArgument(
+            "crash fault plans need at least 2 workers: a lone host has "
+            "no survivor to recover its fragment on");
+      }
+      if (crash.worker >= config_.num_workers) {
+        return Status::InvalidArgument(
+            "crash fault plan names worker " + std::to_string(crash.worker) +
+            " but num_workers is " + std::to_string(config_.num_workers));
+      }
+    }
+  }
+  const size_t nu = ctx_.gd->num_vertices();
+  const size_t nv = ctx_.g->num_vertices();
+  for (const MatchPair& p : candidates) {
+    if (static_cast<size_t>(p.first) >= nu ||
+        static_cast<size_t>(p.second) >= nv) {
+      return Status::InvalidArgument(
+          "candidate pair (" + std::to_string(p.first) + ", " +
+          std::to_string(p.second) + ") out of range: |V(G_D)| = " +
+          std::to_string(nu) + ", |V(G)| = " + std::to_string(nv));
+    }
+    if (config_.pair_owner) {
+      const uint32_t owner = config_.pair_owner(p);
+      if (owner >= config_.num_workers) {
+        return Status::InvalidArgument(
+            "pair_owner returned fragment " + std::to_string(owner) +
+            " for pair (" + std::to_string(p.first) + ", " +
+            std::to_string(p.second) + ") but num_workers is " +
+            std::to_string(config_.num_workers));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
+                                            const RunOptions& options) {
+  ParallelResult result;
+  result.status = Validate(candidates);
+  if (!result.status.ok()) return result;
+
+  const uint32_t n = config_.num_workers;
+  FaultInjector* injector = nullptr;
+  if constexpr (kFaultInjectionEnabled) injector = config_.faults;
+
   const VertexPartition part =
       PartitionVertices(*ctx_.g, n, config_.strategy);
   const auto owner_of = [this, &part](const MatchPair& p) -> uint32_t {
     return config_.pair_owner ? config_.pair_owner(p)
                               : part.owner[p.second];
   };
+  // Fragment -> host. Identity until a crash: the dead host's fragments
+  // migrate to a survivor, which then processes several fragments per
+  // superstep. Ownership, locality and routing stay FRAGMENT-based, so
+  // recovery re-executes exactly the computation the dead host would have
+  // run — bit-identical Pi by construction (the greedy lineage matching is
+  // not confluent, so any other recovery could land on a different
+  // fixpoint). `host_of` is mutated only between supersteps.
+  std::vector<uint32_t> host_of(n);
+  for (uint32_t i = 0; i < n; ++i) host_of[i] = i;
 
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(n);
@@ -75,15 +266,23 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates) {
     workers.push_back(std::make_unique<Worker>(ctx_));
     const uint32_t frag = i;
     workers.back()->engine.SetLocalityFilter(
-        [owner_of, frag](VertexId u, VertexId v) {
+        [&owner_of, frag](VertexId u, VertexId v) {
           return owner_of(MatchPair{u, v}) == frag;
         });
+    workers.back()->engine.SetRunOptions(options);
   }
+  const std::vector<MatchPair> roots = SortedUnique(candidates);
   for (const MatchPair& c : candidates) {
     workers[owner_of(c)]->owned_candidates.push_back(c);
   }
 
-  ParallelResult result;
+  std::vector<bool> alive(n, true);  // hosts, not fragments
+  // Superstep-boundary checkpoints: full fragment copies (verdicts,
+  // dependency index, eval budgets, messaging control state), so a
+  // restored fragment continues on the exact fault-free trajectory.
+  // In-flight messages are deliberately not checkpointed — the audit
+  // sweep re-derives them from the requester-side `assumed` sets.
+  std::vector<std::unique_ptr<Worker>> checkpoints(n);
 
   // Superstep body: PPSim on round 0, IncPSim afterwards.
   auto superstep = [&](Worker& w, size_t round) {
@@ -92,6 +291,18 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates) {
         w.engine.Match(c.first, c.second);
       }
     } else {
+      // Inboxes are processed in sorted, deduplicated order so the
+      // superstep is invariant to arrival order: duplicated messages,
+      // retransmissions and audit-reconstructed deliveries then leave the
+      // trajectory bit-identical to the fault-free run.
+      std::sort(w.invalid_inbox.begin(), w.invalid_inbox.end());
+      w.invalid_inbox.erase(
+          std::unique(w.invalid_inbox.begin(), w.invalid_inbox.end()),
+          w.invalid_inbox.end());
+      std::sort(w.request_inbox.begin(), w.request_inbox.end());
+      w.request_inbox.erase(
+          std::unique(w.request_inbox.begin(), w.request_inbox.end()),
+          w.request_inbox.end());
       // IncPSim step (a)+(b): apply remote invalidations as updates and
       // rerun the cleanup stage on everything depending on them.
       for (const MatchPair& p : w.invalid_inbox) {
@@ -105,7 +316,7 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates) {
       // here); remember the subscriber for any later true->false flip and
       // reply immediately when the verdict is already false.
       for (const auto& [p, origin] : w.request_inbox) {
-        w.subscribers[p].push_back(origin);
+        Subscribe(w, p, origin);
         if (!w.engine.Match(p.first, p.second)) {
           w.direct_replies.emplace_back(p, origin);
         }
@@ -119,42 +330,188 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates) {
     }
     for (const MatchPair& p : w.engine.DrainNewAssumptions()) {
       w.assumptions_out.push_back(p);
+      w.assumed.insert(p);
     }
+  };
+
+  // Reliable control-channel sweep: re-derives in-flight messages lost
+  // with a crashed host's inboxes from the requester-side assumption
+  // sets. Run immediately after a recovery (so the restored fragment's
+  // superstep sees exactly the inbox the fault-free run would have
+  // delivered) and again at quiescence as a safety net. For every
+  // believed-true assumption p of fragment i:
+  //
+  //  - owner already answered or broadcast false (i is subscribed): the
+  //    reply/invalidation itself was lost in flight -> re-deliver the
+  //    invalidation, arriving this superstep, exactly when the lost
+  //    message would have.
+  //  - otherwise the REQUEST never reached (or was never processed by)
+  //    the owner -> re-deliver the request; the normal flow answers it
+  //    and any false verdict travels back one superstep later, exactly
+  //    as it would have fault-free.
+  //  - owner confirms the pair valid and the subscription exists: the
+  //    state is consistent; nothing to deliver.
+  //
+  // Deliveries bypass the injector — this models the acknowledged channel
+  // a real deployment reserves for control traffic — so every sweep makes
+  // progress.
+  auto audit = [&]() -> size_t {
+    size_t delivered = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      Worker& w = *workers[i];
+      std::vector<MatchPair> assumed(w.assumed.begin(), w.assumed.end());
+      std::sort(assumed.begin(), assumed.end());
+      for (const MatchPair& p : assumed) {
+        const auto* mine = w.engine.Lookup(p.first, p.second);
+        if (mine != nullptr && !mine->valid) continue;  // already repaired
+        const uint32_t owner = owner_of(p);
+        HER_DCHECK(owner != i);
+        Worker& ow = *workers[owner];
+        const auto* theirs = ow.engine.Lookup(p.first, p.second);
+        const auto subs = ow.subscribers.find(p);
+        const bool subscribed =
+            subs != ow.subscribers.end() &&
+            std::find(subs->second.begin(), subs->second.end(), i) !=
+                subs->second.end();
+        if (theirs != nullptr && !theirs->valid && subscribed) {
+          w.invalid_inbox.push_back(p);
+          ++delivered;
+        } else if (theirs == nullptr || !subscribed) {
+          ow.request_inbox.emplace_back(p, i);
+          ++delivered;
+        }
+      }
+    }
+    return delivered;
   };
 
   std::vector<double> busy(n, 0.0);
   for (size_t round = 0;; ++round) {
-    // Parallel phase: one thread per worker (shared-nothing: each touches
-    // only its own engine; the graphs and scorers are immutable). Each
-    // worker's busy time is taken from its thread CPU clock so the
-    // simulated makespan is meaningful even on hosts with fewer cores
-    // than workers.
+    // --- fault hook: host crash at the start of this superstep ---
+    if constexpr (kFaultInjectionEnabled) {
+      if (injector != nullptr && injector->plan().crash.has_value()) {
+        const CrashFault crash = *injector->plan().crash;
+        if (crash.superstep == round && alive[crash.worker]) {
+          // The host dies with everything it held in memory: its
+          // fragment's state and the messages routed into its inboxes at
+          // the end of the previous superstep.
+          const uint32_t victim = crash.worker;
+          alive[victim] = false;
+          injector->CountInjection();
+          ++result.stats.recoveries;
+          uint32_t sv = 0;
+          while (!alive[sv]) ++sv;
+          for (uint32_t f = 0; f < n; ++f) {
+            if (host_of[f] == victim) host_of[f] = sv;
+          }
+          // GRAPE-style data-parallel recovery: rebuild the lost fragment
+          // from its last superstep-boundary checkpoint — a full fragment
+          // copy, so the survivor re-executes exactly the computation the
+          // dead host would have run. A round-0 crash predates the first
+          // checkpoint; the fragment restarts from its job input (the
+          // candidate assignment), which is equally exact.
+          if (checkpoints[victim] != nullptr) {
+            workers[victim] = std::make_unique<Worker>(*checkpoints[victim]);
+          } else {
+            auto fresh = std::make_unique<Worker>(ctx_);
+            const uint32_t frag = victim;
+            fresh->engine.SetLocalityFilter(
+                [&owner_of, frag](VertexId u, VertexId v) {
+                  return owner_of(MatchPair{u, v}) == frag;
+                });
+            fresh->engine.SetRunOptions(options);
+            for (const MatchPair& c : candidates) {
+              if (owner_of(c) == frag) fresh->owned_candidates.push_back(c);
+            }
+            workers[victim] = std::move(fresh);
+          }
+          // The in-flight messages that died in the victim's inboxes are
+          // re-derived from the surviving assumption sets before the
+          // superstep proceeds, so the restored fragment sees the same
+          // deliveries the fault-free run would have.
+          audit();
+        }
+      }
+    }
+
+    // Parallel phase: one thread per live HOST (shared-nothing: each
+    // fragment's engine is touched only by the host carrying it; the
+    // graphs and scorers are immutable). A host that inherited a dead
+    // peer's fragments runs them sequentially — slower, but on the exact
+    // fault-free trajectory. Each host's busy time is taken from its
+    // thread CPU clock so the simulated makespan is meaningful even on
+    // machines with fewer cores than workers.
     {
       std::vector<std::thread> threads;
       threads.reserve(n);
-      for (uint32_t i = 0; i < n; ++i) {
-        threads.emplace_back([&, i] {
+      for (uint32_t h = 0; h < n; ++h) {
+        if (!alive[h]) continue;
+        threads.emplace_back([&, h] {
           const double start = ThreadCpuSeconds();
-          superstep(*workers[i], round);
-          busy[i] = ThreadCpuSeconds() - start;
+          for (uint32_t f = 0; f < n; ++f) {
+            if (host_of[f] == h) superstep(*workers[f], round);
+          }
+          busy[h] = ThreadCpuSeconds() - start;
         });
       }
       for (auto& t : threads) t.join();
     }
-    result.simulated_seconds += *std::max_element(busy.begin(), busy.end());
+    double round_max = 0.0;
+    for (uint32_t h = 0; h < n; ++h) {
+      if (alive[h]) round_max = std::max(round_max, busy[h]);
+    }
+    result.simulated_seconds += round_max;
     ++result.supersteps;
+
+    // Barrier deadline/cancellation check: a stopped run returns within
+    // one superstep of expiry, degraded, instead of iterating on.
+    bool stopped = options.Expired();
+    for (uint32_t i = 0; i < n && !stopped; ++i) {
+      if (workers[i]->engine.Stopped()) stopped = true;
+    }
+    if (stopped) {
+      result.degraded = true;
+      break;
+    }
+
     const double sync_start = ThreadCpuSeconds();
 
-    // Synchronization phase: route outboxes.
+    // Synchronization phase: route outboxes between fragments, with
+    // drop/duplication faults applied per message when a plan is
+    // installed. A dropped message is a transient channel fault: the
+    // sender retransmits within the sync phase until acknowledged, so the
+    // message still arrives this superstep — counted as a fault plus a
+    // retry, never a changed trajectory. (Losing a whole inbox for good
+    // is the crash story, handled by checkpoint recovery + audit.)
+    auto deliveries = [&](FaultChannel channel, const MatchPair& p,
+                          uint32_t from, uint32_t to) -> int {
+      if constexpr (kFaultInjectionEnabled) {
+        if (injector != nullptr) {
+          if (injector->DropMessage(channel, p, from, to)) {
+            ++result.stats.fault_retries;  // retransmitted, then delivered
+            return 1;
+          }
+          if (injector->DuplicateMessage(channel, p, from, to)) return 2;
+        }
+      }
+      (void)channel;
+      (void)p;
+      (void)from;
+      (void)to;
+      return 1;
+    };
     bool any_message = false;
     for (uint32_t i = 0; i < n; ++i) {
       Worker& w = *workers[i];
       for (const MatchPair& p : w.assumptions_out) {
         const uint32_t owner = owner_of(p);
         HER_DCHECK(owner != i);
-        workers[owner]->request_inbox.emplace_back(p, i);
-        ++result.messages;
-        any_message = true;
+        const int copies = deliveries(FaultChannel::kRequest, p, i, owner);
+        for (int c = 0; c < copies; ++c) {
+          workers[owner]->request_inbox.emplace_back(p, i);
+          ++result.messages;
+          any_message = true;
+        }
       }
       w.assumptions_out.clear();
       // true->false flips broadcast to the subscribers known at flip time
@@ -165,57 +522,96 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates) {
         if (it == w.subscribers.end()) continue;
         if (!w.notified_false.insert(p).second) continue;
         for (const uint32_t j : it->second) {
-          workers[j]->invalid_inbox.push_back(p);
-          ++result.messages;
-          any_message = true;
+          const int copies = deliveries(FaultChannel::kInvalidation, p, i, j);
+          for (int c = 0; c < copies; ++c) {
+            workers[j]->invalid_inbox.push_back(p);
+            ++result.messages;
+            any_message = true;
+          }
         }
       }
       w.invalidations_out.clear();
       for (const auto& [p, origin] : w.direct_replies) {
-        workers[origin]->invalid_inbox.push_back(p);
-        ++result.messages;
-        any_message = true;
+        const int copies =
+            deliveries(FaultChannel::kDirectReply, p, i, origin);
+        for (int c = 0; c < copies; ++c) {
+          workers[origin]->invalid_inbox.push_back(p);
+          ++result.messages;
+          any_message = true;
+        }
       }
       w.direct_replies.clear();
     }
+
+    // Superstep-boundary checkpoints (only under a fault plan: production
+    // runs without an injector pay nothing): a full copy of each
+    // fragment, minus its inboxes — in-flight messages are volatile and
+    // die with a host; the audit sweep re-derives them on recovery.
+    if (injector != nullptr) {
+      for (uint32_t f = 0; f < n; ++f) {
+        checkpoints[f] = std::make_unique<Worker>(*workers[f]);
+        checkpoints[f]->request_inbox.clear();
+        checkpoints[f]->invalid_inbox.clear();
+        ++result.stats.checkpoints;
+      }
+    }
     result.simulated_seconds += ThreadCpuSeconds() - sync_start;
-    if (!any_message) break;  // fixpoint: R_i^{r*} == R_i^{r*+1}
+
+    if (!any_message) {
+      // Fixpoint candidate: under faults, audit the assumptions before
+      // accepting it — repairs count as (reliable) messages and force
+      // another superstep.
+      size_t repaired = 0;
+      if (injector != nullptr) repaired = audit();
+      if (repaired == 0) break;  // fixpoint: R_i^{r*} == R_i^{r*+1}
+      result.messages += repaired;
+    }
   }
 
   for (uint32_t i = 0; i < n; ++i) {
     const MatchEngine::Stats& s = workers[i]->engine.stats();
-    result.stats.para_match_calls += s.para_match_calls;
-    result.stats.cache_hits += s.cache_hits;
-    result.stats.cleanup_reruns += s.cleanup_reruns;
-    result.stats.stale_restarts += s.stale_restarts;
-    result.stats.budget_exhausted += s.budget_exhausted;
-    result.stats.hrho_evaluations += s.hrho_evaluations;
-    result.stats.border_assumptions += s.border_assumptions;
-    result.stats.hrho_embed_reuse += s.hrho_embed_reuse;
-    result.stats.hrho_list_memo_hits += s.hrho_list_memo_hits;
-    result.stats.hrho_list_memo_evictions += s.hrho_list_memo_evictions;
-    AssignSharedSnapshots(s, &result.stats);
+    SumWorkerStats(s, &result.stats);
     result.max_worker_calls =
         std::max(result.max_worker_calls, s.para_match_calls);
   }
-
-  // Pi = union of owned partial results (Section VI-B, termination).
-  for (uint32_t i = 0; i < n; ++i) {
-    for (const MatchPair& c : workers[i]->owned_candidates) {
-      const auto* e = workers[i]->engine.Lookup(c.first, c.second);
-      if (e != nullptr && e->valid) result.matches.push_back(c);
+  if constexpr (kFaultInjectionEnabled) {
+    if (injector != nullptr) {
+      result.stats.faults_injected = injector->injected();
+    }
+    if (const auto* flaky =
+            dynamic_cast<const FlakyVertexScorer*>(ctx_.hv)) {
+      result.stats.fault_retries += flaky->Retries();
+      result.stats.faults_injected += flaky->FaultedCalls();
     }
   }
-  std::sort(result.matches.begin(), result.matches.end());
-  result.matches.erase(
-      std::unique(result.matches.begin(), result.matches.end()),
-      result.matches.end());
+
+  // Pi = union of owned partial results (Section VI-B, termination). Every
+  // fragment exists and is authoritative for its owned pairs — crashed
+  // hosts' fragments were rebuilt on survivors.
+  CollectResults(workers, owner_of, roots, &result);
   return result;
 }
 
 ParallelResult BspAllMatch::RunAsyncOnCandidates(
-    std::vector<MatchPair> candidates) {
-  const uint32_t n = std::max<uint32_t>(1, config_.num_workers);
+    std::vector<MatchPair> candidates, const RunOptions& options) {
+  ParallelResult result;
+  result.status = Validate(candidates);
+  if (!result.status.ok()) return result;
+
+  FaultInjector* injector = nullptr;
+  if constexpr (kFaultInjectionEnabled) injector = config_.faults;
+  if (injector != nullptr && injector->plan().crash.has_value()) {
+    result.status = Status::FailedPrecondition(
+        "crash fault plans need superstep checkpoints to recover from; "
+        "the asynchronous model has no superstep boundary — use the BSP "
+        "Run*/RunOnCandidates methods");
+    return result;
+  }
+
+  const uint32_t n = config_.num_workers;
+  result.supersteps = 1;  // no rounds in the asynchronous model
+  if (candidates.empty()) return result;  // nothing to do: no threads spun
+
   const VertexPartition part =
       PartitionVertices(*ctx_.g, n, config_.strategy);
   const auto owner_of = [this, &part](const MatchPair& p) -> uint32_t {
@@ -223,14 +619,17 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
                               : part.owner[p.second];
   };
 
-  // Async channels: one locked inbox per worker.
+  // Async channels: one locked inbox per worker, with a condition variable
+  // so idle workers park instead of spinning (bounded waits re-check the
+  // deadline and absorb lost wakeups).
   struct Message {
     MatchPair pair;
-    uint32_t origin;  // requester for requests; unused for invalidations
+    uint32_t origin;  // requester for requests; sender for invalidations
     bool is_request;
   };
   struct Channel {
     std::mutex mu;
+    std::condition_variable cv;
     std::vector<Message> inbox;
   };
   std::vector<Channel> channels(n);
@@ -238,8 +637,11 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
   // per in-flight message; producers increment before finishing their own
   // unit, so the counter cannot falsely reach zero.
   std::atomic<size_t> outstanding{n};
+  std::atomic<bool> done{false};
+  std::atomic<bool> expired{false};
   std::atomic<size_t> total_messages{0};
   std::atomic<size_t> backoff_sleeps{0};
+  std::atomic<size_t> async_retries{0};
 
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(n);
@@ -250,24 +652,60 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
         [owner_of, frag](VertexId u, VertexId v) {
           return owner_of(MatchPair{u, v}) == frag;
         });
+    workers.back()->engine.SetRunOptions(options);
   }
+  const std::vector<MatchPair> roots = SortedUnique(candidates);
   for (const MatchPair& c : candidates) {
     workers[owner_of(c)]->owned_candidates.push_back(c);
   }
+
+  auto wake_all = [&] {
+    for (uint32_t j = 0; j < n; ++j) {
+      // Lock/unlock pairs the notify with the waiters' predicate check.
+      { std::lock_guard<std::mutex> lock(channels[j].mu); }
+      channels[j].cv.notify_all();
+    }
+  };
+  auto finish_unit = [&] {
+    if (outstanding.fetch_sub(1) == 1) {
+      done.store(true, std::memory_order_release);
+      wake_all();
+    }
+  };
 
   std::vector<double> busy(n, 0.0);
   auto worker_main = [&](uint32_t i) {
     Worker& w = *workers[i];
     const double start = ThreadCpuSeconds();
-    auto send = [&](const Message& m, uint32_t to) {
+    auto deliver = [&](const Message& m, uint32_t to) {
       outstanding.fetch_add(1);
       total_messages.fetch_add(1);
       Channel& ch = channels[to];
-      std::lock_guard<std::mutex> lock(ch.mu);
-      ch.inbox.push_back(m);
+      {
+        std::lock_guard<std::mutex> lock(ch.mu);
+        ch.inbox.push_back(m);
+      }
+      ch.cv.notify_one();
+    };
+    auto send = [&](const Message& m, uint32_t to) {
+      if constexpr (kFaultInjectionEnabled) {
+        if (injector != nullptr) {
+          const FaultChannel fc = m.is_request ? FaultChannel::kRequest
+                                               : FaultChannel::kInvalidation;
+          if (injector->DropMessage(fc, m.pair, i, to)) {
+            // Transient loss: retransmit until acknowledged, then fall
+            // through to the delivery below.
+            async_retries.fetch_add(1, std::memory_order_relaxed);
+          } else if (injector->DuplicateMessage(fc, m.pair, i, to)) {
+            deliver(m, to);
+          }
+        }
+      }
+      deliver(m, to);
     };
     auto flush_outgoing = [&] {
       for (const MatchPair& p : w.engine.DrainNewAssumptions()) {
+        w.assumed.insert(p);
         send(Message{p, i, /*is_request=*/true}, owner_of(p));
       }
       for (const MatchPair& p : w.engine.DrainNewlyInvalidated()) {
@@ -279,43 +717,44 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
         }
       }
     };
+    auto check_deadline = [&]() -> bool {
+      if (!options.Expired()) return false;
+      expired.store(true, std::memory_order_relaxed);
+      done.store(true, std::memory_order_release);
+      wake_all();
+      return true;
+    };
 
     // Initial unit: the owned candidates.
     for (const MatchPair& c : w.owned_candidates) {
+      if (done.load(std::memory_order_acquire) || check_deadline()) break;
       w.engine.Match(c.first, c.second);
       flush_outgoing();
     }
-    outstanding.fetch_sub(1);
+    finish_unit();
 
-    // Message loop until global quiescence.
-    size_t idle_rounds = 0;
-    while (outstanding.load() > 0) {
+    // Message loop until global quiescence (or expiry).
+    while (!done.load(std::memory_order_acquire)) {
+      if (check_deadline()) break;
       std::vector<Message> batch;
       {
-        std::lock_guard<std::mutex> lock(channels[i].mu);
+        std::unique_lock<std::mutex> lock(channels[i].mu);
+        if (channels[i].inbox.empty() &&
+            !done.load(std::memory_order_acquire)) {
+          const bool woke = channels[i].cv.wait_for(lock, kIdleWait, [&] {
+            return !channels[i].inbox.empty() ||
+                   done.load(std::memory_order_acquire);
+          });
+          if (!woke) {
+            // Bounded park expired with no work: loop re-checks deadline.
+            backoff_sleeps.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
         batch.swap(channels[i].inbox);
       }
-      if (batch.empty()) {
-        // Bounded exponential backoff: yield while messages may still be
-        // in flight, then sleep with doubling (capped) waits instead of
-        // spinning a core until quiescence.
-        if (idle_rounds < kBackoffYields) {
-          std::this_thread::yield();
-        } else {
-          const size_t shift =
-              std::min<size_t>(idle_rounds - kBackoffYields, 10);
-          const size_t us =
-              std::min<size_t>(size_t{1} << shift, kMaxBackoffMicros);
-          std::this_thread::sleep_for(std::chrono::microseconds(us));
-          backoff_sleeps.fetch_add(1, std::memory_order_relaxed);
-        }
-        ++idle_rounds;
-        continue;
-      }
-      idle_rounds = 0;
       for (const Message& m : batch) {
         if (m.is_request) {
-          w.subscribers[m.pair].push_back(m.origin);
+          Subscribe(w, m.pair, m.origin);
           const bool valid = w.engine.Match(m.pair.first, m.pair.second);
           if (!valid) {
             // Reply directly; flips that happen later broadcast to all
@@ -329,7 +768,7 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
           }
         }
         flush_outgoing();
-        outstanding.fetch_sub(1);
+        finish_unit();
       }
     }
     busy[i] = ThreadCpuSeconds() - start;
@@ -342,51 +781,134 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
     for (auto& t : threads) t.join();
   }
 
-  ParallelResult result;
-  result.supersteps = 1;  // no rounds in the asynchronous model
   result.messages = total_messages.load();
   result.backoff_sleeps = backoff_sleeps.load();
-  result.simulated_seconds = *std::max_element(busy.begin(), busy.end());
+  double makespan = 0.0;
+  for (uint32_t i = 0; i < n; ++i) makespan = std::max(makespan, busy[i]);
+  result.simulated_seconds = makespan;
+  result.degraded = expired.load();
+  for (uint32_t i = 0; i < n && !result.degraded; ++i) {
+    if (workers[i]->engine.Stopped()) result.degraded = true;
+  }
+
+  // Post-quiescence repair pump (drop/duplication faults): the threads are
+  // joined, so the engines can be driven directly over the reliable
+  // control channel until the assumption audit is clean — mirroring the
+  // BSP audit sweep, sequentially.
+  if (injector != nullptr && !result.degraded) {
+    struct Pending {
+      MatchPair pair;
+      uint32_t origin;
+      uint32_t target;
+      bool is_request;
+    };
+    std::deque<Pending> pump;
+    size_t repaired = 0;
+    auto flush_drains = [&](uint32_t wi) {
+      Worker& w = *workers[wi];
+      for (const MatchPair& p : w.engine.DrainNewAssumptions()) {
+        w.assumed.insert(p);
+        pump.push_back({p, wi, owner_of(p), true});
+      }
+      for (const MatchPair& p : w.engine.DrainNewlyInvalidated()) {
+        auto it = w.subscribers.find(p);
+        if (it == w.subscribers.end()) continue;
+        if (!w.notified_false.insert(p).second) continue;
+        for (const uint32_t j : it->second) {
+          pump.push_back({p, wi, j, false});
+        }
+      }
+    };
+    auto pump_all = [&] {
+      while (!pump.empty()) {
+        const Pending m = pump.front();
+        pump.pop_front();
+        Worker& t = *workers[m.target];
+        if (m.is_request) {
+          Subscribe(t, m.pair, m.origin);
+          if (!t.engine.Match(m.pair.first, m.pair.second)) {
+            pump.push_back({m.pair, m.target, m.origin, false});
+          }
+        } else {
+          const auto* e = t.engine.Lookup(m.pair.first, m.pair.second);
+          if (e == nullptr || e->valid) {
+            t.engine.ForceInvalid(m.pair.first, m.pair.second);
+          }
+        }
+        flush_drains(m.target);
+        ++repaired;
+      }
+    };
+    bool clean = false;
+    while (!clean) {
+      clean = true;
+      for (uint32_t i = 0; i < n; ++i) {
+        Worker& w = *workers[i];
+        std::vector<MatchPair> assumed(w.assumed.begin(), w.assumed.end());
+        std::sort(assumed.begin(), assumed.end());
+        for (const MatchPair& p : assumed) {
+          const auto* mine = w.engine.Lookup(p.first, p.second);
+          if (mine != nullptr && !mine->valid) continue;
+          const uint32_t owner = owner_of(p);
+          if (owner == i) continue;
+          Worker& ow = *workers[owner];
+          const auto* theirs = ow.engine.Lookup(p.first, p.second);
+          if (theirs == nullptr) {
+            pump.push_back({p, i, owner, true});
+            clean = false;
+          } else if (!theirs->valid) {
+            pump.push_back({p, i, i, false});
+            clean = false;
+          } else {
+            Subscribe(ow, p, i);
+          }
+        }
+        pump_all();
+      }
+    }
+    result.messages += repaired;
+  }
+
   for (uint32_t i = 0; i < n; ++i) {
     const MatchEngine::Stats& s = workers[i]->engine.stats();
-    result.stats.para_match_calls += s.para_match_calls;
-    result.stats.hrho_evaluations += s.hrho_evaluations;
-    result.stats.border_assumptions += s.border_assumptions;
-    result.stats.hrho_embed_reuse += s.hrho_embed_reuse;
-    result.stats.hrho_list_memo_hits += s.hrho_list_memo_hits;
-    result.stats.hrho_list_memo_evictions += s.hrho_list_memo_evictions;
-    AssignSharedSnapshots(s, &result.stats);
+    SumWorkerStats(s, &result.stats);
     result.max_worker_calls =
         std::max(result.max_worker_calls, s.para_match_calls);
   }
-  for (uint32_t i = 0; i < n; ++i) {
-    for (const MatchPair& c : workers[i]->owned_candidates) {
-      const auto* e = workers[i]->engine.Lookup(c.first, c.second);
-      if (e != nullptr && e->valid) result.matches.push_back(c);
+  if constexpr (kFaultInjectionEnabled) {
+    result.stats.fault_retries += async_retries.load();
+    if (injector != nullptr) {
+      result.stats.faults_injected = injector->injected();
+    }
+    if (const auto* flaky =
+            dynamic_cast<const FlakyVertexScorer*>(ctx_.hv)) {
+      result.stats.fault_retries += flaky->Retries();
+      result.stats.faults_injected += flaky->FaultedCalls();
     }
   }
-  std::sort(result.matches.begin(), result.matches.end());
-  result.matches.erase(
-      std::unique(result.matches.begin(), result.matches.end()),
-      result.matches.end());
+
+  CollectResults(workers, owner_of, roots, &result);
   return result;
 }
 
 ParallelResult BspAllMatch::RunAsync(std::span<const VertexId> tuple_vertices,
-                                     const InvertedIndex* index) {
-  return RunAsyncOnCandidates(
-      GenerateCandidates(ctx_, tuple_vertices, index));
+                                     const InvertedIndex* index,
+                                     const RunOptions& options) {
+  return RunAsyncOnCandidates(GenerateCandidates(ctx_, tuple_vertices, index),
+                              options);
 }
 
 ParallelResult BspAllMatch::Run(std::span<const VertexId> tuple_vertices,
-                                const InvertedIndex* index) {
-  return RunOnCandidates(GenerateCandidates(ctx_, tuple_vertices, index));
+                                const InvertedIndex* index,
+                                const RunOptions& options) {
+  return RunOnCandidates(GenerateCandidates(ctx_, tuple_vertices, index),
+                         options);
 }
 
-ParallelResult BspAllMatch::RunVPair(VertexId u_t,
-                                     const InvertedIndex* index) {
+ParallelResult BspAllMatch::RunVPair(VertexId u_t, const InvertedIndex* index,
+                                     const RunOptions& options) {
   const VertexId roots[] = {u_t};
-  return RunOnCandidates(GenerateCandidates(ctx_, roots, index));
+  return RunOnCandidates(GenerateCandidates(ctx_, roots, index), options);
 }
 
 }  // namespace her

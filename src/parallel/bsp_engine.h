@@ -6,10 +6,13 @@
 #include <span>
 #include <vector>
 
+#include "common/run_options.h"
+#include "common/status.h"
 #include "core/candidates.h"
 #include "core/drivers.h"
 #include "core/match_engine.h"
 #include "graph/partition.h"
+#include "parallel/fault_injection.h"
 
 namespace her {
 
@@ -25,20 +28,46 @@ struct ParallelConfig {
   /// the root tuple of u, which reproduces that placement (and is what
   /// makes APair scale: each u's ecache is computed on one worker only).
   std::function<uint32_t(const MatchPair&)> pair_owner;
+  /// Fault-injection schedule for this run (borrowed, may be null). Only
+  /// honored when the library is built with HER_FAULTS=ON; a crash plan is
+  /// BSP-only (the async model has no superstep boundary to recover from
+  /// and is rejected with FailedPrecondition).
+  FaultInjector* faults = nullptr;
 };
 
 /// Outcome of a parallel run, with the fixpoint-iteration telemetry the
 /// scalability experiments report.
 struct ParallelResult {
+  /// Non-OK when the run was refused up front: invalid configuration
+  /// (num_workers == 0, a candidate vertex out of range, pair_owner
+  /// returning a fragment >= num_workers) or an unsupported fault plan.
+  /// All other fields are empty/zero in that case.
+  Status status;
   std::vector<MatchPair> matches;  // Pi, sorted
+  /// True when a deadline/cancellation stopped the run before the
+  /// fixpoint: `matches` then holds the partial Pi whose proofs fully
+  /// survived the stop (always a subset of the fault-free Pi), and
+  /// `outcomes`/`unresolved_pairs` account for the rest.
+  bool degraded = false;
+  /// Root candidates without a trustworthy verdict (degraded runs only).
+  size_t unresolved_pairs = 0;
+  /// Per root-candidate classification, sorted by pair (deduplicated). In
+  /// a completed run every pair is proved or disproved; degraded runs also
+  /// report unresolved pairs.
+  struct PairVerdict {
+    MatchPair pair;
+    PairOutcome outcome = PairOutcome::kUnresolved;
+  };
+  std::vector<PairVerdict> outcomes;
   size_t supersteps = 0;           // BSP rounds until fixpoint
   size_t messages = 0;             // cross-worker messages exchanged
   MatchEngine::Stats stats;        // summed over all workers (shared-scorer
                                    // snapshot fields assigned, not summed)
   size_t max_worker_calls = 0;     // ParaMatch calls of the busiest worker
-  /// Backoff sleeps taken by idle async workers waiting for quiescence
-  /// (RunAsyncOnCandidates replaces its pure yield spin with bounded
-  /// exponential backoff; each sleep is counted here). Zero for BSP runs.
+  /// Timed-out condition-variable waits of idle async workers parked for
+  /// quiescence (the async message loop blocks on per-worker channels
+  /// instead of spinning; each bounded wait that expires is counted here).
+  /// Zero for BSP runs.
   size_t backoff_sleeps = 0;
   /// Simulated cluster makespan: sum over supersteps of the slowest
   /// worker's thread-CPU time, plus the synchronization phases. This is
@@ -61,6 +90,16 @@ struct ParallelResult {
 /// the owner for authoritative evaluation, and (b) invalidation messages
 /// (true -> false flips), which trigger the cleanup stage on dependents.
 /// The loop ends at the fixpoint: no new assumptions, no new invalidations.
+///
+/// Fault tolerance (see DESIGN.md "Fault tolerance & degradation"): all
+/// Run* methods take RunOptions whose deadline/cancellation is checked at
+/// superstep barriers, async inbox drains and per-pair evaluations; expiry
+/// returns a `degraded` result instead of hanging. Under an injected
+/// FaultPlan the BSP loop checkpoints each worker's fragment state at
+/// superstep boundaries, reassigns a crashed worker's fragments to a
+/// survivor (replaying from the last checkpoint), and repairs
+/// dropped/duplicated messages with an assumption audit at quiescence, so
+/// faulted runs still converge to the fault-free Pi bit for bit.
 class BspAllMatch {
  public:
   BspAllMatch(const MatchContext& ctx, ParallelConfig config)
@@ -68,26 +107,36 @@ class BspAllMatch {
 
   /// APair over `tuple_vertices`; `index` enables inverted-index blocking.
   ParallelResult Run(std::span<const VertexId> tuple_vertices,
-                     const InvertedIndex* index = nullptr);
+                     const InvertedIndex* index = nullptr,
+                     const RunOptions& options = {});
 
   /// VPair for a single tuple vertex (parallelized along the same lines).
-  ParallelResult RunVPair(VertexId u_t, const InvertedIndex* index = nullptr);
+  ParallelResult RunVPair(VertexId u_t, const InvertedIndex* index = nullptr,
+                          const RunOptions& options = {});
 
   /// Runs on an explicit candidate-pair set (callers with custom blocking).
-  ParallelResult RunOnCandidates(std::vector<MatchPair> candidates);
+  ParallelResult RunOnCandidates(std::vector<MatchPair> candidates,
+                                 const RunOptions& options = {});
 
   /// Asynchronous variant (Section VI remark (1), the AAP model of [34]):
   /// no supersteps — workers drain their inboxes continuously and push
   /// messages as they are produced; termination when no work remains
-  /// anywhere (counted in-flight units). Produces the same Pi as the BSP
-  /// runs; simulated time has no barrier, so stragglers overlap.
+  /// anywhere (counted in-flight units, idle workers parked on
+  /// condition-variable channels). Produces the same Pi as the BSP runs;
+  /// simulated time has no barrier, so stragglers overlap.
   ParallelResult RunAsync(std::span<const VertexId> tuple_vertices,
-                          const InvertedIndex* index = nullptr);
+                          const InvertedIndex* index = nullptr,
+                          const RunOptions& options = {});
 
   /// Async on an explicit candidate set.
-  ParallelResult RunAsyncOnCandidates(std::vector<MatchPair> candidates);
+  ParallelResult RunAsyncOnCandidates(std::vector<MatchPair> candidates,
+                                      const RunOptions& options = {});
 
  private:
+  /// Rejects invalid configurations/candidates before any worker state is
+  /// built (see ParallelResult::status).
+  Status Validate(std::span<const MatchPair> candidates) const;
+
   const MatchContext& ctx_;
   ParallelConfig config_;
 };

@@ -1,0 +1,98 @@
+#include "parallel/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace her {
+
+namespace {
+
+/// Folds the message identity into one 64-bit key. Each component is mixed
+/// before combining so low-entropy inputs (small vertex ids, worker
+/// indices) still spread over the whole key space.
+uint64_t MessageKey(uint64_t seed, FaultChannel channel, const MatchPair& pair,
+                    uint32_t from, uint32_t to, uint64_t salt) {
+  uint64_t h = Mix64(seed ^ (static_cast<uint64_t>(channel) << 56) ^ salt);
+  h = Mix64(h ^ static_cast<uint64_t>(pair.first));
+  h = Mix64(h ^ static_cast<uint64_t>(pair.second));
+  h = Mix64(h ^ (static_cast<uint64_t>(from) << 32) ^ to);
+  return h;
+}
+
+/// Uniform [0, 1) from a 64-bit hash (same construction as Rng::Uniform).
+double HashToUniform(uint64_t h) { return (h >> 11) * 0x1.0p-53; }
+
+}  // namespace
+
+double FaultInjector::Draw(FaultChannel channel, const MatchPair& pair,
+                           uint32_t from, uint32_t to, uint64_t salt) const {
+  return HashToUniform(
+      MessageKey(plan_.seed, channel, pair, from, to, salt));
+}
+
+bool FaultInjector::DropMessage(FaultChannel channel, const MatchPair& pair,
+                                uint32_t from, uint32_t to) {
+  if (plan_.drop_prob <= 0.0) return false;
+  if (Draw(channel, pair, from, to, /*salt=*/0x9d0b) >= plan_.drop_prob) {
+    return false;
+  }
+  CountInjection();
+  return true;
+}
+
+bool FaultInjector::DuplicateMessage(FaultChannel channel,
+                                     const MatchPair& pair, uint32_t from,
+                                     uint32_t to) {
+  if (plan_.dup_prob <= 0.0) return false;
+  if (Draw(channel, pair, from, to, /*salt=*/0xd0bb) >= plan_.dup_prob) {
+    return false;
+  }
+  CountInjection();
+  return true;
+}
+
+int FlakyVertexScorer::PlannedFailures(uint64_t key) const {
+  const uint64_t h = Mix64(seed_ ^ key);
+  if (HashToUniform(h) >= fail_prob_) return 0;
+  // A selected call fails 1..max_failures_ times, always recoverable.
+  return 1 + static_cast<int>(Mix64(h) %
+                              static_cast<uint64_t>(max_failures_));
+}
+
+void FlakyVertexScorer::RetryLoop(int failures) const {
+  if (failures <= 0) return;
+  faulted_calls_.fetch_add(1, std::memory_order_relaxed);
+  size_t backoff = backoff_micros_;
+  for (int attempt = 0; attempt < failures; ++attempt) {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      backoff *= 2;
+    }
+  }
+}
+
+double FlakyVertexScorer::Score(VertexId u, VertexId v) const {
+  uint64_t key = Mix64(static_cast<uint64_t>(u) << 32 |
+                       static_cast<uint64_t>(static_cast<uint32_t>(v)));
+  RetryLoop(PlannedFailures(key));
+  return inner_->Score(u, v);
+}
+
+void FlakyVertexScorer::ScoreBatch(VertexId u, std::span<const VertexId> vs,
+                                   std::span<double> out) const {
+  // One failure decision per batch call, keyed by the batch identity (the
+  // candidate generators issue one batch per tuple vertex, so this models
+  // "the model-server RPC for u failed and was retried").
+  uint64_t key = Mix64(static_cast<uint64_t>(u) + 0x9e3779b97f4a7c15ULL);
+  key = Mix64(key ^ vs.size());
+  if (!vs.empty()) {
+    key = Mix64(key ^ static_cast<uint64_t>(vs.front()));
+    key = Mix64(key ^ static_cast<uint64_t>(vs.back()));
+  }
+  RetryLoop(PlannedFailures(key));
+  batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  inner_->ScoreBatch(u, vs, out);
+}
+
+}  // namespace her

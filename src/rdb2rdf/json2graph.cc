@@ -59,6 +59,13 @@ std::string JsonValue::ScalarLabel() const {
 
 namespace {
 
+/// Adversarial-input guards: a recursive-descent parser turns deep nesting
+/// ("[[[[...") into native stack frames, so depth is bounded well below
+/// any real payload's needs but far above what a thread stack tolerates;
+/// the value cap bounds total allocation for pathological documents.
+constexpr size_t kMaxJsonDepth = 192;
+constexpr size_t kMaxJsonValues = 1'000'000;
+
 /// Recursive-descent JSON parser over a string_view cursor.
 class JsonParser {
  public:
@@ -106,6 +113,10 @@ class JsonParser {
   Result<JsonValue> ParseValue() {
     SkipWhitespace();
     if (pos_ >= text_.size()) return Error("unexpected end of input");
+    if (++values_ > kMaxJsonValues) {
+      return Error("document exceeds " + std::to_string(kMaxJsonValues) +
+                   " values");
+    }
     const char c = text_[pos_];
     if (c == '{') return ParseObject();
     if (c == '[') return ParseArray();
@@ -119,7 +130,16 @@ class JsonParser {
     return ParseNumber();
   }
 
+  Status EnterNested() {
+    if (++depth_ > kMaxJsonDepth) {
+      return Error("nesting deeper than " + std::to_string(kMaxJsonDepth) +
+                   " levels");
+    }
+    return Status::OK();
+  }
+
   Result<JsonValue> ParseObject() {
+    HER_RETURN_NOT_OK(EnterNested());
     if (!Consume('{')) return Error("expected '{'");
     std::map<std::string, JsonValue> fields;
     SkipWhitespace();
@@ -134,10 +154,12 @@ class JsonParser {
       if (Consume('}')) break;
       return Error("expected ',' or '}'");
     }
+    --depth_;
     return JsonValue::Object(std::move(fields));
   }
 
   Result<JsonValue> ParseArray() {
+    HER_RETURN_NOT_OK(EnterNested());
     if (!Consume('[')) return Error("expected '['");
     std::vector<JsonValue> items;
     SkipWhitespace();
@@ -149,6 +171,7 @@ class JsonParser {
       if (Consume(']')) break;
       return Error("expected ',' or ']'");
     }
+    --depth_;
     return JsonValue::Array(std::move(items));
   }
 
@@ -250,6 +273,8 @@ class JsonParser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
+  size_t values_ = 0;
 };
 
 /// Recursively adds a JSON value to the builder; returns the vertex

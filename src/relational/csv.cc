@@ -56,13 +56,40 @@ std::string FormatCsvLine(const std::vector<std::string>& fields) {
   return out;
 }
 
+namespace {
+
+/// Rejects records an adversarial file could use to balloon memory before
+/// the schema check ever sees them (see kMaxCsvLineBytes/kMaxCsvFields).
+Status CheckRecordLimits(std::string_view line, size_t num_fields,
+                         size_t lineno) {
+  if (line.size() > kMaxCsvLineBytes) {
+    return Status::InvalidArgument(
+        "CSV line " + std::to_string(lineno) + " is " +
+        std::to_string(line.size()) + " bytes; limit is " +
+        std::to_string(kMaxCsvLineBytes));
+  }
+  if (num_fields > kMaxCsvFields) {
+    return Status::InvalidArgument(
+        "CSV line " + std::to_string(lineno) + " has " +
+        std::to_string(num_fields) + " fields; limit is " +
+        std::to_string(kMaxCsvFields));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status LoadRelationFromCsv(std::string_view csv_text, Relation* relation) {
   std::istringstream in{std::string(csv_text)};
   std::string line;
   if (!std::getline(in, line)) {
     return Status::InvalidArgument("empty CSV input");
   }
+  if (line.size() > kMaxCsvLineBytes) {
+    return CheckRecordLimits(line, 0, 1);
+  }
   const auto header = ParseCsvLine(Trim(line));
+  HER_RETURN_NOT_OK(CheckRecordLimits(line, header.size(), 1));
   const auto& attrs = relation->schema().attributes();
   if (header.size() != attrs.size() + 1 || header[0] != "key") {
     return Status::InvalidArgument("CSV header must be key,<attributes...>");
@@ -77,9 +104,13 @@ Status LoadRelationFromCsv(std::string_view csv_text, Relation* relation) {
   size_t lineno = 1;
   while (std::getline(in, line)) {
     ++lineno;
+    if (line.size() > kMaxCsvLineBytes) {
+      return CheckRecordLimits(line, 0, lineno);
+    }
     const auto trimmed = Trim(line);
     if (trimmed.empty()) continue;
     auto fields = ParseCsvLine(trimmed);
+    HER_RETURN_NOT_OK(CheckRecordLimits(trimmed, fields.size(), lineno));
     if (fields.size() != attrs.size() + 1) {
       return Status::InvalidArgument("CSV line " + std::to_string(lineno) +
                                      " has " + std::to_string(fields.size()) +

@@ -10,6 +10,14 @@
 
 namespace her {
 
+/// Adversarial-input guards for LoadRelationFromCsv: a single record (and
+/// therefore every materialized field buffer) is bounded, as is the field
+/// fan-out of one line. Both limits are far above anything the datasets
+/// produce; crossing them returns InvalidArgument instead of letting a
+/// hostile file balloon memory.
+inline constexpr size_t kMaxCsvLineBytes = size_t{1} << 20;  // 1 MiB
+inline constexpr size_t kMaxCsvFields = 4096;
+
 /// Parses one CSV record (RFC-4180 quoting: "" escapes a quote inside a
 /// quoted field). Embedded newlines are not supported (records are lines).
 std::vector<std::string> ParseCsvLine(std::string_view line);

@@ -1,0 +1,461 @@
+// Fault-tolerance tests of the parallel engine (see DESIGN.md, "Fault
+// tolerance & degradation"): the injected-fault matrix must recover to a
+// Pi bit-identical to the fault-free run, and deadline/cancellation must
+// degrade gracefully — partial but sound Pi, accounted unresolved pairs,
+// and convergence on re-run.
+//
+// The matrix seeds rotate in CI: HER_STRESS_SEED offsets every graph seed
+// so nightly runs cover fresh deterministic schedules (tools/run_stress.sh).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "core/drivers.h"
+#include "parallel/bsp_engine.h"
+#include "parallel/fault_injection.h"
+#include "tests/test_util.h"
+
+namespace her {
+namespace {
+
+using testutil::ContextHarness;
+using testutil::ItemRoots;
+using testutil::RandomEntityGraphs;
+
+SimulationParams TestParams() { return {.sigma = 0.99, .delta = 0.9, .k = 4}; }
+
+/// CI rotates the stress seeds via HER_STRESS_SEED (see tools/run_stress.sh);
+/// locally the offset is 0 and runs are fully reproducible.
+uint64_t SeedOffset() {
+  const char* env = std::getenv("HER_STRESS_SEED");
+  return env == nullptr ? 0 : std::strtoull(env, nullptr, 10);
+}
+
+std::vector<MatchPair> FaultFreePi(const ContextHarness& h,
+                                   const std::vector<VertexId>& roots) {
+  MatchEngine seq(h.ctx);
+  return AllParaMatch(seq, roots);
+}
+
+/// Fault-free baseline of the *same* parallel configuration. The injected
+/// runs must be bit-identical to this, for any seed — serial equivalence
+/// (Theorem 3) is parallel_test's concern, on its own seed set.
+std::vector<MatchPair> FaultFreeParallelPi(const ContextHarness& h,
+                                           const std::vector<VertexId>& roots,
+                                           uint32_t workers, bool async) {
+  BspAllMatch clean(h.ctx, {.num_workers = workers});
+  return (async ? clean.RunAsync(roots) : clean.Run(roots)).matches;
+}
+
+enum class FaultKind { kCrash, kDrop, kDuplicate, kFlakyScorer };
+
+const char* Name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kFlakyScorer:
+      return "flaky_scorer";
+  }
+  return "?";
+}
+
+FaultPlan PlanFor(FaultKind kind, uint64_t seed, uint32_t workers) {
+  FaultPlan plan;
+  plan.seed = seed;
+  switch (kind) {
+    case FaultKind::kCrash:
+      plan.crash = CrashFault{.worker = static_cast<uint32_t>(seed % workers),
+                              .superstep = 1};
+      break;
+    case FaultKind::kDrop:
+      plan.drop_prob = 0.5;
+      break;
+    case FaultKind::kDuplicate:
+      plan.dup_prob = 0.5;
+      break;
+    case FaultKind::kFlakyScorer:
+      break;  // faults live in the scorer decorator, not the channels
+  }
+  return plan;
+}
+
+/// The acceptance matrix: >= 6 seeds x 4 fault kinds x {2, 4, 8} workers,
+/// every cell recovering to the fault-free Pi bit for bit.
+class FaultMatrixTest
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t, FaultKind, uint32_t>> {};
+
+TEST_P(FaultMatrixTest, RecoversToFaultFreePi) {
+  if constexpr (!kFaultInjectionEnabled) {
+    GTEST_SKIP() << "built with HER_FAULTS=OFF";
+  }
+  const auto [base_seed, kind, workers] = GetParam();
+  const uint64_t seed = base_seed + SeedOffset();
+  auto [g1, g2] = RandomEntityGraphs(seed, 8);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  const auto expected = FaultFreeParallelPi(h, roots, workers, /*async=*/false);
+
+  FaultInjector injector(PlanFor(kind, seed, workers));
+  MatchContext ctx = h.ctx;
+  std::unique_ptr<FlakyVertexScorer> flaky;
+  if (kind == FaultKind::kFlakyScorer) {
+    flaky = std::make_unique<FlakyVertexScorer>(h.hv.get(), seed,
+                                                /*fail_prob=*/0.3,
+                                                /*max_failures=*/3);
+    ctx.hv = flaky.get();
+  }
+  BspAllMatch bsp(ctx, {.num_workers = workers, .faults = &injector});
+  const auto result = bsp.Run(roots);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.matches, expected)
+      << "seed=" << seed << " fault=" << Name(kind) << " workers=" << workers;
+  EXPECT_EQ(result.unresolved_pairs, 0u);
+  // Every root candidate is decisively proved or disproved.
+  for (const auto& [pair, outcome] : result.outcomes) {
+    EXPECT_NE(outcome, PairOutcome::kUnresolved);
+  }
+  if (kind == FaultKind::kCrash) {
+    // The crash only fires when the run reaches superstep 1; single-round
+    // fixpoints legitimately see no recovery.
+    if (result.supersteps > 1) {
+      EXPECT_EQ(result.stats.recoveries, 1u);
+      EXPECT_GT(result.stats.faults_injected, 0u);
+    }
+    EXPECT_GT(result.stats.checkpoints, 0u);
+  }
+  if (kind == FaultKind::kFlakyScorer) {
+    // The decorator's retry telemetry surfaces through the result stats.
+    EXPECT_GT(result.stats.fault_retries, 0u);
+    EXPECT_EQ(result.stats.fault_retries, flaky->Retries());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByFaultByWorkers, FaultMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u),
+        ::testing::Values(FaultKind::kCrash, FaultKind::kDrop,
+                          FaultKind::kDuplicate, FaultKind::kFlakyScorer),
+        ::testing::Values(2u, 4u, 8u)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+             Name(std::get<1>(info.param)) + "_w" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+/// Drop/duplication faults through the asynchronous channels: the repair
+/// pump must still converge to the fault-free Pi.
+class AsyncFaultTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, FaultKind>> {};
+
+TEST_P(AsyncFaultTest, AsyncRecoversToFaultFreePi) {
+  if constexpr (!kFaultInjectionEnabled) {
+    GTEST_SKIP() << "built with HER_FAULTS=OFF";
+  }
+  const auto [base_seed, kind] = GetParam();
+  const uint64_t seed = base_seed + SeedOffset();
+  auto [g1, g2] = RandomEntityGraphs(seed, 8);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  const auto expected = FaultFreeParallelPi(h, roots, /*workers=*/4,
+                                            /*async=*/true);
+
+  FaultInjector injector(PlanFor(kind, seed, /*workers=*/4));
+  BspAllMatch bsp(h.ctx, {.num_workers = 4, .faults = &injector});
+  const auto result = bsp.RunAsync(roots);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.matches, expected) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByFault, AsyncFaultTest,
+    ::testing::Combine(::testing::Values(7u, 17u, 27u, 37u),
+                       ::testing::Values(FaultKind::kDrop,
+                                         FaultKind::kDuplicate)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+             Name(std::get<1>(info.param));
+    });
+
+TEST(FaultInjectionTest, AsyncRejectsCrashPlans) {
+  if constexpr (!kFaultInjectionEnabled) {
+    GTEST_SKIP() << "built with HER_FAULTS=OFF";
+  }
+  auto [g1, g2] = RandomEntityGraphs(3, 4);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  FaultPlan plan;
+  plan.crash = CrashFault{.worker = 0, .superstep = 1};
+  FaultInjector injector(plan);
+  BspAllMatch bsp(h.ctx, {.num_workers = 2, .faults = &injector});
+  const auto result = bsp.RunAsync(ItemRoots(h.g1));
+  EXPECT_TRUE(result.status.code() == StatusCode::kFailedPrecondition)
+      << result.status.ToString();
+  EXPECT_TRUE(result.matches.empty());
+}
+
+TEST(FaultInjectionTest, DecisionsAreDeterministic) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop_prob = 0.5;
+  plan.dup_prob = 0.25;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (uint32_t u = 0; u < 16; ++u) {
+    for (uint32_t v = 0; v < 16; ++v) {
+      const MatchPair p{u, v};
+      EXPECT_EQ(a.DropMessage(FaultChannel::kRequest, p, 0, 1),
+                b.DropMessage(FaultChannel::kRequest, p, 0, 1));
+      EXPECT_EQ(a.DuplicateMessage(FaultChannel::kInvalidation, p, 1, 0),
+                b.DuplicateMessage(FaultChannel::kInvalidation, p, 1, 0));
+    }
+  }
+  EXPECT_EQ(a.injected(), b.injected());
+}
+
+TEST(FlakyScorerTest, MasksFailuresAndCountsRetries) {
+  auto [g1, g2] = RandomEntityGraphs(5, 4);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  FlakyVertexScorer flaky(h.hv.get(), /*seed=*/42, /*fail_prob=*/0.5,
+                          /*max_failures=*/3);
+  size_t faulted = 0;
+  for (VertexId u = 0; u < h.g1.num_vertices(); ++u) {
+    for (VertexId v = 0; v < h.g2.num_vertices(); ++v) {
+      EXPECT_DOUBLE_EQ(flaky.Score(u, v), h.hv->Score(u, v));
+    }
+  }
+  faulted = flaky.FaultedCalls();
+  EXPECT_GT(faulted, 0u);
+  // Every faulted call retries between 1 and max_failures times.
+  EXPECT_GE(flaky.Retries(), faulted);
+  EXPECT_LE(flaky.Retries(), faulted * 3);
+}
+
+// ---------------------------------------------------------------------------
+// Configuration validation (satellite: fail fast with Status, never UB).
+
+TEST(ValidationTest, ZeroWorkersRejected) {
+  auto [g1, g2] = RandomEntityGraphs(3, 4);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  BspAllMatch bsp(h.ctx, {.num_workers = 0});
+  const auto result = bsp.Run(ItemRoots(h.g1));
+  EXPECT_TRUE(result.status.code() == StatusCode::kInvalidArgument) << result.status.ToString();
+  EXPECT_TRUE(result.matches.empty());
+  EXPECT_EQ(result.supersteps, 0u);
+}
+
+TEST(ValidationTest, OutOfRangeCandidateRejected) {
+  auto [g1, g2] = RandomEntityGraphs(3, 4);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  BspAllMatch bsp(h.ctx, {.num_workers = 2});
+  const VertexId bogus = static_cast<VertexId>(h.g2.num_vertices() + 7);
+  const auto result = bsp.RunOnCandidates({MatchPair{0, bogus}});
+  EXPECT_TRUE(result.status.code() == StatusCode::kInvalidArgument) << result.status.ToString();
+  const auto result2 = bsp.RunAsyncOnCandidates(
+      {MatchPair{static_cast<VertexId>(h.g1.num_vertices()), 0}});
+  EXPECT_TRUE(result2.status.code() == StatusCode::kInvalidArgument) << result2.status.ToString();
+}
+
+TEST(ValidationTest, PairOwnerOutOfRangeRejected) {
+  auto [g1, g2] = RandomEntityGraphs(3, 4);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  ParallelConfig cfg;
+  cfg.num_workers = 2;
+  cfg.pair_owner = [](const MatchPair&) -> uint32_t { return 9; };
+  BspAllMatch bsp(h.ctx, cfg);
+  const auto result = bsp.Run(ItemRoots(h.g1));
+  EXPECT_TRUE(result.status.code() == StatusCode::kInvalidArgument) << result.status.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Async termination regressions (satellite: no idle-spin, clean exits).
+
+TEST(AsyncTerminationTest, EmptyCandidateSetReturnsImmediately) {
+  GraphBuilder b1;
+  b1.AddVertex("alpha");
+  GraphBuilder b2;
+  b2.AddVertex("omega");
+  ContextHarness h(std::move(b1).Build(), std::move(b2).Build(), TestParams());
+  BspAllMatch bsp(h.ctx, {.num_workers = 4});
+  const auto result = bsp.RunAsyncOnCandidates({});
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.matches.empty());
+  EXPECT_EQ(result.supersteps, 1u);
+  EXPECT_EQ(result.messages, 0u);
+  EXPECT_FALSE(result.degraded);
+}
+
+TEST(AsyncTerminationTest, ManyMoreWorkersThanCandidatesTerminates) {
+  auto [g1, g2] = RandomEntityGraphs(91, 2);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  MatchEngine seq(h.ctx);
+  const auto expected = AllParaMatch(seq, roots);
+  // 16 workers, 2 candidate tuples: most workers own nothing and must park
+  // on their channels until global quiescence, then exit.
+  BspAllMatch bsp(h.ctx, {.num_workers = 16});
+  const auto result = bsp.RunAsync(roots);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.matches, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and cancellation (tentpole: graceful degradation).
+
+TEST(DeadlineTest, AlreadyExpiredDeadlineDegradesBsp) {
+  auto [g1, g2] = RandomEntityGraphs(13, 8);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  const auto expected = FaultFreePi(h, roots);
+
+  BspAllMatch bsp(h.ctx, {.num_workers = 4});
+  RunOptions options;
+  options.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+  const auto result = bsp.Run(roots, nullptr, options);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.stats.deadline_expired, 1u);
+  // Soundness: whatever survived is a subset of the fault-free Pi.
+  for (const MatchPair& p : result.matches) {
+    EXPECT_TRUE(std::binary_search(expected.begin(), expected.end(), p));
+  }
+  // Accounting: every root candidate is classified, and the unresolved
+  // count matches the outcome list.
+  size_t unresolved = 0;
+  for (const auto& [pair, outcome] : result.outcomes) {
+    if (outcome == PairOutcome::kUnresolved) ++unresolved;
+  }
+  EXPECT_EQ(unresolved, result.unresolved_pairs);
+  EXPECT_GT(result.unresolved_pairs, 0u);
+  // Convergence: the same engine re-run without a deadline completes.
+  const auto rerun = bsp.Run(roots);
+  EXPECT_FALSE(rerun.degraded);
+  EXPECT_EQ(rerun.matches, expected);
+}
+
+TEST(DeadlineTest, CancellationMidRunDegradesBsp) {
+  auto [g1, g2] = RandomEntityGraphs(29, 10);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  const auto expected = FaultFreePi(h, roots);
+
+  BspAllMatch bsp(h.ctx, {.num_workers = 4});
+  CancelToken cancel;
+  RunOptions options;
+  options.cancel = &cancel;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    cancel.Cancel();
+  });
+  const auto result = bsp.Run(roots, nullptr, options);
+  canceller.join();
+  ASSERT_TRUE(result.status.ok());
+  // The run may or may not have finished before the cancel landed; either
+  // way the result must be sound and fully accounted.
+  for (const MatchPair& p : result.matches) {
+    EXPECT_TRUE(std::binary_search(expected.begin(), expected.end(), p));
+  }
+  if (!result.degraded) {
+    EXPECT_EQ(result.matches, expected);
+    EXPECT_EQ(result.unresolved_pairs, 0u);
+  }
+  size_t unresolved = 0;
+  for (const auto& [pair, outcome] : result.outcomes) {
+    if (outcome == PairOutcome::kUnresolved) ++unresolved;
+  }
+  EXPECT_EQ(unresolved, result.unresolved_pairs);
+}
+
+TEST(DeadlineTest, ExpiredDeadlineDegradesAsyncMidDrain) {
+  auto [g1, g2] = RandomEntityGraphs(31, 8);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  const auto expected = FaultFreePi(h, roots);
+
+  BspAllMatch bsp(h.ctx, {.num_workers = 4});
+  RunOptions options;
+  options.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+  const auto result = bsp.RunAsync(roots, nullptr, options);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.degraded);
+  for (const MatchPair& p : result.matches) {
+    EXPECT_TRUE(std::binary_search(expected.begin(), expected.end(), p));
+  }
+  size_t unresolved = 0;
+  for (const auto& [pair, outcome] : result.outcomes) {
+    if (outcome == PairOutcome::kUnresolved) ++unresolved;
+  }
+  EXPECT_EQ(unresolved, result.unresolved_pairs);
+  // Re-run without the deadline converges to the full Pi.
+  const auto rerun = bsp.RunAsync(roots);
+  EXPECT_FALSE(rerun.degraded);
+  EXPECT_EQ(rerun.matches, expected);
+}
+
+TEST(DeadlineTest, GenerousDeadlineCompletesUndegraded) {
+  auto [g1, g2] = RandomEntityGraphs(41, 6);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  const auto expected = FaultFreePi(h, roots);
+  BspAllMatch bsp(h.ctx, {.num_workers = 4});
+  const auto result =
+      bsp.Run(roots, nullptr, RunOptions::WithTimeout(std::chrono::minutes(5)));
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.matches, expected);
+  EXPECT_EQ(result.unresolved_pairs, 0u);
+}
+
+// Serial drivers honor the same options (tentpole: threading through
+// MatchEngine::ParaMatch).
+TEST(DeadlineTest, SerialDriverDegradesAndReRunConverges) {
+  auto [g1, g2] = RandomEntityGraphs(59, 8);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  const auto expected = FaultFreePi(h, roots);
+
+  MatchEngine engine(h.ctx);
+  RunOptions options;
+  options.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+  const auto degraded = AllParaMatch(engine, roots, options);
+  for (const MatchPair& p : degraded) {
+    EXPECT_TRUE(std::binary_search(expected.begin(), expected.end(), p));
+  }
+  EXPECT_GT(engine.stats().unresolved_pairs, 0u);
+  // Fresh options without a deadline: the same engine converges.
+  const auto rerun = AllParaMatch(engine, roots, RunOptions{});
+  EXPECT_EQ(rerun, expected);
+}
+
+TEST(DeadlineTest, ParallelDriverHonorsOptions) {
+  auto [g1, g2] = RandomEntityGraphs(67, 8);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  const auto expected = FaultFreePi(h, roots);
+
+  RunOptions options;
+  options.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+  MatchEngine::Stats stats;
+  const auto degraded =
+      ParallelAllParaMatch(h.ctx, roots, 4, nullptr, &stats, &options);
+  for (const MatchPair& p : degraded) {
+    EXPECT_TRUE(std::binary_search(expected.begin(), expected.end(), p));
+  }
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  EXPECT_GT(stats.unresolved_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace her

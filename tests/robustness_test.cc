@@ -108,6 +108,79 @@ TEST_P(FuzzSmokeTest, LabelUnescapeNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSmokeTest, ::testing::Values(1, 2, 3, 4));
 
+/// Adversarial payloads (not random — crafted to hit resource limits):
+/// the loaders must return InvalidArgument, not overflow the stack or
+/// balloon memory.
+TEST(AdversarialInputTest, DeeplyNestedArrayRejectedNotStackOverflow) {
+  // 100k opening brackets: a recursive-descent parser without a depth
+  // guard turns this into 100k native stack frames.
+  const std::string deep(100'000, '[');
+  const auto r = ParseJson(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AdversarialInputTest, DeeplyNestedObjectRejected) {
+  std::string deep;
+  for (int i = 0; i < 50'000; ++i) deep += "{\"a\":";
+  const auto r = ParseJson(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AdversarialInputTest, NestingJustBelowTheLimitParses) {
+  std::string doc(128, '[');
+  doc += std::string(128, ']');
+  const auto r = ParseJson(doc);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->is_array());
+}
+
+TEST(AdversarialInputTest, HugeNumberTokensDoNotCrash) {
+  const std::string huge = "1e999999999";
+  (void)ParseJson(huge);  // inf or error, never a crash
+  const std::string minus_huge = "-1e999999999";
+  (void)ParseJson(minus_huge);
+  const std::string nonsense = "--++..eeEE";
+  EXPECT_FALSE(ParseJson(nonsense).ok());
+  SUCCEED();
+}
+
+TEST(AdversarialInputTest, GiantCsvLineRejected) {
+  Relation rel(RelationSchema{"r", {{"a"}}});
+  std::string csv = "key,a\n";
+  csv += "k1,";
+  csv += std::string(kMaxCsvLineBytes + 10, 'x');
+  csv += "\n";
+  const Status s = LoadRelationFromCsv(csv, &rel);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+}
+
+TEST(AdversarialInputTest, ExcessiveCsvFieldFanOutRejected) {
+  Relation rel(RelationSchema{"r", {{"a"}}});
+  std::string csv = "key,a\nk1";
+  for (size_t i = 0; i < kMaxCsvFields + 8; ++i) csv += ",";
+  csv += "\n";
+  const Status s = LoadRelationFromCsv(csv, &rel);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+}
+
+TEST(AdversarialInputTest, ValueBombRejectedByTotalCap) {
+  // A flat array with more values than kMaxJsonValues would allocate a
+  // JsonValue per element; the cap fails fast instead. (Kept well under
+  // the cap here to stay quick: verify the guard via a small synthetic
+  // limit is not possible without recompiling, so just confirm a large
+  // but sub-cap document still parses and a crafted unterminated one
+  // errors cleanly.)
+  std::string many = "[";
+  for (int i = 0; i < 10'000; ++i) many += "0,";
+  many += "0]";
+  EXPECT_TRUE(ParseJson(many).ok());
+  std::string unterminated = "[";
+  for (int i = 0; i < 10'000; ++i) unterminated += "0,";
+  EXPECT_FALSE(ParseJson(unterminated).ok());
+}
+
 /// Engine edge cases.
 TEST(EngineEdgeCaseTest, KLargerThanPropertyCount) {
   GraphBuilder b1;

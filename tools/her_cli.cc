@@ -5,9 +5,11 @@
 //       scaling) and saves it as CSV relations + a graph file + annotated
 //       pairs under <dir>.
 //
-//   her_cli evaluate <dir> [workers]
+//   her_cli evaluate <dir> [workers] [deadline-ms]
 //       Loads <dir>, trains HER, reports held-out F-measure, then runs
-//       APair on the parallel engine.
+//       APair on the parallel engine. With a deadline the run degrades
+//       gracefully: it returns a partial (sound) Pi plus the count of
+//       unresolved candidates instead of overrunning the budget.
 //
 //   her_cli spair <dir> <relation> <tuple-key> <vertex-id>
 //       Single-pair check with explanation.
@@ -32,7 +34,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  her_cli generate <profile> <dir> [entities] [seed]\n"
-               "  her_cli evaluate <dir> [workers]\n"
+               "  her_cli evaluate <dir> [workers] [deadline-ms]\n"
                "  her_cli spair <dir> <relation> <tuple-key> <vertex-id>\n"
                "  her_cli vpair <dir> <relation> <tuple-key>\n");
   return 2;
@@ -122,6 +124,7 @@ int CmdEvaluate(int argc, char** argv) {
   // The fragment partitioner divides by the worker count; clamp 0 to 1.
   const uint32_t workers =
       argc > 3 ? std::max(1, std::atoi(argv[3])) : 4;
+  const long deadline_ms = argc > 4 ? std::atol(argv[4]) : 0;
   auto loaded = LoadAndTrain(argv[2]);
   if (!loaded.ok()) return Fail(loaded.status());
   const Confusion c =
@@ -129,10 +132,21 @@ int CmdEvaluate(int argc, char** argv) {
         return loaded->system->SPairVertex(u, v);
       });
   std::printf("held-out: %s\n", c.ToString().c_str());
-  const ParallelResult r = loaded->system->APairParallel(workers);
+  RunOptions options;
+  if (deadline_ms > 0) {
+    options = RunOptions::WithTimeout(std::chrono::milliseconds(deadline_ms));
+  }
+  const ParallelResult r =
+      loaded->system->APairParallel(workers, /*use_blocking=*/true, options);
+  if (!r.status.ok()) return Fail(r.status);
   std::printf("APair (%u workers): %zu matches, %zu supersteps, "
               "simulated %.3fs\n",
               workers, r.matches.size(), r.supersteps, r.simulated_seconds);
+  if (r.degraded) {
+    std::printf("degraded: deadline expired with %zu unresolved candidate "
+                "pair(s); reported Pi is a sound partial result\n",
+                r.unresolved_pairs);
+  }
   return 0;
 }
 

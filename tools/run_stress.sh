@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Fault-injection stress run: the fault matrix + deadline tests under
+# ThreadSanitizer, with rotating seeds. Every graph seed in
+# fault_tolerance_test is offset by HER_STRESS_SEED, so consecutive runs
+# cover fresh — but fully deterministic and replayable — fault schedules:
+# to reproduce a CI failure locally, re-run with the seed CI printed.
+#
+# Usage: tools/run_stress.sh [seed] [rounds] [build-dir]
+#   seed:      base seed offset (default 0; CI passes the run number)
+#   rounds:    how many consecutive offsets to run (default 1)
+#   build-dir: TSan build directory (default build-stress)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SEED="${1:-0}"
+ROUNDS="${2:-1}"
+BUILD_DIR="${3:-build-stress}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHER_SANITIZE=thread -DHER_FAULTS=ON
+cmake --build "$BUILD_DIR" -j --target fault_tolerance_test parallel_test
+
+for ((i = 0; i < ROUNDS; ++i)); do
+  offset=$((SEED + i))
+  echo "=== stress round $((i + 1))/${ROUNDS}: HER_STRESS_SEED=${offset} ==="
+  HER_STRESS_SEED="$offset" "$BUILD_DIR/tests/fault_tolerance_test"
+done
+# The fault-free parallel suite under the same TSan build: the injection
+# probes must not have introduced races on the clean path either.
+"$BUILD_DIR/tests/parallel_test"
+
+echo "stress OK (seeds ${SEED}..$((SEED + ROUNDS - 1)), tsan-clean)"
