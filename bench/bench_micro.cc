@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -283,6 +285,68 @@ void BM_BspAllMatchFaulted(benchmark::State& state) {
   state.counters["sim_s"] = last.simulated_seconds;
 }
 BENCHMARK(BM_BspAllMatchFaulted)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WarmStartSnapshot(benchmark::State& state) {
+  // Durable-snapshot restart path: TrainOrLoad from a primed model
+  // snapshot instead of retraining. The counters expose the telemetry the
+  // resume harness keys on — snap_load_s is the full restore cost and
+  // ptable_build_s stays 0 on a warm start (the build was skipped).
+  BenchSystem& bs = Shared();
+  const std::string snap =
+      (std::filesystem::temp_directory_path() / "her_bench_model.snap")
+          .string();
+  std::vector<Annotation> tuning = bs.split.train;
+  tuning.insert(tuning.end(), bs.split.validation.begin(),
+                bs.split.validation.end());
+  // Prime once (cold: trains and writes the snapshot).
+  static bool primed = [&] {
+    std::filesystem::remove(snap);
+    HerSystem sys(bs.data.canonical, bs.data.g, HerConfig{});
+    sys.TrainOrLoad(snap, bs.data.path_pairs, tuning);
+    return true;
+  }();
+  (void)primed;
+  double load_s = 0;
+  double build_s = 0;
+  for (auto _ : state) {
+    HerSystem sys(bs.data.canonical, bs.data.g, HerConfig{});
+    sys.TrainOrLoad(snap, bs.data.path_pairs, tuning);
+    load_s = sys.engine().stats().snapshot_load_seconds;
+    build_s = sys.engine().stats().ptable_build_seconds;
+    benchmark::DoNotOptimize(&sys);
+  }
+  state.counters["snap_load_s"] = load_s;
+  state.counters["ptable_build_s"] = build_s;
+}
+BENCHMARK(BM_WarmStartSnapshot)->Unit(benchmark::kMillisecond);
+
+void BM_BspCheckpointedRun(benchmark::State& state) {
+  // Overhead of writing a durable BSP checkpoint every superstep versus
+  // BM_BspAllMatch: serialization + CRC + atomic install, on the
+  // superstep barrier.
+  BenchSystem& bs = Shared();
+  const auto& ctx = bs.system->context();
+  const auto tuples = bs.data.canonical.TupleVertices();
+  const uint32_t workers = static_cast<uint32_t>(state.range(0));
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "her_bench_ckpt").string();
+  std::filesystem::create_directories(dir);
+  ParallelResult last;
+  for (auto _ : state) {
+    ParallelConfig cfg{.num_workers = workers};
+    cfg.checkpoint = {.dir = dir, .every_supersteps = 1, .fingerprint = 1};
+    BspAllMatch bsp(ctx, cfg);
+    last = bsp.Run(tuples);
+    benchmark::DoNotOptimize(&last);
+  }
+  state.counters["supersteps"] = static_cast<double>(last.supersteps);
+  state.counters["disk_checkpoints"] =
+      static_cast<double>(last.stats.disk_checkpoints);
+}
+BENCHMARK(BM_BspCheckpointedRun)
     ->Arg(2)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,21 @@
+#ifndef HER_COMMON_CRC32_H_
+#define HER_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace her {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+/// guarding every snapshot header and section payload. Chainable:
+/// pass the previous return value as `seed` to extend a running CRC.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace her
+
+#endif  // HER_COMMON_CRC32_H_

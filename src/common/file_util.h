@@ -1,0 +1,27 @@
+#ifndef HER_COMMON_FILE_UTIL_H_
+#define HER_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace her {
+
+/// Torn-write-safe file install: writes `path + ".tmp"`, flushes and
+/// fsyncs it, renames it over `path`, then fsyncs the containing
+/// directory so the rename itself is durable. A crash at any point
+/// leaves either the previous good file or the complete new one —
+/// never a partial write. Every writer in the repo (graphs, datasets,
+/// CSVs, snapshots) routes through this.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// Reads a whole file, distinguishing "cannot open" and real I/O errors
+/// (badbit mid-read) from a normal EOF; an empty file yields an empty
+/// string, not an error — format parsers reject it with their own
+/// message.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace her
+
+#endif  // HER_COMMON_FILE_UTIL_H_

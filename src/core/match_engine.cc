@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <mutex>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
@@ -50,7 +51,8 @@ EmbeddedPath OperandOf(const Property& p) {
 PropertyTable PropertyTable::Build(const Graph& gd, const Graph& g,
                                    const DescendantRanker& hr,
                                    const JointVocab& vocab, size_t threads,
-                                   const PathScorer* mrho, size_t block_size) {
+                                   const PathScorer* mrho, size_t block_size,
+                                   const RunOptions& options) {
   PropertyTable table;
   WallTimer timer;
   MatchContext ctx;  // only hr + vocab + mrho are consulted below
@@ -74,11 +76,23 @@ PropertyTable PropertyTable::Build(const Graph& gd, const Graph& g,
     // the LSTM weights across every live walk of the block. Blocks are
     // independent (per-vertex results depend only on the graph), so the
     // table is identical for any threads/block_size combination.
+    //
+    // The deadline is probed once per block: an expired block is skipped
+    // whole, its vertices recorded as pending with their rows untouched —
+    // a row is only ever written after its block ranked completely, so
+    // readers never observe a partially filled row.
     const size_t num_blocks = (work.size() + block_size - 1) / block_size;
+    std::mutex pending_mu;
     ParallelFor(num_blocks, threads, [&](size_t b) {
       const size_t begin = b * block_size;
       const size_t end = std::min(begin + block_size, work.size());
       const std::span<const VertexId> block(work.data() + begin, end - begin);
+      if (options.Expired()) {
+        std::lock_guard<std::mutex> lock(pending_mu);
+        table.pending_[gi].insert(table.pending_[gi].end(), block.begin(),
+                                  block.end());
+        return;
+      }
       // Rank without a k cap; engines slice the top-k they need.
       auto ranked =
           ctx.hr->TopKBatch(gi, block, std::numeric_limits<int>::max());
@@ -86,6 +100,7 @@ PropertyTable PropertyTable::Build(const Graph& gd, const Graph& g,
         out[block[i]] = ToProperties(ctx, gi, std::move(ranked[i]));
       }
     });
+    std::sort(table.pending_[gi].begin(), table.pending_[gi].end());
   }
   table.build_seconds_ = timer.Seconds();
   return table;
@@ -440,9 +455,13 @@ void MatchEngine::Unset(const MatchPair& key) {
 void MatchEngine::RecheckDependents(const MatchPair& key) {
   auto dit = dependents_.find(key);
   if (dit == dependents_.end() || dit->second.empty()) return;
-  // Copy: the rechecks mutate the dependency index.
-  const std::vector<MatchPair> to_check(dit->second.begin(),
-                                        dit->second.end());
+  // Copy: the rechecks mutate the dependency index. Sorted, because
+  // matching is not confluent in recheck order and the set's iteration
+  // order depends on its insertion history — which differs between an
+  // organically built engine and one restored from a snapshot. The
+  // canonical order makes resumed runs take the identical trajectory.
+  std::vector<MatchPair> to_check(dit->second.begin(), dit->second.end());
+  std::sort(to_check.begin(), to_check.end());
   for (const MatchPair& parent : to_check) {
     auto it = cache_.find(parent);
     if (it == cache_.end() || !it->second.valid) continue;
@@ -456,7 +475,8 @@ void PropertyTable::Refresh(int graph, const Graph& g,
                             std::span<const VertexId> vertices,
                             const DescendantRanker& hr,
                             const JointVocab& vocab,
-                            const PathScorer* mrho) {
+                            const PathScorer* mrho,
+                            const RunOptions& options) {
   WallTimer timer;
   MatchContext ctx;
   ctx.hr = &hr;
@@ -464,6 +484,7 @@ void PropertyTable::Refresh(int graph, const Graph& g,
   ctx.mrho = mrho;
   auto& out = table_[graph];
   HER_CHECK(out.size() == g.num_vertices());
+  std::vector<VertexId> done;  // vertices whose rows are now current
   std::vector<VertexId> work;
   work.reserve(vertices.size());
   for (const VertexId v : vertices) {
@@ -474,17 +495,41 @@ void PropertyTable::Refresh(int graph, const Graph& g,
     if (static_cast<size_t>(v) >= out.size()) continue;
     if (g.IsLeaf(v)) {
       out[v].clear();
+      done.push_back(v);
     } else {
       work.push_back(v);
     }
   }
-  if (!work.empty()) {
-    // One batch over the whole refresh set: same lockstep path as Build.
-    auto ranked = hr.TopKBatch(graph, work, std::numeric_limits<int>::max());
-    for (size_t i = 0; i < work.size(); ++i) {
-      out[work[i]] = ToProperties(ctx, graph, std::move(ranked[i]));
+  // Blocked like Build so an expiring deadline loses at most one block of
+  // progress; unprocessed vertices stay pending with their previous rows
+  // intact (no partial rows). A Refresh over Pending() therefore completes
+  // a deadline-degraded build.
+  std::vector<VertexId> skipped;
+  for (size_t begin = 0; begin < work.size(); begin += kDefaultBuildBlock) {
+    const size_t end = std::min(begin + kDefaultBuildBlock, work.size());
+    const std::span<const VertexId> block(work.data() + begin, end - begin);
+    if (options.Expired()) {
+      skipped.insert(skipped.end(), block.begin(), block.end());
+      continue;
+    }
+    auto ranked = hr.TopKBatch(graph, block, std::numeric_limits<int>::max());
+    for (size_t i = 0; i < block.size(); ++i) {
+      out[block[i]] = ToProperties(ctx, graph, std::move(ranked[i]));
+      done.push_back(block[i]);
     }
   }
+  // pending := (pending \ done) ∪ skipped, kept sorted and unique.
+  std::sort(done.begin(), done.end());
+  auto& pending = pending_[graph];
+  pending.erase(std::remove_if(pending.begin(), pending.end(),
+                               [&](VertexId v) {
+                                 return std::binary_search(done.begin(),
+                                                           done.end(), v);
+                               }),
+                pending.end());
+  pending.insert(pending.end(), skipped.begin(), skipped.end());
+  std::sort(pending.begin(), pending.end());
+  pending.erase(std::unique(pending.begin(), pending.end()), pending.end());
   build_seconds_ = timer.Seconds();
 }
 
@@ -656,6 +701,247 @@ MatchEngine::Snapshot MatchEngine::SnapshotLocalState() const {
               [](const auto& a, const auto& b) { return a.first < b.first; });
   }
   return s;
+}
+
+
+// --- durable snapshot serialization (src/persist consumes these) ---
+
+namespace {
+
+void PutPair(ByteWriter* w, const MatchPair& p) {
+  w->PutVarint(p.first);
+  w->PutVarint(p.second);
+}
+
+Status GetPair(ByteReader* r, MatchPair* p) {
+  uint64_t u = 0, v = 0;
+  HER_RETURN_NOT_OK(r->GetVarint(&u));
+  HER_RETURN_NOT_OK(r->GetVarint(&v));
+  p->first = static_cast<VertexId>(u);
+  p->second = static_cast<VertexId>(v);
+  return Status::OK();
+}
+
+void PutProperty(ByteWriter* w, const Property& p) {
+  w->PutVarint(p.descendant);
+  w->PutIntVec(p.labels);
+  w->PutIntVec(p.joint);
+  w->PutFloatVec(p.embedding);
+  w->PutDouble(p.pra);
+}
+
+Status GetProperty(ByteReader* r, Property* p) {
+  uint64_t descendant = 0;
+  HER_RETURN_NOT_OK(r->GetVarint(&descendant));
+  p->descendant = static_cast<VertexId>(descendant);
+  HER_RETURN_NOT_OK(r->GetIntVec(&p->labels));
+  HER_RETURN_NOT_OK(r->GetIntVec(&p->joint));
+  HER_RETURN_NOT_OK(r->GetFloatVec(&p->embedding));
+  return r->GetDouble(&p->pra);
+}
+
+void PutProperties(ByteWriter* w, const std::vector<Property>& ps) {
+  w->PutVarint(ps.size());
+  for (const Property& p : ps) PutProperty(w, p);
+}
+
+Status GetProperties(ByteReader* r, std::vector<Property>* ps) {
+  uint64_t n = 0;
+  HER_RETURN_NOT_OK(r->GetCount(&n));
+  ps->clear();
+  ps->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Property p;
+    HER_RETURN_NOT_OK(GetProperty(r, &p));
+    ps->push_back(std::move(p));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void PropertyTable::SaveState(ByteWriter* w) const {
+  for (int gi = 0; gi < 2; ++gi) {
+    w->PutVarint(table_[gi].size());
+    for (const auto& row : table_[gi]) PutProperties(w, row);
+    w->PutIntVec(pending_[gi]);
+  }
+}
+
+Status PropertyTable::LoadState(ByteReader* r) {
+  PropertyTable fresh;
+  for (int gi = 0; gi < 2; ++gi) {
+    uint64_t rows = 0;
+    HER_RETURN_NOT_OK(r->GetCount(&rows));
+    fresh.table_[gi].resize(rows);
+    for (uint64_t v = 0; v < rows; ++v) {
+      HER_RETURN_NOT_OK(GetProperties(r, &fresh.table_[gi][v]));
+    }
+    HER_RETURN_NOT_OK(r->GetIntVec(&fresh.pending_[gi]));
+    for (const VertexId v : fresh.pending_[gi]) {
+      if (static_cast<size_t>(v) >= rows) {
+        return Status::IOError("ptable: pending vertex out of range");
+      }
+    }
+  }
+  *this = std::move(fresh);
+  return Status::OK();
+}
+
+void MatchEngine::SaveEngineState(ByteWriter* w) const {
+  // Canonical (sorted) order everywhere: save -> load -> save must be
+  // byte-stable, and the restored containers must drive the identical
+  // evaluation trajectory regardless of the hashmaps' insertion history.
+  std::vector<MatchPair> keys;
+  keys.reserve(cache_.size());
+  for (const auto& [key, entry] : cache_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w->PutVarint(keys.size());
+  for (const MatchPair& key : keys) {
+    const CacheEntry& entry = cache_.at(key);
+    PutPair(w, key);
+    w->PutU8(entry.valid ? 1 : 0);
+    w->PutVarint(entry.witnesses.size());
+    for (const MatchPair& wit : entry.witnesses) PutPair(w, wit);
+  }
+  keys.clear();
+  for (const auto& [key, count] : eval_count_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w->PutVarint(keys.size());
+  for (const MatchPair& key : keys) {
+    PutPair(w, key);
+    w->PutVarint(static_cast<uint64_t>(eval_count_.at(key)));
+  }
+  // The un-drained message queues keep their order (they are drained
+  // sorted+deduped anyway, but the checkpoint must not reorder state).
+  w->PutVarint(newly_invalidated_.size());
+  for (const MatchPair& p : newly_invalidated_) PutPair(w, p);
+  w->PutVarint(new_assumptions_.size());
+  for (const MatchPair& p : new_assumptions_) PutPair(w, p);
+}
+
+Status MatchEngine::LoadEngineState(ByteReader* r) {
+  decltype(cache_) cache;
+  decltype(eval_count_) eval_count;
+  std::vector<MatchPair> newly_invalidated, new_assumptions;
+  uint64_t n = 0;
+  HER_RETURN_NOT_OK(r->GetCount(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    MatchPair key;
+    CacheEntry entry;
+    uint8_t valid = 0;
+    HER_RETURN_NOT_OK(GetPair(r, &key));
+    HER_RETURN_NOT_OK(r->GetU8(&valid));
+    entry.valid = valid != 0;
+    uint64_t wn = 0;
+    HER_RETURN_NOT_OK(r->GetCount(&wn));
+    entry.witnesses.resize(wn);
+    for (uint64_t j = 0; j < wn; ++j) {
+      HER_RETURN_NOT_OK(GetPair(r, &entry.witnesses[j]));
+    }
+    cache.emplace(key, std::move(entry));
+  }
+  HER_RETURN_NOT_OK(r->GetCount(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    MatchPair key;
+    uint64_t count = 0;
+    HER_RETURN_NOT_OK(GetPair(r, &key));
+    HER_RETURN_NOT_OK(r->GetVarint(&count));
+    eval_count.emplace(key, static_cast<int>(count));
+  }
+  HER_RETURN_NOT_OK(r->GetCount(&n));
+  newly_invalidated.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HER_RETURN_NOT_OK(GetPair(r, &newly_invalidated[i]));
+  }
+  HER_RETURN_NOT_OK(r->GetCount(&n));
+  new_assumptions.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HER_RETURN_NOT_OK(GetPair(r, &new_assumptions[i]));
+  }
+  cache_ = std::move(cache);
+  eval_count_ = std::move(eval_count);
+  newly_invalidated_ = std::move(newly_invalidated);
+  new_assumptions_ = std::move(new_assumptions);
+  // The reverse dependency index is exactly derivable from the witnesses.
+  dependents_.clear();
+  for (const auto& [key, entry] : cache_) {
+    for (const MatchPair& wit : entry.witnesses) dependents_[wit].insert(key);
+  }
+  return Status::OK();
+}
+
+void MatchEngine::SaveWarmCaches(ByteWriter* w) const {
+  for (int gi = 0; gi < 2; ++gi) {
+    std::vector<VertexId> vs;
+    vs.reserve(ecache_[gi].size());
+    for (const auto& [v, props] : ecache_[gi]) vs.push_back(v);
+    std::sort(vs.begin(), vs.end());
+    w->PutVarint(vs.size());
+    for (const VertexId v : vs) {
+      w->PutVarint(v);
+      PutProperties(w, ecache_[gi].at(v));
+    }
+  }
+  std::vector<MatchPair> keys;
+  keys.reserve(lists_memo_.size());
+  for (const auto& [key, lists] : lists_memo_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w->PutVarint(keys.size());
+  for (const MatchPair& key : keys) {
+    PutPair(w, key);
+    const CandLists& lists = *lists_memo_.at(key);
+    w->PutVarint(lists.per_property.size());
+    for (const auto& list : lists.per_property) {
+      w->PutVarint(list.size());
+      for (const Cand& c : list) {
+        w->PutVarint(c.v2);
+        w->PutDouble(c.hrho);
+      }
+    }
+  }
+}
+
+Status MatchEngine::LoadWarmCaches(ByteReader* r) {
+  std::unordered_map<VertexId, std::vector<Property>> ecache[2];
+  decltype(lists_memo_) memo;
+  for (int gi = 0; gi < 2; ++gi) {
+    uint64_t n = 0;
+    HER_RETURN_NOT_OK(r->GetCount(&n));
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t v = 0;
+      HER_RETURN_NOT_OK(r->GetVarint(&v));
+      std::vector<Property> props;
+      HER_RETURN_NOT_OK(GetProperties(r, &props));
+      ecache[gi].emplace(static_cast<VertexId>(v), std::move(props));
+    }
+  }
+  uint64_t n = 0;
+  HER_RETURN_NOT_OK(r->GetCount(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    MatchPair key;
+    HER_RETURN_NOT_OK(GetPair(r, &key));
+    auto lists = std::make_shared<CandLists>();
+    uint64_t props = 0;
+    HER_RETURN_NOT_OK(r->GetCount(&props));
+    lists->per_property.resize(props);
+    for (uint64_t p = 0; p < props; ++p) {
+      uint64_t cands = 0;
+      HER_RETURN_NOT_OK(r->GetCount(&cands));
+      lists->per_property[p].resize(cands);
+      for (uint64_t c = 0; c < cands; ++c) {
+        uint64_t v2 = 0;
+        HER_RETURN_NOT_OK(r->GetVarint(&v2));
+        lists->per_property[p][c].v2 = static_cast<VertexId>(v2);
+        HER_RETURN_NOT_OK(r->GetDouble(&lists->per_property[p][c].hrho));
+      }
+    }
+    memo.emplace(key, std::move(lists));
+  }
+  ecache_[0] = std::move(ecache[0]);
+  ecache_[1] = std::move(ecache[1]);
+  lists_memo_ = std::move(memo);
+  return Status::OK();
 }
 
 }  // namespace her

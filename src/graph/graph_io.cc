@@ -1,9 +1,9 @@
 #include "graph/graph_io.h"
 
 #include <charconv>
-#include <fstream>
 #include <sstream>
 
+#include "common/file_util.h"
 #include "common/string_util.h"
 
 namespace her {
@@ -138,20 +138,16 @@ Result<Graph> GraphFromText(std::string_view text) {
 }
 
 Status SaveGraph(const Graph& g, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + path);
-  const std::string text = GraphToText(g);
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  if (!out) return Status::IOError("short write to " + path);
-  return Status::OK();
+  // Atomic install (tmp + fsync + rename): a crash mid-save can never
+  // leave a truncated or torn graph file under the final name.
+  return AtomicWriteFile(path, GraphToText(g));
 }
 
 Result<Graph> LoadGraph(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return GraphFromText(ss.str());
+  // ReadFileToString checks the stream after reading, so an I/O error
+  // mid-read surfaces as IOError instead of silently parsing a prefix.
+  HER_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return GraphFromText(text);
 }
 
 }  // namespace her

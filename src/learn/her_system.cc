@@ -1,10 +1,16 @@
 #include "learn/her_system.h"
 
 #include <algorithm>
+#include <iostream>
+#include <optional>
+#include <utility>
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "core/incremental.h"
+#include "persist/fingerprint.h"
+#include "persist/snapshot.h"
 
 namespace her {
 
@@ -93,6 +99,226 @@ void HerSystem::Train(std::span<const PathPairExample> path_pairs,
     const RandomSearchResult tuned =
         RandomSearchParams(ctx_, validation, config_.search);
     SetParams(tuned.best);
+  }
+}
+
+uint64_t HerSystem::Fingerprint() const {
+  return FingerprintSetup(canonical_->graph(), *g_, config_.params,
+                          config_.learn.seed);
+}
+
+Status HerSystem::SaveSnapshot(const std::string& path) const {
+  if (!trained_) {
+    return Status::FailedPrecondition(
+        "SaveSnapshot requires a trained system");
+  }
+  SnapshotWriter snap(Fingerprint());
+  ByteWriter* m = snap.AddSection("models");
+  m->PutU8(models_.sgns != nullptr ? 1 : 0);
+  if (models_.sgns != nullptr) models_.sgns->SaveState(m);
+  m->PutU8(models_.metric != nullptr ? 1 : 0);
+  if (models_.metric != nullptr) models_.metric->SaveState(m);
+  m->PutU8(models_.lstm != nullptr ? 1 : 0);
+  if (models_.lstm != nullptr) models_.lstm->SaveState(m);
+  ByteWriter* p = snap.AddSection("params");
+  p->PutDouble(ctx_.params.sigma);
+  p->PutDouble(ctx_.params.delta);
+  p->PutVarint(static_cast<uint64_t>(ctx_.params.k));
+  if (properties_ != nullptr) {
+    properties_->SaveState(snap.AddSection("ptable"));
+  }
+  engine_->SaveEngineState(snap.AddSection("engine_state"));
+  engine_->SaveWarmCaches(snap.AddSection("warm_caches"));
+  return snap.WriteToFile(path);
+}
+
+Status HerSystem::LoadModelsFromSnapshot(ByteReader* r) {
+  TrainedModels m;
+  // The hashed embedder and vocab are cheap and fully determined by the
+  // fingerprinted graphs, so they are rebuilt instead of stored — but the
+  // rebuild must mirror TrainModels exactly, including the IDF fit over
+  // both graphs' labels (without it every h_v score would shift).
+  m.embedder = std::make_unique<HashedTextEmbedder>(config_.learn.embedder);
+  {
+    std::vector<std::string_view> corpus;
+    corpus.reserve(canonical_->graph().num_vertices() + g_->num_vertices());
+    for (VertexId v = 0; v < canonical_->graph().num_vertices(); ++v) {
+      corpus.push_back(canonical_->graph().label(v));
+    }
+    for (VertexId v = 0; v < g_->num_vertices(); ++v) {
+      corpus.push_back(g_->label(v));
+    }
+    m.embedder->FitIdf(corpus);
+  }
+  m.vocab = std::make_unique<JointVocab>(canonical_->graph(), *g_);
+  uint8_t has = 0;
+  HER_RETURN_NOT_OK(r->GetU8(&has));
+  if (has != 0) {
+    m.sgns = std::make_unique<SgnsModel>();
+    HER_RETURN_NOT_OK(m.sgns->LoadState(r));
+  }
+  HER_RETURN_NOT_OK(r->GetU8(&has));
+  if (has != 0) {
+    m.metric = std::make_unique<Mlp>();
+    HER_RETURN_NOT_OK(m.metric->LoadState(r));
+  }
+  HER_RETURN_NOT_OK(r->GetU8(&has));
+  if (has != 0) {
+    m.lstm = std::make_unique<LstmLm>();
+    HER_RETURN_NOT_OK(m.lstm->LoadState(r));
+  }
+  if (!r->AtEnd()) {
+    return Status::IOError("models section: trailing bytes");
+  }
+  models_ = std::move(m);
+  return Status::OK();
+}
+
+void HerSystem::TrainOrLoad(const std::string& snapshot_path,
+                            std::span<const PathPairExample> path_pairs,
+                            std::span<const Annotation> validation) {
+  training_pairs_.assign(path_pairs.begin(), path_pairs.end());
+  double snap_seconds = 0.0;
+
+  // Open + validate the container (magic, version, CRCs, fingerprint);
+  // any failure here means every section rebuilds cold.
+  std::optional<SnapshotReader> snap;
+  if (config_.learn.train_word_embedder) {
+    // TrainedWordEmbedder is not snapshot-covered; a warm start would
+    // silently swap in the hashed embedder and change every h_v score.
+    std::cerr << "her: snapshot skipped (word-embedder training is not "
+                 "snapshot-covered); training cold" << std::endl;
+  } else {
+    WallTimer t;
+    auto snap_or = SnapshotReader::Open(snapshot_path, Fingerprint());
+    snap_seconds += t.Seconds();
+    if (snap_or.ok()) {
+      snap.emplace(std::move(snap_or).value());
+    } else {
+      std::cerr << "her: snapshot unavailable ("
+                << snap_or.status().ToString() << "); training cold"
+                << std::endl;
+    }
+  }
+
+  // Layer 1: model parameters. Training is deterministic given the
+  // fingerprinted inputs, so a cold retrain of this section composes
+  // correctly with warm later sections.
+  bool warm_models = false;
+  if (snap.has_value()) {
+    WallTimer t;
+    auto sec = snap->Section("models");
+    Status st = sec.ok() ? LoadModelsFromSnapshot(&sec.value())
+                         : sec.status();
+    snap_seconds += t.Seconds();
+    if (st.ok()) {
+      warm_models = true;
+    } else {
+      std::cerr << "her: snapshot models section rejected ("
+                << st.ToString() << "); retraining" << std::endl;
+    }
+  }
+  if (!warm_models) {
+    models_ =
+        TrainModels(canonical_->graph(), *g_, path_pairs, config_.learn);
+  }
+  RebuildScorers();
+
+  // Layer 1b: the materialized property table.
+  bool warm_ptable = false;
+  if (snap.has_value()) {
+    WallTimer t;
+    auto sec = snap->Section("ptable");
+    Status st = Status::OK();
+    if (sec.ok()) {
+      PropertyTable table;
+      st = table.LoadState(&sec.value());
+      if (st.ok()) {
+        properties_ = std::make_unique<PropertyTable>(std::move(table));
+        warm_ptable = true;
+      }
+    } else {
+      st = sec.status();
+    }
+    snap_seconds += t.Seconds();
+    if (!st.ok()) {
+      std::cerr << "her: snapshot ptable section rejected ("
+                << st.ToString() << "); rebuilding" << std::endl;
+    }
+  }
+  if (!warm_ptable) {
+    properties_ = std::make_unique<PropertyTable>(PropertyTable::Build(
+        canonical_->graph(), *g_, *hr_, *models_.vocab, /*threads=*/4,
+        mrho_.get()));
+  }
+  ctx_.properties = properties_.get();
+  engine_ = std::make_unique<MatchEngine>(ctx_);
+  trained_ = true;
+
+  // Tuned thresholds: restoring them skips the random search (and is what
+  // makes the warm caches below safe to reuse — verdicts are only valid
+  // under the thresholds they were computed with).
+  bool warm_params = false;
+  if (snap.has_value()) {
+    WallTimer t;
+    auto sec = snap->Section("params");
+    Status st = Status::OK();
+    if (sec.ok()) {
+      SimulationParams p;
+      uint64_t k = 0;
+      st = sec->GetDouble(&p.sigma);
+      if (st.ok()) st = sec->GetDouble(&p.delta);
+      if (st.ok()) st = sec->GetVarint(&k);
+      if (st.ok()) {
+        p.k = static_cast<int>(k);
+        SetParams(p);
+        warm_params = true;
+      }
+    } else {
+      st = sec.status();
+    }
+    snap_seconds += t.Seconds();
+    if (!st.ok()) {
+      std::cerr << "her: snapshot params section rejected ("
+                << st.ToString() << "); re-tuning" << std::endl;
+    }
+  }
+  if (!warm_params && config_.tune_params && !validation.empty()) {
+    const RandomSearchResult tuned =
+        RandomSearchParams(ctx_, validation, config_.search);
+    SetParams(tuned.best);
+  }
+
+  // Layer 2: the engine's verdict cache and warm score caches. Bound to
+  // the thresholds, so they are only restored when the exact params they
+  // were saved under are in effect (i.e. the params section validated).
+  if (snap.has_value() && warm_params) {
+    WallTimer t;
+    auto es = snap->Section("engine_state");
+    Status st = es.ok() ? engine_->LoadEngineState(&es.value())
+                        : es.status();
+    if (st.ok()) {
+      auto wc = snap->Section("warm_caches");
+      st = wc.ok() ? engine_->LoadWarmCaches(&wc.value()) : wc.status();
+    }
+    snap_seconds += t.Seconds();
+    if (!st.ok()) {
+      std::cerr << "her: snapshot warm caches rejected ("
+                << st.ToString() << "); starting with cold caches"
+                << std::endl;
+      engine_ = std::make_unique<MatchEngine>(ctx_);  // drop partial load
+    }
+  }
+  engine_->RecordSnapshotLoad(snap_seconds);
+
+  // Self-priming: whenever anything was rebuilt, persist the refreshed
+  // snapshot so the next restart starts fully warm.
+  if (!warm_models || !warm_ptable || !warm_params) {
+    const Status st = SaveSnapshot(snapshot_path);
+    if (!st.ok()) {
+      std::cerr << "her: snapshot save failed (" << st.ToString() << ")"
+                << std::endl;
+    }
   }
 }
 
@@ -191,10 +417,20 @@ void HerSystem::EnsureRootOwners() {
 
 ParallelResult HerSystem::APairParallel(uint32_t workers, bool use_blocking,
                                         const RunOptions& options) {
+  return APairParallel(workers, use_blocking, options, CheckpointOptions{});
+}
+
+ParallelResult HerSystem::APairParallel(uint32_t workers, bool use_blocking,
+                                        const RunOptions& options,
+                                        CheckpointOptions ckpt) {
   EnsureRootOwners();
   const auto tuples = canonical_->TupleVertices();
   ParallelConfig pcfg;
   pcfg.num_workers = workers;
+  if (!ckpt.dir.empty() && ckpt.fingerprint == 0) {
+    ckpt.fingerprint = Fingerprint();
+  }
+  pcfg.checkpoint = std::move(ckpt);
   // Co-locate every candidate of a tuple (and its attribute pairs) on one
   // worker, keyed by the root tuple of u: the u-side ecache is then built
   // exactly once across the cluster.

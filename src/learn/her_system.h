@@ -49,6 +49,27 @@ class HerSystem {
   void Train(std::span<const PathPairExample> path_pairs,
              std::span<const Annotation> validation);
 
+  /// Train() with a durable warm start: restores trained models, tuned
+  /// thresholds, the property table and the engine's warm caches from the
+  /// snapshot at `snapshot_path` when they validate (magic, version, CRC,
+  /// fingerprint); every section that does not validate is rebuilt cold
+  /// with the reason logged — never a crash, never silently wrong — and
+  /// the refreshed snapshot is written back atomically. Time spent
+  /// restoring surfaces as Stats::snapshot_load_seconds; a fully warm
+  /// start leaves Stats::ptable_build_seconds at zero.
+  void TrainOrLoad(const std::string& snapshot_path,
+                   std::span<const PathPairExample> path_pairs,
+                   std::span<const Annotation> validation);
+
+  /// Saves trained models, tuned thresholds, the property table and the
+  /// engine's warm caches to `path` (checksummed snapshot, atomically
+  /// installed). Requires a trained system.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Binds snapshots and BSP checkpoints to this exact setup: digests of
+  /// G_D and G, the configured thresholds and the training seed.
+  uint64_t Fingerprint() const;
+
   /// SPair: does tuple t match vertex v_g of G?
   bool SPair(TupleRef t, VertexId v_g);
 
@@ -66,6 +87,14 @@ class HerSystem {
   /// degraded with a partial (sound) Pi and per-pair outcomes.
   ParallelResult APairParallel(uint32_t workers, bool use_blocking = true,
                                const RunOptions& options = {});
+
+  /// APairParallel with durable BSP progress checkpoints: `ckpt.dir`
+  /// receives periodic crash-restart snapshots of the fixpoint loop, and
+  /// `ckpt.resume` restarts from them. A zero `ckpt.fingerprint` is
+  /// filled in from Fingerprint().
+  ParallelResult APairParallel(uint32_t workers, bool use_blocking,
+                               const RunOptions& options,
+                               CheckpointOptions ckpt);
 
   /// Explainability: why did (t, v_g) (not) match?
   std::string Explain(TupleRef t, VertexId v_g);
@@ -106,6 +135,9 @@ class HerSystem {
   bool trained() const { return trained_; }
 
  private:
+  /// Replaces models_ with the snapshot's "models" section (cold-start
+  /// embedder + vocab are rebuilt deterministically, not stored).
+  Status LoadModelsFromSnapshot(ByteReader* r);
   void EnsureBlockingIndex();
   void EnsureRootOwners();
   void RebuildScorers();

@@ -409,4 +409,60 @@ void LstmLm::Train(const std::vector<std::vector<int>>& sequences,
   }
 }
 
+
+void LstmLm::SaveState(ByteWriter* w) const {
+  w->PutVarint(vocab_);
+  w->PutVarint(embed_);
+  w->PutVarint(hidden_);
+  w->PutFloatVecs(emb_);
+  w->PutFloatVecs(w_gates_);
+  w->PutFloatVec(b_gates_);
+  w->PutFloatVecs(w_out_);
+  w->PutFloatVec(b_out_);
+  w->PutFloatVecs(g2_emb_);
+  w->PutFloatVecs(g2_w_gates_);
+  w->PutFloatVec(g2_b_gates_);
+  w->PutFloatVecs(g2_w_out_);
+  w->PutFloatVec(g2_b_out_);
+}
+
+Status LstmLm::LoadState(ByteReader* r) {
+  uint64_t vocab = 0, embed = 0, hidden = 0;
+  HER_RETURN_NOT_OK(r->GetCount(&vocab, 0));
+  HER_RETURN_NOT_OK(r->GetCount(&embed, 0));
+  HER_RETURN_NOT_OK(r->GetCount(&hidden, 0));
+  LstmLm fresh;
+  fresh.vocab_ = vocab;
+  fresh.embed_ = embed;
+  fresh.hidden_ = hidden;
+  HER_RETURN_NOT_OK(r->GetFloatVecs(&fresh.emb_));
+  HER_RETURN_NOT_OK(r->GetFloatVecs(&fresh.w_gates_));
+  HER_RETURN_NOT_OK(r->GetFloatVec(&fresh.b_gates_));
+  HER_RETURN_NOT_OK(r->GetFloatVecs(&fresh.w_out_));
+  HER_RETURN_NOT_OK(r->GetFloatVec(&fresh.b_out_));
+  HER_RETURN_NOT_OK(r->GetFloatVecs(&fresh.g2_emb_));
+  HER_RETURN_NOT_OK(r->GetFloatVecs(&fresh.g2_w_gates_));
+  HER_RETURN_NOT_OK(r->GetFloatVec(&fresh.g2_b_gates_));
+  HER_RETURN_NOT_OK(r->GetFloatVecs(&fresh.g2_w_out_));
+  HER_RETURN_NOT_OK(r->GetFloatVec(&fresh.g2_b_out_));
+  if (fresh.emb_.size() != vocab + 1 || fresh.w_gates_.size() != 4 * hidden ||
+      fresh.b_gates_.size() != 4 * hidden || fresh.w_out_.size() != vocab ||
+      fresh.b_out_.size() != vocab) {
+    return Status::IOError("lstm: tensor shapes do not match dimensions");
+  }
+  for (const Vec& row : fresh.emb_) {
+    if (row.size() != embed) return Status::IOError("lstm: ragged embedding");
+  }
+  for (const Vec& row : fresh.w_gates_) {
+    if (row.size() != embed + hidden) {
+      return Status::IOError("lstm: ragged gate weights");
+    }
+  }
+  for (const Vec& row : fresh.w_out_) {
+    if (row.size() != hidden) return Status::IOError("lstm: ragged projection");
+  }
+  *this = std::move(fresh);
+  return Status::OK();
+}
+
 }  // namespace her

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/bytes.h"
 #include "ml/vector_ops.h"
 
 namespace her {
@@ -69,6 +70,11 @@ class LstmLm {
   /// Log-probability of a full sequence (with implicit BOS), for
   /// perplexity-style evaluation in tests.
   double SequenceLogProb(const std::vector<int>& seq) const;
+
+  /// Serializes parameters and Adagrad accumulators for the durable
+  /// snapshot; LoadState restores the model bit for bit.
+  void SaveState(ByteWriter* w) const;
+  Status LoadState(ByteReader* r);
 
  private:
   struct StepCache;  // forward activations kept for BPTT

@@ -255,4 +255,59 @@ void PairFeaturesInto(std::span<const float> a, std::span<const float> b,
   for (size_t i = 0; i < d; ++i) out[3 * d + i] = a[i] * b[i];
 }
 
+
+void Mlp::SaveState(ByteWriter* w) const {
+  w->PutIntVec(dims_);
+  w->PutVarint(layers_.size());
+  for (const Layer& layer : layers_) {
+    w->PutFloatVecs(layer.w);
+    w->PutFloatVec(layer.b);
+    w->PutFloatVecs(layer.mw);
+    w->PutFloatVecs(layer.vw);
+    w->PutFloatVec(layer.mb);
+    w->PutFloatVec(layer.vb);
+  }
+  w->PutDouble(lr_);
+  w->PutVarint(static_cast<uint64_t>(adam_t_));
+}
+
+Status Mlp::LoadState(ByteReader* r) {
+  std::vector<size_t> dims;
+  HER_RETURN_NOT_OK(r->GetIntVec(&dims));
+  if (dims.size() < 2) return Status::IOError("mlp: need >= 2 layer dims");
+  uint64_t num_layers = 0;
+  HER_RETURN_NOT_OK(r->GetCount(&num_layers));
+  if (num_layers != dims.size() - 1) {
+    return Status::IOError("mlp: layer count does not match dims");
+  }
+  std::vector<Layer> layers(num_layers);
+  for (Layer& layer : layers) {
+    HER_RETURN_NOT_OK(r->GetFloatVecs(&layer.w));
+    HER_RETURN_NOT_OK(r->GetFloatVec(&layer.b));
+    HER_RETURN_NOT_OK(r->GetFloatVecs(&layer.mw));
+    HER_RETURN_NOT_OK(r->GetFloatVecs(&layer.vw));
+    HER_RETURN_NOT_OK(r->GetFloatVec(&layer.mb));
+    HER_RETURN_NOT_OK(r->GetFloatVec(&layer.vb));
+  }
+  for (size_t l = 0; l < layers.size(); ++l) {
+    if (layers[l].w.size() != dims[l + 1] || layers[l].b.size() != dims[l + 1]) {
+      return Status::IOError("mlp: layer shape does not match dims");
+    }
+    for (const Vec& row : layers[l].w) {
+      if (row.size() != dims[l]) {
+        return Status::IOError("mlp: weight row width does not match dims");
+      }
+    }
+  }
+  double lr;
+  uint64_t adam_t = 0;
+  HER_RETURN_NOT_OK(r->GetDouble(&lr));
+  HER_RETURN_NOT_OK(r->GetVarint(&adam_t));
+  dims_ = std::move(dims);
+  layers_ = std::move(layers);
+  lr_ = lr;
+  adam_t_ = static_cast<int64_t>(adam_t);
+  return Status::OK();
+}
+
 }  // namespace her

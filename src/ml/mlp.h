@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/bytes.h"
 #include "ml/vector_ops.h"
 
 namespace her {
@@ -21,6 +22,9 @@ class Mlp {
  public:
   /// `dims` = {input, hidden..., 1}; e.g. {128, 64, 1} is a 3-layer net.
   Mlp(std::vector<size_t> dims, uint64_t seed);
+
+  /// Empty shell for deserialization; only LoadState may follow.
+  Mlp() = default;
 
   size_t input_dim() const { return dims_.front(); }
 
@@ -50,6 +54,12 @@ class Mlp {
   /// Learning rate used by the Adam steps.
   void set_learning_rate(double lr) { lr_ = lr; }
   double learning_rate() const { return lr_; }
+
+  /// Serializes weights, Adam moments and step counter (so resumed
+  /// fine-tuning takes the identical trajectory); LoadState restores
+  /// everything bit for bit.
+  void SaveState(ByteWriter* w) const;
+  Status LoadState(ByteReader* r);
 
  private:
   struct Layer {

@@ -97,4 +97,24 @@ Vec SgnsModel::EmbedSequence(std::span<const int> tokens) const {
   return acc;
 }
 
+
+void SgnsModel::SaveState(ByteWriter* w) const {
+  w->PutFloatVecs(in_);
+  w->PutFloatVecs(out_);
+}
+
+Status SgnsModel::LoadState(ByteReader* r) {
+  std::vector<Vec> in, out;
+  HER_RETURN_NOT_OK(r->GetFloatVecs(&in));
+  HER_RETURN_NOT_OK(r->GetFloatVecs(&out));
+  if (in.empty()) return Status::IOError("sgns: empty embedding table");
+  const size_t dim = in[0].size();
+  for (const Vec& v : in) {
+    if (v.size() != dim) return Status::IOError("sgns: ragged embeddings");
+  }
+  in_ = std::move(in);
+  out_ = std::move(out);
+  return Status::OK();
+}
+
 }  // namespace her

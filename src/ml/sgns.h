@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/rng.h"
 #include "ml/vector_ops.h"
 
@@ -48,6 +49,12 @@ class SgnsModel {
   /// embeddings (the path encoder used by M_rho). Empty sequences map to
   /// the zero vector.
   Vec EmbedSequence(std::span<const int> tokens) const;
+
+  /// Serializes the trained parameters (both embedding tables) for the
+  /// durable snapshot; LoadState is the exact inverse and restores the
+  /// model bit for bit.
+  void SaveState(ByteWriter* w) const;
+  Status LoadState(ByteReader* r);
 
  private:
   std::vector<Vec> in_;   // input (center) vectors

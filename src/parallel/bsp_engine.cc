@@ -5,14 +5,17 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <iostream>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/bytes.h"
 #include "common/check.h"
 #include "common/timer.h"
+#include "persist/snapshot.h"
 
 namespace her {
 
@@ -189,6 +192,221 @@ std::vector<MatchPair> SortedUnique(std::span<const MatchPair> candidates) {
   return roots;
 }
 
+// --- durable checkpoint (de)serialization ------------------------------
+//
+// A BSP disk checkpoint is one snapshot file with a "bsp_meta" section
+// (resume round, worker count, candidate digest, run counters) plus one
+// "worker<i>" section per fragment. It is written at the superstep
+// boundary where inboxes are full (routed, audit-repaired) and outboxes
+// are empty, so a resumed run entering the stored round re-executes
+// exactly the computation the interrupted run would have — the greedy
+// lineage matching is not confluent, so any weaker capture could land on
+// a different fixpoint.
+
+void PutPair(ByteWriter* w, const MatchPair& p) {
+  w->PutVarint(p.first);
+  w->PutVarint(p.second);
+}
+
+Status GetPair(ByteReader* r, MatchPair* p) {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  HER_RETURN_NOT_OK(r->GetVarint(&a));
+  HER_RETURN_NOT_OK(r->GetVarint(&b));
+  p->first = static_cast<VertexId>(a);
+  p->second = static_cast<VertexId>(b);
+  return Status::OK();
+}
+
+void PutPairs(ByteWriter* w, const std::vector<MatchPair>& ps) {
+  w->PutVarint(ps.size());
+  for (const MatchPair& p : ps) PutPair(w, p);
+}
+
+Status GetPairs(ByteReader* r, std::vector<MatchPair>* out) {
+  uint64_t n = 0;
+  HER_RETURN_NOT_OK(r->GetCount(&n, /*min_bytes_each=*/2));
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    MatchPair p;
+    HER_RETURN_NOT_OK(GetPair(r, &p));
+    out->push_back(p);
+  }
+  return Status::OK();
+}
+
+/// Serializes a hash set of pairs in sorted order (canonical bytes: the
+/// same fragment state always produces the same checkpoint file).
+void PutPairSet(ByteWriter* w,
+                const std::unordered_set<MatchPair, PairHash>& s) {
+  std::vector<MatchPair> v(s.begin(), s.end());
+  std::sort(v.begin(), v.end());
+  PutPairs(w, v);
+}
+
+void PutTaggedPairs(
+    ByteWriter* w, const std::vector<std::pair<MatchPair, uint32_t>>& ps) {
+  w->PutVarint(ps.size());
+  for (const auto& [p, tag] : ps) {
+    PutPair(w, p);
+    w->PutVarint(tag);
+  }
+}
+
+Status GetTaggedPairs(ByteReader* r,
+                      std::vector<std::pair<MatchPair, uint32_t>>* out) {
+  uint64_t n = 0;
+  HER_RETURN_NOT_OK(r->GetCount(&n, /*min_bytes_each=*/3));
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    MatchPair p;
+    uint64_t tag = 0;
+    HER_RETURN_NOT_OK(GetPair(r, &p));
+    HER_RETURN_NOT_OK(r->GetVarint(&tag));
+    out->emplace_back(p, static_cast<uint32_t>(tag));
+  }
+  return Status::OK();
+}
+
+void SaveWorker(const Worker& w, ByteWriter* out) {
+  PutPairs(out, w.owned_candidates);
+  PutTaggedPairs(out, w.request_inbox);
+  PutPairs(out, w.invalid_inbox);
+  // Outboxes (assumptions_out/invalidations_out/direct_replies) are empty
+  // at the checkpoint boundary — routing just drained them — so they are
+  // not stored; LoadWorker leaves them default-empty.
+  std::vector<MatchPair> keys;
+  keys.reserve(w.subscribers.size());
+  for (const auto& [p, subs] : w.subscribers) keys.push_back(p);
+  std::sort(keys.begin(), keys.end());
+  out->PutVarint(keys.size());
+  for (const MatchPair& p : keys) {
+    PutPair(out, p);
+    out->PutIntVec(w.subscribers.at(p));
+  }
+  PutPairSet(out, w.notified_false);
+  PutPairSet(out, w.assumed);
+  w.engine.SaveEngineState(out);
+}
+
+Status LoadWorker(ByteReader* r, Worker* w) {
+  HER_RETURN_NOT_OK(GetPairs(r, &w->owned_candidates));
+  HER_RETURN_NOT_OK(GetTaggedPairs(r, &w->request_inbox));
+  HER_RETURN_NOT_OK(GetPairs(r, &w->invalid_inbox));
+  uint64_t n_subs = 0;
+  HER_RETURN_NOT_OK(r->GetCount(&n_subs, /*min_bytes_each=*/3));
+  w->subscribers.clear();
+  for (uint64_t i = 0; i < n_subs; ++i) {
+    MatchPair p;
+    HER_RETURN_NOT_OK(GetPair(r, &p));
+    std::vector<uint32_t> subs;
+    HER_RETURN_NOT_OK(r->GetIntVec(&subs));
+    w->subscribers.emplace(p, std::move(subs));
+  }
+  std::vector<MatchPair> pairs;
+  HER_RETURN_NOT_OK(GetPairs(r, &pairs));
+  w->notified_false.clear();
+  w->notified_false.insert(pairs.begin(), pairs.end());
+  HER_RETURN_NOT_OK(GetPairs(r, &pairs));
+  w->assumed.clear();
+  w->assumed.insert(pairs.begin(), pairs.end());
+  HER_RETURN_NOT_OK(w->engine.LoadEngineState(r));
+  if (!r->AtEnd()) {
+    return Status::IOError("bsp checkpoint: trailing bytes after worker");
+  }
+  return Status::OK();
+}
+
+/// Order-sensitive digest of the deduplicated root candidates: a resumed
+/// run must be solving the same job, or the checkpoint is stale.
+uint64_t RootsDigest(const std::vector<MatchPair>& roots) {
+  uint64_t h = Mix64(roots.size() + 0x517cc1b727220a95ULL);
+  for (const MatchPair& p : roots) {
+    h = Mix64(h ^ static_cast<uint64_t>(p.first));
+    h = Mix64(h ^ (static_cast<uint64_t>(p.second) +
+                   0x9e3779b97f4a7c15ULL));
+  }
+  return h;
+}
+
+std::string CheckpointPath(const CheckpointOptions& ckpt) {
+  return ckpt.dir + "/bsp.ckpt";
+}
+
+constexpr char kBspMetaSection[] = "bsp_meta";
+
+Status WriteBspCheckpoint(const CheckpointOptions& ckpt, size_t next_round,
+                          uint64_t roots_digest, const ParallelResult& result,
+                          const std::vector<std::unique_ptr<Worker>>& workers) {
+  SnapshotWriter snap(ckpt.fingerprint);
+  ByteWriter* meta = snap.AddSection(kBspMetaSection);
+  meta->PutVarint(next_round);
+  meta->PutVarint(workers.size());
+  meta->PutU64(roots_digest);
+  meta->PutVarint(result.messages);
+  meta->PutDouble(result.simulated_seconds);
+  for (size_t i = 0; i < workers.size(); ++i) {
+    SaveWorker(*workers[i], snap.AddSection("worker" + std::to_string(i)));
+  }
+  return snap.WriteToFile(CheckpointPath(ckpt));
+}
+
+/// Progress counters restored alongside the worker state, so a resumed
+/// run's telemetry keeps accounting for the supersteps already executed.
+struct RestoredProgress {
+  size_t next_round = 0;
+  size_t messages = 0;
+  double simulated_seconds = 0.0;
+};
+
+/// Restores every fragment from `<dir>/bsp.ckpt` in place. Any failure —
+/// missing file, corruption, stale fingerprint, changed worker count or
+/// candidate set — is returned as a Status; the caller logs it and starts
+/// cold (workers may be partially overwritten, so it must rebuild them).
+Status TryRestoreBspCheckpoint(
+    const CheckpointOptions& ckpt, uint64_t roots_digest,
+    std::vector<std::unique_ptr<Worker>>* workers, RestoredProgress* out) {
+  const uint64_t expected = ckpt.fingerprint == 0
+                                ? SnapshotReader::kAnyFingerprint
+                                : ckpt.fingerprint;
+  HER_ASSIGN_OR_RETURN(SnapshotReader snap,
+                       SnapshotReader::Open(CheckpointPath(ckpt), expected));
+  HER_ASSIGN_OR_RETURN(ByteReader meta, snap.Section(kBspMetaSection));
+  uint64_t next_round = 0;
+  uint64_t num_workers = 0;
+  uint64_t digest = 0;
+  uint64_t messages = 0;
+  double simulated = 0.0;
+  HER_RETURN_NOT_OK(meta.GetVarint(&next_round));
+  HER_RETURN_NOT_OK(meta.GetVarint(&num_workers));
+  HER_RETURN_NOT_OK(meta.GetU64(&digest));
+  HER_RETURN_NOT_OK(meta.GetVarint(&messages));
+  HER_RETURN_NOT_OK(meta.GetDouble(&simulated));
+  if (num_workers != workers->size()) {
+    return Status::FailedPrecondition(
+        "bsp checkpoint was taken with " + std::to_string(num_workers) +
+        " workers, this run has " + std::to_string(workers->size()));
+  }
+  if (digest != roots_digest) {
+    return Status::FailedPrecondition(
+        "bsp checkpoint candidate set differs from this run's");
+  }
+  if (next_round == 0) {
+    return Status::IOError("bsp checkpoint: resume round must be > 0");
+  }
+  for (size_t i = 0; i < workers->size(); ++i) {
+    HER_ASSIGN_OR_RETURN(ByteReader wr,
+                         snap.Section("worker" + std::to_string(i)));
+    HER_RETURN_NOT_OK(LoadWorker(&wr, (*workers)[i].get()));
+  }
+  out->next_round = next_round;
+  out->messages = messages;
+  out->simulated_seconds = simulated;
+  return Status::OK();
+}
+
 }  // namespace
 
 Status BspAllMatch::Validate(std::span<const MatchPair> candidates) const {
@@ -283,6 +501,53 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
   // In-flight messages are deliberately not checkpointed — the audit
   // sweep re-derives them from the requester-side `assumed` sets.
   std::vector<std::unique_ptr<Worker>> checkpoints(n);
+
+  // --- durable checkpoint/resume (crash-restart recovery) ---
+  const CheckpointOptions& ckpt = config_.checkpoint;
+  const bool ckpt_enabled = !ckpt.dir.empty();
+  const uint64_t roots_digest = ckpt_enabled ? RootsDigest(roots) : 0;
+  size_t start_round = 0;
+  if (ckpt_enabled && ckpt.resume) {
+    RestoredProgress progress;
+    const Status st =
+        TryRestoreBspCheckpoint(ckpt, roots_digest, &workers, &progress);
+    if (st.ok()) {
+      result.resumed_from_checkpoint = true;
+      start_round = progress.next_round;
+      result.supersteps = progress.next_round;
+      result.messages = progress.messages;
+      result.simulated_seconds = progress.simulated_seconds;
+      if (injector != nullptr) {
+        // Mirror the in-memory crash checkpoint the interrupted run held
+        // at this boundary, so a crash plan firing right after resume
+        // recovers onto the same trajectory.
+        for (uint32_t f = 0; f < n; ++f) {
+          checkpoints[f] = std::make_unique<Worker>(*workers[f]);
+          checkpoints[f]->request_inbox.clear();
+          checkpoints[f]->invalid_inbox.clear();
+        }
+      }
+    } else {
+      // Graceful degradation: a missing/corrupt/stale checkpoint costs
+      // the warm start, never correctness. A failed restore may have
+      // partially overwritten fragment state, so every worker is rebuilt
+      // from the job input before the cold start.
+      std::cerr << "her: checkpoint resume failed ("
+                << st.ToString() << "); starting cold" << std::endl;
+      for (uint32_t i = 0; i < n; ++i) {
+        workers[i] = std::make_unique<Worker>(ctx_);
+        const uint32_t frag = i;
+        workers[i]->engine.SetLocalityFilter(
+            [&owner_of, frag](VertexId u, VertexId v) {
+              return owner_of(MatchPair{u, v}) == frag;
+            });
+        workers[i]->engine.SetRunOptions(options);
+      }
+      for (const MatchPair& c : candidates) {
+        workers[owner_of(c)]->owned_candidates.push_back(c);
+      }
+    }
+  }
 
   // Superstep body: PPSim on round 0, IncPSim afterwards.
   auto superstep = [&](Worker& w, size_t round) {
@@ -386,7 +651,7 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
   };
 
   std::vector<double> busy(n, 0.0);
-  for (size_t round = 0;; ++round) {
+  for (size_t round = start_round;; ++round) {
     // --- fault hook: host crash at the start of this superstep ---
     if constexpr (kFaultInjectionEnabled) {
       if (injector != nullptr && injector->plan().crash.has_value()) {
@@ -557,15 +822,46 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
     }
     result.simulated_seconds += ThreadCpuSeconds() - sync_start;
 
+    bool fixpoint = false;
     if (!any_message) {
       // Fixpoint candidate: under faults, audit the assumptions before
       // accepting it — repairs count as (reliable) messages and force
       // another superstep.
       size_t repaired = 0;
       if (injector != nullptr) repaired = audit();
-      if (repaired == 0) break;  // fixpoint: R_i^{r*} == R_i^{r*+1}
-      result.messages += repaired;
+      if (repaired == 0) {
+        fixpoint = true;  // fixpoint: R_i^{r*} == R_i^{r*+1}
+      } else {
+        result.messages += repaired;
+      }
     }
+
+    // Durable checkpoint: written after routing and audit repair — the
+    // boundary where inboxes hold exactly the deliveries the next
+    // superstep consumes and every outbox is empty — so a resumed run
+    // entering round + 1 is bit-identical to this run continuing.
+    // Skipped at the fixpoint: the run is finishing, nothing to save. A
+    // failed write is logged and costs only durability, never progress.
+    const bool halting = ckpt.halt_after_supersteps > 0 &&
+                         result.supersteps >= ckpt.halt_after_supersteps;
+    if (ckpt_enabled && !fixpoint &&
+        (halting || (ckpt.every_supersteps > 0 &&
+                     result.supersteps % ckpt.every_supersteps == 0))) {
+      const Status st =
+          WriteBspCheckpoint(ckpt, round + 1, roots_digest, result, workers);
+      if (st.ok()) {
+        ++result.stats.disk_checkpoints;
+      } else {
+        std::cerr << "her: checkpoint write failed: " << st.ToString()
+                  << std::endl;
+      }
+    }
+    if (halting && !fixpoint) {
+      // Test/CI kill point: progress is on disk, the caller aborts here.
+      result.halted = true;
+      break;
+    }
+    if (fixpoint) break;
   }
 
   for (uint32_t i = 0; i < n; ++i) {
@@ -587,8 +883,11 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
 
   // Pi = union of owned partial results (Section VI-B, termination). Every
   // fragment exists and is authoritative for its owned pairs — crashed
-  // hosts' fragments were rebuilt on survivors.
-  CollectResults(workers, owner_of, roots, &result);
+  // hosts' fragments were rebuilt on survivors. A halted run reports no
+  // Pi: its verdicts live in the on-disk checkpoint, not in `matches`.
+  if (!result.halted) {
+    CollectResults(workers, owner_of, roots, &result);
+  }
   return result;
 }
 
@@ -605,6 +904,13 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
         "crash fault plans need superstep checkpoints to recover from; "
         "the asynchronous model has no superstep boundary — use the BSP "
         "Run*/RunOnCandidates methods");
+    return result;
+  }
+  if (!config_.checkpoint.dir.empty()) {
+    result.status = Status::FailedPrecondition(
+        "durable checkpoints need a superstep boundary to capture; the "
+        "asynchronous model has none — use the BSP Run*/RunOnCandidates "
+        "methods");
     return result;
   }
 

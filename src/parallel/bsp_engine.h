@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/run_options.h"
@@ -15,6 +16,32 @@
 #include "parallel/fault_injection.h"
 
 namespace her {
+
+/// Durable BSP progress checkpoints (see DESIGN.md "Durable checkpoints").
+/// When `dir` is non-empty the BSP loop writes a checksummed snapshot of
+/// every fragment's state to `<dir>/bsp.ckpt` every `every_supersteps`
+/// rounds (atomically: tmp + fsync + rename, so a crash mid-write leaves
+/// the previous checkpoint intact). With `resume` set, a run first tries
+/// to restore from that file and re-enters the loop at the stored round;
+/// any validation failure (corruption, stale fingerprint, changed worker
+/// count or candidate set) is logged and falls back to a cold start —
+/// never a crash, never a silently wrong Pi.
+struct CheckpointOptions {
+  std::string dir;
+  /// Checkpoint cadence in supersteps; 0 disables periodic writes (a
+  /// final checkpoint is still never written — completed runs delete
+  /// nothing and need nothing).
+  size_t every_supersteps = 1;
+  bool resume = false;
+  /// Binds the checkpoint to the exact (G, D, params, seed) setup; a
+  /// mismatch on resume is rejected as stale. 0 skips the binding.
+  uint64_t fingerprint = 0;
+  /// Test/CI hook: stop the run right after this many supersteps have
+  /// completed (and been checkpointed), returning with `halted` set. The
+  /// kill-and-resume harness uses this as a deterministic SIGKILL point.
+  /// 0 disables.
+  size_t halt_after_supersteps = 0;
+};
 
 /// Configuration of the shared-nothing BSP runtime (Section VI-B). One
 /// worker = one thread with a private MatchEngine over its fragment.
@@ -33,6 +60,9 @@ struct ParallelConfig {
   /// BSP-only (the async model has no superstep boundary to recover from
   /// and is rejected with FailedPrecondition).
   FaultInjector* faults = nullptr;
+  /// Durable on-disk checkpoint/resume policy (BSP Run*/RunOnCandidates
+  /// only; the async model has no superstep boundary to checkpoint at).
+  CheckpointOptions checkpoint;
 };
 
 /// Outcome of a parallel run, with the fixpoint-iteration telemetry the
@@ -69,6 +99,13 @@ struct ParallelResult {
   /// instead of spinning; each bounded wait that expires is counted here).
   /// Zero for BSP runs.
   size_t backoff_sleeps = 0;
+  /// True when CheckpointOptions::halt_after_supersteps stopped the run
+  /// early (test/CI hook): `matches` is empty, the on-disk checkpoint
+  /// holds the progress, and a `resume` run picks up from it.
+  bool halted = false;
+  /// True when this run restored its state from an on-disk checkpoint
+  /// instead of starting cold (telemetry for the resume harness).
+  bool resumed_from_checkpoint = false;
   /// Simulated cluster makespan: sum over supersteps of the slowest
   /// worker's thread-CPU time, plus the synchronization phases. This is
   /// what an n-machine cluster's wall clock would approximate; on hosts

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/match_engine.h"
 #include "sim/scores.h"
 
@@ -103,28 +104,44 @@ class FaultInjector {
 
 /// h_v decorator simulating transient scorer failures (a flaky model
 /// server): deterministically selected calls "fail" up to `max_failures`
-/// times and are retried internally with bounded exponential backoff, so
-/// every call still returns the inner scorer's exact value — the fault is
-/// fully masked, Pi is unchanged, and the retries surface as telemetry
-/// (Stats::fault_retries). Thread-safe; failure counts are keyed by call
-/// content, never timing.
+/// times and are retried internally with bounded exponential backoff plus
+/// seeded jitter, so every call still returns the inner scorer's exact
+/// value — the fault is fully masked, Pi is unchanged, and the retries
+/// surface as telemetry (Stats::fault_retries). The jitter decorrelates
+/// workers that would otherwise back off in lockstep, yet is a pure
+/// function of (seed, call content, attempt), so runs stay reproducible.
+/// With `exhaust_prob` > 0 a selected call may fail permanently: the
+/// Status-aware TryScore surfaces that as a distinct
+/// StatusCode::kResourceExhausted (never a generic failure), while the
+/// plain VertexScorer interface — which has no error channel — masks it
+/// after max_failures retries and counts it in Exhausted().
+/// Thread-safe; failure counts are keyed by call content, never timing.
 class FlakyVertexScorer : public VertexScorer {
  public:
   /// `fail_prob` selects which calls fail; a selected call fails
   /// 1..max_failures times before succeeding. `backoff_micros` is the base
-  /// retry sleep (doubling per attempt; 0 disables sleeping in tests).
+  /// retry sleep (doubling per attempt, half of it jittered; 0 disables
+  /// sleeping in tests). `exhaust_prob` is the conditional probability
+  /// that a selected call is permanently down (fails more than
+  /// max_failures times).
   FlakyVertexScorer(const VertexScorer* inner, uint64_t seed,
                     double fail_prob, int max_failures = 3,
-                    size_t backoff_micros = 0)
+                    size_t backoff_micros = 0, double exhaust_prob = 0.0)
       : inner_(inner),
         seed_(seed),
         fail_prob_(fail_prob),
         max_failures_(max_failures < 1 ? 1 : max_failures),
-        backoff_micros_(backoff_micros) {}
+        backoff_micros_(backoff_micros),
+        exhaust_prob_(exhaust_prob) {}
 
   double Score(VertexId u, VertexId v) const override;
   void ScoreBatch(VertexId u, std::span<const VertexId> vs,
                   std::span<double> out) const override;
+
+  /// Status-aware variant of Score: when the call's planned failures
+  /// exceed the retry budget, returns StatusCode::kResourceExhausted
+  /// (deterministic by seed) instead of a value.
+  Result<double> TryScore(VertexId u, VertexId v) const;
 
   /// Transient failures retried so far (-> Stats::fault_retries).
   size_t Retries() const { return retries_.load(std::memory_order_relaxed); }
@@ -132,21 +149,30 @@ class FlakyVertexScorer : public VertexScorer {
   size_t FaultedCalls() const {
     return faulted_calls_.load(std::memory_order_relaxed);
   }
+  /// Calls whose retry budget ran out (exhaust_prob > 0 only).
+  size_t Exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
 
  private:
-  /// Planned failure count of a call identified by `key` (0 = healthy).
+  /// Planned failure count of a call identified by `key` (0 = healthy;
+  /// > max_failures = permanently down).
   int PlannedFailures(uint64_t key) const;
-  /// Runs the retry loop for one call: `failures` transient errors, each
-  /// retried after a (bounded, doubling) backoff sleep.
-  void RetryLoop(int failures) const;
+  /// Runs the retry loop for one call: up to max_failures transient
+  /// errors, each retried after a bounded, doubling, seeded-jitter
+  /// backoff sleep. Returns false when `failures` exceeds the budget
+  /// (retry exhaustion).
+  bool RetryLoop(uint64_t key, int failures) const;
 
   const VertexScorer* inner_;
   uint64_t seed_;
   double fail_prob_;
   int max_failures_;
   size_t backoff_micros_;
+  double exhaust_prob_;
   mutable std::atomic<size_t> retries_{0};
   mutable std::atomic<size_t> faulted_calls_{0};
+  mutable std::atomic<size_t> exhausted_{0};
 };
 
 }  // namespace her

@@ -1,0 +1,27 @@
+#ifndef HER_PERSIST_FINGERPRINT_H_
+#define HER_PERSIST_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "sim/params.h"
+
+namespace her {
+
+/// Chained FNV-1a digest of a graph's full structure: vertex labels,
+/// CSR adjacency (dst + interned edge-label string, so the digest is
+/// independent of interning order differences), in canonical vertex
+/// order.
+uint64_t FingerprintGraph(const Graph& g, uint64_t seed = 0);
+
+/// Binds a snapshot to the exact inputs it was derived from:
+/// (G_D, G, SimulationParams, seed). Any change to the data graphs,
+/// the thresholds, or the training seed produces a different
+/// fingerprint, so a stale snapshot is rejected at open time rather
+/// than silently reused.
+uint64_t FingerprintSetup(const Graph& gd, const Graph& g,
+                          const SimulationParams& params, uint64_t seed);
+
+}  // namespace her
+
+#endif  // HER_PERSIST_FINGERPRINT_H_

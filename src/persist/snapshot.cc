@@ -1,0 +1,173 @@
+#include "persist/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/file_util.h"
+
+namespace her {
+namespace {
+
+// magic(8) + version(4) + fingerprint(8) + count(4) + index_size(4) +
+// index_crc(4); the header CRC covers exactly these bytes.
+constexpr size_t kHeaderCrcSpan = 32;
+constexpr size_t kHeaderSize = kHeaderCrcSpan + 4;
+
+Status Corrupt(const std::string& what) {
+  return Status::IOError("snapshot: " + what);
+}
+
+}  // namespace
+
+ByteWriter* SnapshotWriter::AddSection(const std::string& name) {
+  sections_.push_back({name, std::make_unique<ByteWriter>()});
+  return sections_.back().payload.get();
+}
+
+std::string SnapshotWriter::Serialize() const {
+  // Payloads start right after the header and index; build the index
+  // first to know its size, using a two-pass layout: offsets depend on
+  // the index size, and varint offsets could in principle change the
+  // index size, so iterate until the layout is stable (converges in
+  // <= 2 extra passes because offsets only grow).
+  std::string index_bytes;
+  size_t index_size = 0;
+  for (int pass = 0; pass < 4; ++pass) {
+    ByteWriter index;
+    uint64_t offset = kHeaderSize + index_size;
+    for (const Section& s : sections_) {
+      index.PutString(s.name);
+      index.PutVarint(offset);
+      index.PutVarint(s.payload->size());
+      index.PutU32(Crc32(s.payload->data()));
+      offset += s.payload->size();
+    }
+    if (index.size() == index_size) {
+      index_bytes = index.data();
+      break;
+    }
+    index_size = index.size();
+    index_bytes = index.data();
+  }
+
+  ByteWriter header;
+  header.PutBytes(kSnapshotMagic, sizeof kSnapshotMagic);
+  header.PutU32(kSnapshotVersion);
+  header.PutU64(fingerprint_);
+  header.PutU32(static_cast<uint32_t>(sections_.size()));
+  header.PutU32(static_cast<uint32_t>(index_bytes.size()));
+  header.PutU32(Crc32(index_bytes));
+  header.PutU32(Crc32(header.data()));  // header CRC over bytes [0, 32)
+
+  std::string out = header.data();
+  out += index_bytes;
+  for (const Section& s : sections_) out += s.payload->data();
+  return out;
+}
+
+Status SnapshotWriter::WriteToFile(const std::string& path) const {
+  return AtomicWriteFile(path, Serialize());
+}
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
+                                            uint64_t expected_fingerprint) {
+  HER_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  return Parse(std::move(data), expected_fingerprint);
+}
+
+Result<SnapshotReader> SnapshotReader::Parse(std::string data,
+                                             uint64_t expected_fingerprint) {
+  if (data.size() < kHeaderSize) return Corrupt("file shorter than header");
+  if (std::memcmp(data.data(), kSnapshotMagic, sizeof kSnapshotMagic) != 0) {
+    return Corrupt("bad magic");
+  }
+
+  ByteReader header(std::string_view(data).substr(sizeof kSnapshotMagic,
+                                                  kHeaderSize -
+                                                      sizeof kSnapshotMagic));
+  uint32_t version, count, index_size, index_crc, header_crc;
+  uint64_t fingerprint;
+  HER_RETURN_NOT_OK(header.GetU32(&version));
+  HER_RETURN_NOT_OK(header.GetU64(&fingerprint));
+  HER_RETURN_NOT_OK(header.GetU32(&count));
+  HER_RETURN_NOT_OK(header.GetU32(&index_size));
+  HER_RETURN_NOT_OK(header.GetU32(&index_crc));
+  HER_RETURN_NOT_OK(header.GetU32(&header_crc));
+
+  if (Crc32(data.data(), kHeaderCrcSpan) != header_crc) {
+    return Corrupt("header checksum mismatch");
+  }
+  if (version != kSnapshotVersion) {
+    return Status::Unimplemented("snapshot: format version " +
+                                 std::to_string(version) +
+                                 " is not supported (expected " +
+                                 std::to_string(kSnapshotVersion) + ")");
+  }
+  if (expected_fingerprint != kAnyFingerprint &&
+      fingerprint != expected_fingerprint) {
+    return Status::FailedPrecondition(
+        "snapshot: stale fingerprint — the snapshot was derived from "
+        "different (G, D, params, seed) inputs");
+  }
+  if (data.size() - kHeaderSize < index_size) {
+    return Corrupt("section index extends past end of file");
+  }
+  std::string_view index_view(data.data() + kHeaderSize, index_size);
+  if (Crc32(index_view) != index_crc) {
+    return Corrupt("section index checksum mismatch");
+  }
+
+  SnapshotReader reader;
+  ByteReader index(index_view);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    Extent e;
+    HER_RETURN_NOT_OK(index.GetString(&name));
+    HER_RETURN_NOT_OK(index.GetVarint(&e.offset));
+    HER_RETURN_NOT_OK(index.GetVarint(&e.size));
+    HER_RETURN_NOT_OK(index.GetU32(&e.crc));
+    if (e.offset > data.size() || e.size > data.size() - e.offset) {
+      return Corrupt("section '" + name + "' extends past end of file");
+    }
+    if (!reader.index_.emplace(name, e).second) {
+      return Corrupt("duplicate section '" + name + "'");
+    }
+  }
+  if (!index.AtEnd()) return Corrupt("trailing bytes in section index");
+
+  // Payloads are laid out contiguously after the index; anything beyond
+  // the last section is not ours and means the file was tampered with or
+  // mis-assembled.
+  size_t end = kHeaderSize + index_size;
+  for (const auto& [name, e] : reader.index_) {
+    end = std::max<size_t>(end, e.offset + e.size);
+  }
+  if (data.size() != end) return Corrupt("trailing bytes after last section");
+
+  reader.data_ = std::move(data);
+  reader.fingerprint_ = fingerprint;
+  return reader;
+}
+
+Result<ByteReader> SnapshotReader::Section(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("snapshot: no section '" + name + "'");
+  }
+  std::string_view payload(data_.data() + it->second.offset,
+                           it->second.size);
+  if (Crc32(payload) != it->second.crc) {
+    return Corrupt("section '" + name + "' payload checksum mismatch");
+  }
+  return ByteReader(payload);
+}
+
+std::vector<std::string> SnapshotReader::SectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(index_.size());
+  for (const auto& [name, extent] : index_) names.push_back(name);
+  return names;
+}
+
+}  // namespace her

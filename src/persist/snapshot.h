@@ -1,0 +1,115 @@
+#ifndef HER_PERSIST_SNAPSHOT_H_
+#define HER_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace her {
+
+/// Snapshot container format (version 1):
+///
+///   offset 0   magic "HERSNP01"                         (8 bytes)
+///   offset 8   u32 format version                       (little-endian)
+///   offset 12  u64 fingerprint of (G_D, G, params, seed)
+///   offset 20  u32 section count
+///   offset 24  u32 section-index size in bytes
+///   offset 28  u32 CRC32 of the section index
+///   offset 32  u32 CRC32 of bytes [0, 32)  — the header checksum
+///   offset 36  section index: per section
+///                string name | varint payload offset | varint size |
+///                u32 payload CRC32
+///   ...        payloads (varint-encoded, one blob per section)
+///
+/// Every load validates magic, version, header CRC, index CRC and
+/// bounds-checks each payload's (offset, size) against the file before
+/// any section is touched; a section's payload CRC is verified when the
+/// section is opened. The fingerprint binds the snapshot to the exact
+/// inputs it was derived from.
+inline constexpr char kSnapshotMagic[8] = {'H', 'E', 'R', 'S',
+                                           'N', 'P', '0', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Accumulates named sections and serializes them into the container
+/// format above. Writing to disk goes through AtomicWriteFile, so a
+/// crash mid-save leaves the previous snapshot intact.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(uint64_t fingerprint) : fingerprint_(fingerprint) {}
+
+  /// Returns the payload writer for a new section. The pointer stays
+  /// valid for the lifetime of this SnapshotWriter. Section names must
+  /// be unique.
+  ByteWriter* AddSection(const std::string& name);
+
+  /// Serializes header + index + payloads into one buffer.
+  std::string Serialize() const;
+
+  /// Atomic install: tmp file, fsync, rename, fsync directory.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::unique_ptr<ByteWriter> payload;
+  };
+
+  uint64_t fingerprint_;
+  std::vector<Section> sections_;
+};
+
+/// Validating reader over a serialized snapshot. Open/Parse fail with a
+/// clean Status on any structural problem — wrong magic or version,
+/// header/index corruption, out-of-bounds section extents, or a stale
+/// fingerprint (a distinct FailedPrecondition, so callers can tell
+/// "inputs changed" from "file damaged"). Payload CRCs are verified
+/// lazily in Section(), so one corrupt section does not poison the
+/// rest — the caller cold-rebuilds just that section.
+class SnapshotReader {
+ public:
+  /// Reads and validates `path`. `expected_fingerprint` must match the
+  /// stored one; pass `kAnyFingerprint` to skip the binding check.
+  static Result<SnapshotReader> Open(const std::string& path,
+                                     uint64_t expected_fingerprint);
+
+  /// Same validation over an in-memory buffer (takes ownership).
+  static Result<SnapshotReader> Parse(std::string data,
+                                      uint64_t expected_fingerprint);
+
+  static constexpr uint64_t kAnyFingerprint = ~0ull;
+
+  bool HasSection(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  /// Opens a section payload after verifying its CRC32. The returned
+  /// reader views into this SnapshotReader's buffer; it must not
+  /// outlive it.
+  Result<ByteReader> Section(const std::string& name) const;
+
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  std::vector<std::string> SectionNames() const;
+
+ private:
+  struct Extent {
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    uint32_t crc = 0;
+  };
+
+  SnapshotReader() = default;
+
+  std::string data_;
+  uint64_t fingerprint_ = 0;
+  std::map<std::string, Extent> index_;
+};
+
+}  // namespace her
+
+#endif  // HER_PERSIST_SNAPSHOT_H_

@@ -1,8 +1,8 @@
 #include "relational/csv.h"
 
-#include <fstream>
 #include <sstream>
 
+#include "common/file_util.h"
 #include "common/string_util.h"
 
 namespace her {
@@ -77,10 +77,27 @@ Status CheckRecordLimits(std::string_view line, size_t num_fields,
   return Status::OK();
 }
 
+/// Normalizes CRLF and bare-CR line endings to LF so files written on any
+/// platform split into the same records (a bare-CR file would otherwise
+/// parse as one giant line and fail the schema check confusingly).
+std::string NormalizeLineEndings(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\r') {
+      out += '\n';
+      if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Status LoadRelationFromCsv(std::string_view csv_text, Relation* relation) {
-  std::istringstream in{std::string(csv_text)};
+  std::istringstream in{NormalizeLineEndings(csv_text)};
   std::string line;
   if (!std::getline(in, line)) {
     return Status::InvalidArgument("empty CSV input");
@@ -90,6 +107,16 @@ Status LoadRelationFromCsv(std::string_view csv_text, Relation* relation) {
   }
   const auto header = ParseCsvLine(Trim(line));
   HER_RETURN_NOT_OK(CheckRecordLimits(line, header.size(), 1));
+  // Duplicate column names would make every later row ambiguous; reject
+  // them with a specific error before the schema comparison.
+  for (size_t i = 0; i < header.size(); ++i) {
+    for (size_t j = i + 1; j < header.size(); ++j) {
+      if (header[i] == header[j]) {
+        return Status::InvalidArgument("duplicate CSV header column '" +
+                                       header[i] + "'");
+      }
+    }
+  }
   const auto& attrs = relation->schema().attributes();
   if (header.size() != attrs.size() + 1 || header[0] != "key") {
     return Status::InvalidArgument("CSV header must be key,<attributes...>");
@@ -147,19 +174,15 @@ std::string RelationToCsv(const Relation& relation) {
 }
 
 Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  // Checks the stream after the read loop: an I/O error mid-file is an
+  // IOError, never a silently truncated relation.
+  return ReadFileToString(path);
 }
 
 Status WriteFile(const std::string& path, std::string_view content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  if (!out) return Status::IOError("short write to " + path);
-  return Status::OK();
+  // Atomic install (tmp + fsync + rename): a crash mid-write can never
+  // leave a torn CSV/graph/annotation file under the final name.
+  return AtomicWriteFile(path, content);
 }
 
 }  // namespace her

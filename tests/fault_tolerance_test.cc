@@ -239,6 +239,55 @@ TEST(FlakyScorerTest, MasksFailuresAndCountsRetries) {
   EXPECT_LE(flaky.Retries(), faulted * 3);
 }
 
+TEST(FlakyScorerTest, TryScoreSurfacesExhaustionDeterministically) {
+  auto [g1, g2] = RandomEntityGraphs(6, 4);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  FlakyVertexScorer a(h.hv.get(), /*seed=*/7, /*fail_prob=*/0.6,
+                      /*max_failures=*/2, /*backoff_micros=*/0,
+                      /*exhaust_prob=*/0.5);
+  FlakyVertexScorer b(h.hv.get(), /*seed=*/7, /*fail_prob=*/0.6,
+                      /*max_failures=*/2, /*backoff_micros=*/0,
+                      /*exhaust_prob=*/0.5);
+  size_t exhausted = 0;
+  for (VertexId u = 0; u < h.g1.num_vertices(); ++u) {
+    for (VertexId v = 0; v < h.g2.num_vertices(); ++v) {
+      const Result<double> ra = a.TryScore(u, v);
+      const Result<double> rb = b.TryScore(u, v);
+      // Same seed + same call content => same outcome, value or error.
+      ASSERT_EQ(ra.ok(), rb.ok()) << "u=" << u << " v=" << v;
+      if (ra.ok()) {
+        EXPECT_DOUBLE_EQ(*ra, h.hv->Score(u, v));
+        EXPECT_DOUBLE_EQ(*ra, *rb);
+      } else {
+        // Exhaustion is a distinct, retryable-by-caller error code.
+        EXPECT_EQ(ra.status().code(), StatusCode::kResourceExhausted);
+        EXPECT_EQ(rb.status().code(), StatusCode::kResourceExhausted);
+        ++exhausted;
+      }
+    }
+  }
+  EXPECT_GT(exhausted, 0u);
+  EXPECT_EQ(a.Exhausted(), exhausted);
+  EXPECT_EQ(a.Exhausted(), b.Exhausted());
+}
+
+TEST(FlakyScorerTest, PlainScoreMasksExhaustion) {
+  auto [g1, g2] = RandomEntityGraphs(6, 4);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  FlakyVertexScorer flaky(h.hv.get(), /*seed=*/7, /*fail_prob=*/0.6,
+                          /*max_failures=*/2, /*backoff_micros=*/0,
+                          /*exhaust_prob=*/0.5);
+  // The plain VertexScorer interface has no error channel: permanently
+  // down calls still return the inner value after the budget runs out,
+  // so Pi never changes — but the exhaustion is counted.
+  for (VertexId u = 0; u < h.g1.num_vertices(); ++u) {
+    for (VertexId v = 0; v < h.g2.num_vertices(); ++v) {
+      EXPECT_DOUBLE_EQ(flaky.Score(u, v), h.hv->Score(u, v));
+    }
+  }
+  EXPECT_GT(flaky.Exhausted(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Configuration validation (satellite: fail fast with Status, never UB).
 

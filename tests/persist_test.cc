@@ -1,0 +1,580 @@
+// Durable-checkpoint tests (see DESIGN.md "Durable checkpoints"):
+//
+//  - the snapshot container round-trips and rejects every corruption we
+//    can synthesize (truncation, bit flips, wrong magic/version, stale
+//    fingerprints) with a clean Status — never a crash;
+//  - MatchEngine state and the PropertyTable restore bit for bit, and a
+//    deadline-degraded table completes through Refresh over Pending();
+//  - the kill-and-resume matrix: a BSP run halted mid-fixpoint and
+//    resumed from its on-disk checkpoint lands on a Pi bit-identical to
+//    the uninterrupted run, across seeds and worker counts;
+//  - a corrupt or stale checkpoint degrades to a cold start with correct
+//    results;
+//  - HerSystem::TrainOrLoad warm-starts from a model snapshot, skipping
+//    the property-table build (ptable_build_seconds == 0) and surfacing
+//    the restore in snapshot_load_seconds.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/file_util.h"
+#include "core/drivers.h"
+#include "core/match_engine.h"
+#include "datagen/dataset.h"
+#include "learn/her_system.h"
+#include "learn/metrics.h"
+#include "parallel/bsp_engine.h"
+#include "persist/fingerprint.h"
+#include "persist/snapshot.h"
+#include "tests/test_util.h"
+
+namespace her {
+namespace {
+
+using testutil::ContextHarness;
+using testutil::ItemRoots;
+using testutil::RandomEntityGraphs;
+
+SimulationParams TestParams() { return {.sigma = 0.99, .delta = 0.9, .k = 4}; }
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// --- byte codec ---------------------------------------------------------
+
+TEST(BytesTest, RoundTrip) {
+  ByteWriter w;
+  w.PutU8(7);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutVarint(0);
+  w.PutVarint(127);
+  w.PutVarint(300);
+  w.PutVarint(~0ull);
+  w.PutFloat(1.5f);
+  w.PutDouble(-0.1);
+  w.PutString("hello");
+  w.PutFloatVec({1.0f, -2.5f});
+  w.PutIntVec(std::vector<uint32_t>{3, 1, 4});
+
+  ByteReader r(w.data());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  EXPECT_EQ(u8, 7);
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  for (const uint64_t want : {uint64_t{0}, uint64_t{127}, uint64_t{300},
+                              ~uint64_t{0}}) {
+    uint64_t v = 1;
+    ASSERT_TRUE(r.GetVarint(&v).ok());
+    EXPECT_EQ(v, want);
+  }
+  float f = 0;
+  double d = 0;
+  ASSERT_TRUE(r.GetFloat(&f).ok());
+  EXPECT_EQ(f, 1.5f);
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  EXPECT_EQ(d, -0.1);
+  std::string s;
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(s, "hello");
+  std::vector<float> fv;
+  ASSERT_TRUE(r.GetFloatVec(&fv).ok());
+  EXPECT_EQ(fv, (std::vector<float>{1.0f, -2.5f}));
+  std::vector<uint32_t> iv;
+  ASSERT_TRUE(r.GetIntVec(&iv).ok());
+  EXPECT_EQ(iv, (std::vector<uint32_t>{3, 1, 4}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, TruncationIsCleanError) {
+  ByteWriter w;
+  w.PutU32(42);
+  for (size_t cut = 0; cut < w.data().size(); ++cut) {
+    ByteReader r(std::string_view(w.data()).substr(0, cut));
+    uint32_t v = 0;
+    const Status s = r.GetU32(&v);
+    EXPECT_EQ(s.code(), StatusCode::kIOError) << "cut=" << cut;
+  }
+}
+
+TEST(BytesTest, HugeCountRejectedBeforeAllocation) {
+  ByteWriter w;
+  w.PutVarint(~0ull);  // claims 2^64-1 elements follow
+  ByteReader r(w.data());
+  std::vector<float> fv;
+  EXPECT_FALSE(r.GetFloatVec(&fv).ok());
+  ByteReader r2(w.data());
+  std::vector<uint32_t> iv;
+  EXPECT_FALSE(r2.GetIntVec(&iv).ok());
+}
+
+// --- atomic file I/O ----------------------------------------------------
+
+TEST(FileUtilTest, AtomicWriteRoundTripAndNoTempResidue) {
+  const std::string path = TempPath("atomic_rt.bin");
+  const std::string payload = std::string("abc\0def", 7);
+  ASSERT_TRUE(AtomicWriteFile(path, payload).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  // Overwrite installs the new contents in full.
+  ASSERT_TRUE(AtomicWriteFile(path, "v2").ok());
+  read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "v2");
+}
+
+TEST(FileUtilTest, ReadMissingFileIsIOError) {
+  const auto r = ReadFileToString(TempPath("does_not_exist.bin"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+// --- snapshot container -------------------------------------------------
+
+std::string MakeSnapshot(uint64_t fingerprint) {
+  SnapshotWriter w(fingerprint);
+  ByteWriter* a = w.AddSection("alpha");
+  a->PutVarint(123);
+  a->PutString("payload-a");
+  ByteWriter* b = w.AddSection("beta");
+  b->PutDouble(2.75);
+  return w.Serialize();
+}
+
+TEST(SnapshotTest, RoundTrip) {
+  auto parsed = SnapshotReader::Parse(MakeSnapshot(0xfeed), 0xfeed);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->fingerprint(), 0xfeedu);
+  EXPECT_TRUE(parsed->HasSection("alpha"));
+  EXPECT_TRUE(parsed->HasSection("beta"));
+  auto a = parsed->Section("alpha");
+  ASSERT_TRUE(a.ok());
+  uint64_t v = 0;
+  std::string s;
+  ASSERT_TRUE(a->GetVarint(&v).ok());
+  ASSERT_TRUE(a->GetString(&s).ok());
+  EXPECT_EQ(v, 123u);
+  EXPECT_EQ(s, "payload-a");
+  EXPECT_TRUE(a->AtEnd());
+  auto b = parsed->Section("beta");
+  ASSERT_TRUE(b.ok());
+  double d = 0;
+  ASSERT_TRUE(b->GetDouble(&d).ok());
+  EXPECT_EQ(d, 2.75);
+}
+
+TEST(SnapshotTest, MissingSectionIsNotFound) {
+  auto parsed =
+      SnapshotReader::Parse(MakeSnapshot(1), SnapshotReader::kAnyFingerprint);
+  ASSERT_TRUE(parsed.ok());
+  const auto sec = parsed->Section("gamma");
+  ASSERT_FALSE(sec.ok());
+  EXPECT_EQ(sec.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, EveryTruncationFailsCleanly) {
+  const std::string data = MakeSnapshot(7);
+  for (size_t cut = 0; cut < data.size(); ++cut) {
+    auto parsed = SnapshotReader::Parse(data.substr(0, cut),
+                                        SnapshotReader::kAnyFingerprint);
+    EXPECT_FALSE(parsed.ok()) << "prefix of " << cut << " bytes parsed";
+  }
+  auto parsed = SnapshotReader::Parse(data + "x",
+                                      SnapshotReader::kAnyFingerprint);
+  EXPECT_FALSE(parsed.ok()) << "trailing garbage accepted";
+}
+
+TEST(SnapshotTest, EveryBitFlipIsDetected) {
+  const std::string data = MakeSnapshot(7);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xff);
+    auto parsed = SnapshotReader::Parse(std::move(mutated),
+                                        SnapshotReader::kAnyFingerprint);
+    if (!parsed.ok()) continue;  // header/index CRC caught it
+    // Payload corruption is caught lazily when the section is opened.
+    const bool alpha_ok = parsed->Section("alpha").ok();
+    const bool beta_ok = parsed->Section("beta").ok();
+    EXPECT_FALSE(alpha_ok && beta_ok) << "flip at byte " << i << " undetected";
+  }
+}
+
+TEST(SnapshotTest, WrongMagicRejected) {
+  std::string data = MakeSnapshot(7);
+  data[0] = 'X';
+  const auto parsed =
+      SnapshotReader::Parse(std::move(data), SnapshotReader::kAnyFingerprint);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIOError);
+}
+
+TEST(SnapshotTest, FutureVersionIsUnimplemented) {
+  std::string data = MakeSnapshot(7);
+  // Patch the version field (offset 8) and re-seal the header CRC
+  // (offset 32, over bytes [0, 32)) so only the version is "wrong".
+  const uint32_t version = kSnapshotVersion + 1;
+  for (int i = 0; i < 4; ++i) {
+    data[8 + i] = static_cast<char>(version >> (8 * i));
+  }
+  const uint32_t crc = Crc32(data.data(), 32);
+  for (int i = 0; i < 4; ++i) {
+    data[32 + i] = static_cast<char>(crc >> (8 * i));
+  }
+  const auto parsed =
+      SnapshotReader::Parse(std::move(data), SnapshotReader::kAnyFingerprint);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(SnapshotTest, StaleFingerprintIsFailedPrecondition) {
+  const auto parsed = SnapshotReader::Parse(MakeSnapshot(0xaaa), 0xbbb);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FingerprintTest, SensitiveToEveryInput) {
+  auto [g1, g2] = RandomEntityGraphs(3, 4);
+  auto [h1, h2] = RandomEntityGraphs(4, 4);
+  const SimulationParams p = TestParams();
+  const uint64_t base = FingerprintSetup(g1, g2, p, 1);
+  EXPECT_EQ(base, FingerprintSetup(g1, g2, p, 1));  // deterministic
+  EXPECT_NE(base, FingerprintSetup(h1, g2, p, 1));
+  EXPECT_NE(base, FingerprintSetup(g1, h2, p, 1));
+  EXPECT_NE(base, FingerprintSetup(g1, g2, p, 2));
+  SimulationParams q = p;
+  q.sigma += 0.01;
+  EXPECT_NE(base, FingerprintSetup(g1, g2, q, 1));
+}
+
+// --- property table: round trip + deadline degradation (S5) -------------
+
+TEST(PropertyTablePersistTest, SaveLoadRoundTripsBitExactly) {
+  auto [g1, g2] = RandomEntityGraphs(11, 6);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const PropertyTable built = PropertyTable::Build(
+      h.g1, h.g2, *h.hr, *h.vocab, /*threads=*/2, h.mrho.get());
+  ByteWriter w;
+  built.SaveState(&w);
+  PropertyTable restored;
+  ByteReader r(w.data());
+  ASSERT_TRUE(restored.LoadState(&r).ok());
+  EXPECT_TRUE(restored == built);
+  EXPECT_TRUE(restored.Complete());
+  // save -> load -> save is byte-stable.
+  ByteWriter w2;
+  restored.SaveState(&w2);
+  EXPECT_EQ(w.data(), w2.data());
+  // A corrupted payload is a clean error, never a crash.
+  std::string bad = w.data();
+  bad.resize(bad.size() / 2);
+  PropertyTable scratch;
+  ByteReader rb(bad);
+  EXPECT_FALSE(scratch.LoadState(&rb).ok());
+}
+
+TEST(PropertyTablePersistTest, ExpiredBuildDegradesAndRefreshCompletes) {
+  auto [g1, g2] = RandomEntityGraphs(12, 6);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const PropertyTable clean = PropertyTable::Build(
+      h.g1, h.g2, *h.hr, *h.vocab, /*threads=*/2, h.mrho.get());
+
+  // Only internal vertices get rows (leaves have no properties), so the
+  // pending set of a fully skipped build is exactly the internal set.
+  const auto internal = [](const Graph& g) {
+    size_t n = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!g.IsLeaf(v)) ++n;
+    }
+    return n;
+  };
+
+  // Deadline already expired: every block is skipped, every internal
+  // vertex is pending, and no partial row exists (all-or-nothing rows).
+  const RunOptions expired = RunOptions::WithTimeout(std::chrono::seconds(0));
+  PropertyTable degraded = PropertyTable::Build(
+      h.g1, h.g2, *h.hr, *h.vocab, /*threads=*/2, h.mrho.get(),
+      PropertyTable::kDefaultBuildBlock, expired);
+  EXPECT_FALSE(degraded.Complete());
+  EXPECT_EQ(degraded.Pending(0).size(), internal(h.g1));
+  EXPECT_EQ(degraded.Pending(1).size(), internal(h.g2));
+  for (VertexId v = 0; v < h.g1.num_vertices(); ++v) {
+    EXPECT_TRUE(degraded.Get(0, v, 100).empty());
+  }
+
+  // An expired Refresh keeps the pending set (degraded but valid) ...
+  std::vector<VertexId> pend0(degraded.Pending(0).begin(),
+                              degraded.Pending(0).end());
+  degraded.Refresh(0, h.g1, pend0, *h.hr, *h.vocab, h.mrho.get(), expired);
+  EXPECT_EQ(degraded.Pending(0).size(), internal(h.g1));
+
+  // ... and an unconstrained Refresh over Pending() completes the table
+  // to exactly the clean build.
+  for (const int graph : {0, 1}) {
+    const Graph& g = graph == 0 ? h.g1 : h.g2;
+    std::vector<VertexId> pending(degraded.Pending(graph).begin(),
+                                  degraded.Pending(graph).end());
+    degraded.Refresh(graph, g, pending, *h.hr, *h.vocab, h.mrho.get());
+  }
+  EXPECT_TRUE(degraded.Complete());
+  EXPECT_TRUE(degraded == clean);
+}
+
+// --- engine state round trip --------------------------------------------
+
+TEST(EngineStatePersistTest, VerdictsAndWarmCachesRoundTrip) {
+  auto [g1, g2] = RandomEntityGraphs(21, 6);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  MatchEngine original(h.ctx);
+  const auto pi = AllParaMatch(original, roots);
+
+  ByteWriter state;
+  original.SaveEngineState(&state);
+  ByteWriter warm;
+  original.SaveWarmCaches(&warm);
+
+  MatchEngine restored(h.ctx);
+  ByteReader rs(state.data());
+  ASSERT_TRUE(restored.LoadEngineState(&rs).ok());
+  ByteReader rw(warm.data());
+  ASSERT_TRUE(restored.LoadWarmCaches(&rw).ok());
+
+  // Same verdicts for every root pair, and the rebuilt engine continues
+  // to the same Pi.
+  for (const VertexId u : roots) {
+    for (const VertexId v : ItemRoots(h.g2)) {
+      const auto* a = original.Lookup(u, v);
+      const auto* b = restored.Lookup(u, v);
+      ASSERT_EQ(a == nullptr, b == nullptr);
+      if (a != nullptr) EXPECT_EQ(a->valid, b->valid);
+    }
+  }
+  EXPECT_EQ(AllParaMatch(restored, roots), pi);
+
+  // save -> load -> save is byte-stable (canonical ordering).
+  ByteWriter state2;
+  restored.SaveEngineState(&state2);
+  EXPECT_EQ(state.data(), state2.data());
+  ByteWriter warm2;
+  restored.SaveWarmCaches(&warm2);
+  EXPECT_EQ(warm.data(), warm2.data());
+
+  // Corrupt payloads are clean errors.
+  std::string bad = state.data();
+  if (!bad.empty()) bad.resize(bad.size() - 1);
+  MatchEngine scratch(h.ctx);
+  ByteReader rbad(bad);
+  EXPECT_FALSE(scratch.LoadEngineState(&rbad).ok());
+}
+
+// --- kill-and-resume matrix ---------------------------------------------
+
+/// Acceptance matrix: >= 4 seeds x {2, 4, 8} workers; a run halted after
+/// its first superstep and resumed from the durable checkpoint must land
+/// on the uninterrupted run's Pi bit for bit.
+class KillResumeTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(KillResumeTest, ResumedPiIsBitIdentical) {
+  const auto [seed, workers] = GetParam();
+  auto [g1, g2] = RandomEntityGraphs(seed, 8);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  BspAllMatch clean(h.ctx, {.num_workers = workers});
+  const ParallelResult baseline = clean.Run(roots);
+  ASSERT_TRUE(baseline.status.ok());
+
+  const std::string dir = TempPath("kr_" + std::to_string(seed) + "_" +
+                                   std::to_string(workers));
+  std::filesystem::create_directories(dir);
+  const uint64_t fp = FingerprintSetup(h.g1, h.g2, h.ctx.params, seed);
+
+  ParallelConfig interrupted_cfg{.num_workers = workers};
+  interrupted_cfg.checkpoint = {.dir = dir,
+                                .every_supersteps = 1,
+                                .fingerprint = fp,
+                                .halt_after_supersteps = 1};
+  BspAllMatch interrupted(h.ctx, interrupted_cfg);
+  const ParallelResult first = interrupted.Run(roots);
+  ASSERT_TRUE(first.status.ok());
+  if (!first.halted) {
+    // Single-superstep fixpoint: nothing to resume; the run completed.
+    EXPECT_EQ(first.matches, baseline.matches);
+    return;
+  }
+  EXPECT_TRUE(first.matches.empty());
+  EXPECT_GT(first.stats.disk_checkpoints, 0u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/bsp.ckpt"));
+
+  ParallelConfig resume_cfg{.num_workers = workers};
+  resume_cfg.checkpoint = {.dir = dir, .every_supersteps = 1,
+                           .resume = true, .fingerprint = fp};
+  BspAllMatch resumed(h.ctx, resume_cfg);
+  const ParallelResult second = resumed.Run(roots);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.resumed_from_checkpoint)
+      << "seed=" << seed << " workers=" << workers;
+  EXPECT_FALSE(second.halted);
+  EXPECT_EQ(second.matches, baseline.matches)
+      << "seed=" << seed << " workers=" << workers;
+  EXPECT_EQ(second.supersteps, baseline.supersteps);
+  EXPECT_EQ(second.unresolved_pairs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, KillResumeTest,
+    ::testing::Combine(::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull),
+                       ::testing::Values(2u, 4u, 8u)));
+
+TEST(KillResumeTest, CorruptCheckpointFallsBackToColdStart) {
+  auto [g1, g2] = RandomEntityGraphs(31, 8);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  BspAllMatch clean(h.ctx, {.num_workers = 4});
+  const auto baseline = clean.Run(roots).matches;
+
+  const std::string dir = TempPath("kr_corrupt");
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(AtomicWriteFile(dir + "/bsp.ckpt", "not a snapshot").ok());
+
+  ParallelConfig cfg{.num_workers = 4};
+  cfg.checkpoint = {.dir = dir, .every_supersteps = 1, .resume = true,
+                    .fingerprint = 99};
+  BspAllMatch bsp(h.ctx, cfg);
+  const ParallelResult r = bsp.Run(roots);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_FALSE(r.resumed_from_checkpoint);
+  EXPECT_EQ(r.matches, baseline);
+}
+
+TEST(KillResumeTest, StaleFingerprintFallsBackToColdStart) {
+  auto [g1, g2] = RandomEntityGraphs(32, 8);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  BspAllMatch clean(h.ctx, {.num_workers = 4});
+  const auto baseline = clean.Run(roots).matches;
+
+  const std::string dir = TempPath("kr_stale");
+  std::filesystem::create_directories(dir);
+  ParallelConfig halt_cfg{.num_workers = 4};
+  halt_cfg.checkpoint = {.dir = dir, .every_supersteps = 1,
+                         .fingerprint = 1, .halt_after_supersteps = 1};
+  const ParallelResult first = BspAllMatch(h.ctx, halt_cfg).Run(roots);
+  ASSERT_TRUE(first.status.ok());
+  if (!first.halted) GTEST_SKIP() << "single-superstep fixpoint";
+
+  // Same file, different fingerprint: the checkpoint is stale, the run
+  // must start cold and still produce the right Pi.
+  ParallelConfig resume_cfg{.num_workers = 4};
+  resume_cfg.checkpoint = {.dir = dir, .every_supersteps = 1,
+                           .resume = true, .fingerprint = 2};
+  const ParallelResult r = BspAllMatch(h.ctx, resume_cfg).Run(roots);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_FALSE(r.resumed_from_checkpoint);
+  EXPECT_EQ(r.matches, baseline);
+}
+
+TEST(KillResumeTest, ChangedWorkerCountFallsBackToColdStart) {
+  auto [g1, g2] = RandomEntityGraphs(33, 8);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  BspAllMatch clean(h.ctx, {.num_workers = 2});
+  const auto baseline = clean.Run(roots).matches;
+
+  const std::string dir = TempPath("kr_workers");
+  std::filesystem::create_directories(dir);
+  ParallelConfig halt_cfg{.num_workers = 4};
+  halt_cfg.checkpoint = {.dir = dir, .every_supersteps = 1,
+                         .fingerprint = 7, .halt_after_supersteps = 1};
+  const ParallelResult first = BspAllMatch(h.ctx, halt_cfg).Run(roots);
+  ASSERT_TRUE(first.status.ok());
+  if (!first.halted) GTEST_SKIP() << "single-superstep fixpoint";
+
+  ParallelConfig resume_cfg{.num_workers = 2};
+  resume_cfg.checkpoint = {.dir = dir, .every_supersteps = 1,
+                           .resume = true, .fingerprint = 7};
+  const ParallelResult r = BspAllMatch(h.ctx, resume_cfg).Run(roots);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_FALSE(r.resumed_from_checkpoint);
+  EXPECT_EQ(r.matches, baseline);
+}
+
+TEST(KillResumeTest, AsyncModelRejectsCheckpoints) {
+  auto [g1, g2] = RandomEntityGraphs(34, 4);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  ParallelConfig cfg{.num_workers = 2};
+  cfg.checkpoint = {.dir = TempPath("kr_async"), .every_supersteps = 1};
+  BspAllMatch bsp(h.ctx, cfg);
+  const ParallelResult r = bsp.RunAsync(ItemRoots(h.g1));
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition);
+}
+
+// --- HerSystem warm start -----------------------------------------------
+
+TEST(WarmStartTest, TrainOrLoadSkipsRetrainAndPtableBuild) {
+  DatasetSpec spec = UkgovSpec(/*seed=*/5);
+  spec.num_entities = 40;
+  const GeneratedDataset data = Generate(spec);
+  const AnnotationSplit split = SplitAnnotations(data.annotations);
+  const std::string snap = TempPath("warm_model.snap");
+  std::filesystem::remove(snap);
+
+  HerSystem cold(data.canonical, data.g, HerConfig{});
+  cold.TrainOrLoad(snap, data.path_pairs, split.validation);
+  ASSERT_TRUE(cold.trained());
+  ASSERT_TRUE(std::filesystem::exists(snap));
+  const auto cold_pi = cold.APair();
+
+  HerSystem warm(data.canonical, data.g, HerConfig{});
+  warm.TrainOrLoad(snap, data.path_pairs, split.validation);
+  ASSERT_TRUE(warm.trained());
+  // The warm start restored everything: no property-table build ran, and
+  // the restore time is accounted.
+  EXPECT_EQ(warm.engine().stats().ptable_build_seconds, 0.0);
+  EXPECT_GT(warm.engine().stats().snapshot_load_seconds, 0.0);
+  EXPECT_EQ(warm.params().sigma, cold.params().sigma);
+  EXPECT_EQ(warm.params().delta, cold.params().delta);
+  EXPECT_EQ(warm.params().k, cold.params().k);
+  EXPECT_EQ(warm.APair(), cold_pi);
+  EXPECT_EQ(warm.Fingerprint(), cold.Fingerprint());
+}
+
+TEST(WarmStartTest, CorruptSnapshotRebuildsCold) {
+  DatasetSpec spec = UkgovSpec(/*seed=*/6);
+  spec.num_entities = 30;
+  const GeneratedDataset data = Generate(spec);
+  const AnnotationSplit split = SplitAnnotations(data.annotations);
+  const std::string snap = TempPath("warm_corrupt.snap");
+  ASSERT_TRUE(AtomicWriteFile(snap, "garbage, not a snapshot").ok());
+
+  HerSystem sys(data.canonical, data.g, HerConfig{});
+  sys.TrainOrLoad(snap, data.path_pairs, split.validation);
+  ASSERT_TRUE(sys.trained());
+
+  HerSystem reference(data.canonical, data.g, HerConfig{});
+  reference.Train(data.path_pairs, split.validation);
+  EXPECT_EQ(sys.APair(), reference.APair());
+  // TrainOrLoad healed the snapshot: a third system warm-starts from it.
+  HerSystem healed(data.canonical, data.g, HerConfig{});
+  healed.TrainOrLoad(snap, data.path_pairs, split.validation);
+  EXPECT_EQ(healed.engine().stats().ptable_build_seconds, 0.0);
+  EXPECT_EQ(healed.APair(), reference.APair());
+}
+
+}  // namespace
+}  // namespace her

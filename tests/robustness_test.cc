@@ -165,6 +165,48 @@ TEST(AdversarialInputTest, ExcessiveCsvFieldFanOutRejected) {
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
 }
 
+TEST(AdversarialInputTest, DuplicateCsvHeaderColumnsRejected) {
+  // Duplicate column names make every later row ambiguous; the loader
+  // must name the offending column, not fall through to a confusing
+  // schema mismatch.
+  Relation rel(RelationSchema{"r", {{"a"}, {"a"}}});
+  const Status s = LoadRelationFromCsv("key,a,a\nk1,x,y\n", &rel);
+  ASSERT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  EXPECT_NE(s.ToString().find("duplicate"), std::string::npos)
+      << s.ToString();
+  // Even a duplicated "key" column is caught.
+  Relation rel2(RelationSchema{"r", {{"key"}}});
+  const Status s2 = LoadRelationFromCsv("key,key\nk1,x\n", &rel2);
+  EXPECT_EQ(s2.code(), StatusCode::kInvalidArgument) << s2.ToString();
+}
+
+TEST(AdversarialInputTest, CrlfAndBareCrCsvParseIdenticallyToLf) {
+  const std::string lf = "key,a,b\nk1,x,y\nk2,,z\n";
+  std::string crlf;
+  std::string cr;
+  for (const char c : lf) {
+    if (c == '\n') {
+      crlf += "\r\n";
+      cr += '\r';
+    } else {
+      crlf += c;
+      cr += c;
+    }
+  }
+  const RelationSchema schema{"r", {{"a"}, {"b"}}};
+  Relation want(schema);
+  ASSERT_TRUE(LoadRelationFromCsv(lf, &want).ok());
+  for (const std::string& variant : {crlf, cr}) {
+    Relation got(schema);
+    ASSERT_TRUE(LoadRelationFromCsv(variant, &got).ok());
+    ASSERT_EQ(got.tuples().size(), want.tuples().size());
+    for (size_t i = 0; i < want.tuples().size(); ++i) {
+      EXPECT_EQ(got.tuples()[i].key, want.tuples()[i].key);
+      EXPECT_EQ(got.tuples()[i].values, want.tuples()[i].values);
+    }
+  }
+}
+
 TEST(AdversarialInputTest, ValueBombRejectedByTotalCap) {
   // A flat array with more values than kMaxJsonValues would allocate a
   // JsonValue per element; the cap fails fast instead. (Kept well under

@@ -5,11 +5,22 @@
 //       scaling) and saves it as CSV relations + a graph file + annotated
 //       pairs under <dir>.
 //
-//   her_cli evaluate <dir> [workers] [deadline-ms]
+//   her_cli evaluate <dir> [workers] [deadline-ms] [flags]
 //       Loads <dir>, trains HER, reports held-out F-measure, then runs
 //       APair on the parallel engine. With a deadline the run degrades
 //       gracefully: it returns a partial (sound) Pi plus the count of
 //       unresolved candidates instead of overrunning the budget.
+//       Durability flags:
+//         --checkpoint-dir=DIR   write durable snapshots (trained model to
+//                                DIR/model.snap, BSP progress to
+//                                DIR/bsp.ckpt)
+//         --checkpoint-every-supersteps=N   BSP checkpoint cadence
+//                                           (default 1)
+//         --resume               restart from DIR's snapshots; invalid or
+//                                stale snapshots fall back to a cold start
+//         --pi-out=FILE          write Pi as "u v" lines (atomic install)
+//         --kill-at-superstep=N  CI crash hook: SIGKILL the process after
+//                                N supersteps (checkpoint already on disk)
 //
 //   her_cli spair <dir> <relation> <tuple-key> <vertex-id>
 //       Single-pair check with explanation.
@@ -18,10 +29,14 @@
 //       All graph vertices matching the tuple.
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <vector>
 
+#include "common/file_util.h"
 #include "datagen/dataset.h"
 #include "datagen/dataset_io.h"
 #include "learn/her_system.h"
@@ -35,6 +50,8 @@ int Usage() {
                "usage:\n"
                "  her_cli generate <profile> <dir> [entities] [seed]\n"
                "  her_cli evaluate <dir> [workers] [deadline-ms]\n"
+               "      [--checkpoint-dir=DIR] [--checkpoint-every-supersteps=N]\n"
+               "      [--resume] [--pi-out=FILE] [--kill-at-superstep=N]\n"
                "  her_cli spair <dir> <relation> <tuple-key> <vertex-id>\n"
                "  her_cli vpair <dir> <relation> <tuple-key>\n");
   return 2;
@@ -80,14 +97,23 @@ struct LoadedSystem {
   const GeneratedDataset& dataset() const { return *data; }
 };
 
-Result<LoadedSystem> LoadAndTrain(const std::string& dir) {
+Result<LoadedSystem> LoadAndTrain(const std::string& dir,
+                                  const std::string& snapshot_path = "") {
   LoadedSystem out;
   HER_ASSIGN_OR_RETURN(GeneratedDataset loaded, LoadDataset(dir));
   out.data = std::make_unique<GeneratedDataset>(std::move(loaded));
   out.split = SplitAnnotations(out.data->annotations);
   out.system = std::make_unique<HerSystem>(out.data->canonical, out.data->g,
                                            HerConfig{});
-  out.system->Train(out.data->path_pairs, out.split.validation);
+  if (snapshot_path.empty()) {
+    out.system->Train(out.data->path_pairs, out.split.validation);
+  } else {
+    out.system->TrainOrLoad(snapshot_path, out.data->path_pairs,
+                            out.split.validation);
+    const MatchEngine::Stats& st = out.system->engine().stats();
+    std::printf("snapshot: load %.3fs, ptable build %.3fs\n",
+                st.snapshot_load_seconds, st.ptable_build_seconds);
+  }
   std::printf("trained on %s: sigma=%.2f delta=%.2f k=%d\n",
               out.data->name.c_str(), out.system->params().sigma,
               out.system->params().delta, out.system->params().k);
@@ -120,12 +146,50 @@ int CmdGenerate(int argc, char** argv) {
 }
 
 int CmdEvaluate(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  std::vector<std::string> pos;
+  CheckpointOptions ckpt;
+  std::string pi_out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--checkpoint-dir=", 0) == 0) {
+      ckpt.dir = a.substr(17);
+    } else if (a.rfind("--checkpoint-every-supersteps=", 0) == 0) {
+      ckpt.every_supersteps = std::strtoull(a.c_str() + 30, nullptr, 10);
+    } else if (a == "--resume") {
+      ckpt.resume = true;
+    } else if (a.rfind("--pi-out=", 0) == 0) {
+      pi_out = a.substr(9);
+    } else if (a.rfind("--kill-at-superstep=", 0) == 0) {
+      ckpt.halt_after_supersteps = std::strtoull(a.c_str() + 20, nullptr, 10);
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+      return Usage();
+    } else {
+      pos.push_back(a);
+    }
+  }
+  if (pos.empty()) return Usage();
+  if ((ckpt.resume || ckpt.halt_after_supersteps > 0) && ckpt.dir.empty()) {
+    std::fprintf(stderr,
+                 "--resume/--kill-at-superstep need --checkpoint-dir\n");
+    return Usage();
+  }
   // The fragment partitioner divides by the worker count; clamp 0 to 1.
   const uint32_t workers =
-      argc > 3 ? std::max(1, std::atoi(argv[3])) : 4;
-  const long deadline_ms = argc > 4 ? std::atol(argv[4]) : 0;
-  auto loaded = LoadAndTrain(argv[2]);
+      pos.size() > 1 ? std::max(1, std::atoi(pos[1].c_str())) : 4;
+  const long deadline_ms = pos.size() > 2 ? std::atol(pos[2].c_str()) : 0;
+
+  std::string model_snapshot;
+  if (!ckpt.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(ckpt.dir, ec);
+    if (ec) {
+      return Fail(Status::IOError("cannot create checkpoint dir '" +
+                                  ckpt.dir + "': " + ec.message()));
+    }
+    model_snapshot = ckpt.dir + "/model.snap";
+  }
+  auto loaded = LoadAndTrain(pos[0], model_snapshot);
   if (!loaded.ok()) return Fail(loaded.status());
   const Confusion c =
       EvaluatePredictor(loaded->split.test, [&](VertexId u, VertexId v) {
@@ -136,16 +200,41 @@ int CmdEvaluate(int argc, char** argv) {
   if (deadline_ms > 0) {
     options = RunOptions::WithTimeout(std::chrono::milliseconds(deadline_ms));
   }
-  const ParallelResult r =
-      loaded->system->APairParallel(workers, /*use_blocking=*/true, options);
+  const ParallelResult r = loaded->system->APairParallel(
+      workers, /*use_blocking=*/true, options, ckpt);
   if (!r.status.ok()) return Fail(r.status);
+  if (r.halted) {
+    // CI crash hook: progress is on disk; die exactly as a crashed host
+    // would — no destructors, no flushes beyond this message.
+    std::fprintf(stderr, "halted after %zu supersteps, checkpoint on disk; "
+                 "raising SIGKILL\n", r.supersteps);
+    std::fflush(nullptr);
+    std::raise(SIGKILL);
+  }
   std::printf("APair (%u workers): %zu matches, %zu supersteps, "
               "simulated %.3fs\n",
               workers, r.matches.size(), r.supersteps, r.simulated_seconds);
+  if (r.resumed_from_checkpoint) {
+    std::printf("resumed from checkpoint (%zu durable checkpoint(s) "
+                "written this run)\n", r.stats.disk_checkpoints);
+  }
   if (r.degraded) {
     std::printf("degraded: deadline expired with %zu unresolved candidate "
                 "pair(s); reported Pi is a sound partial result\n",
                 r.unresolved_pairs);
+  }
+  if (!pi_out.empty()) {
+    std::string lines;
+    for (const MatchPair& p : r.matches) {
+      lines += std::to_string(p.first);
+      lines += ' ';
+      lines += std::to_string(p.second);
+      lines += '\n';
+    }
+    const Status s = AtomicWriteFile(pi_out, lines);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote %zu Pi pair(s) to %s\n", r.matches.size(),
+                pi_out.c_str());
   }
   return 0;
 }

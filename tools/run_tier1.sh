@@ -33,12 +33,15 @@ if [ -n "$HER_SANITIZE" ]; then
   cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DHER_SANITIZE="$HER_SANITIZE"
   cmake --build "$SAN_DIR" -j --target parallel_driver_test ml_test \
-    sim_test property_test
+    sim_test property_test persist_test
   "$SAN_DIR/tests/parallel_driver_test"
   "$SAN_DIR/tests/ml_test" \
     --gtest_filter='LstmTest.StepProbBatch*:MlpTest.PredictBatch*'
   "$SAN_DIR/tests/sim_test" --gtest_filter='LstmPraRankerTest.*'
   "$SAN_DIR/tests/property_test" --gtest_filter='PropertyTableTest.*'
+  # Durable snapshot/checkpoint suite; WarmStartTest trains twice and is
+  # covered by plain ctest above, so it is skipped under the sanitizer.
+  "$SAN_DIR/tests/persist_test" --gtest_filter='-WarmStartTest.*'
   echo "tier-1 OK (ctest + ${SAN} parallel driver + kernel tests)"
 else
   echo "tier-1 OK (ctest, sanitizer skipped)"
