@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "ann/ivf_index.h"
 #include "bench/bench_util.h"
 
 namespace {
@@ -90,6 +91,46 @@ BENCHMARK(BM_GenerateCandidates)
     ->Arg(1)
     ->Arg(2)
     ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GenerateCandidatesAnn(benchmark::State& state) {
+  // The same Fig. 8 scan routed through the IVF index (candidate-mode
+  // ann): probe the top-nprobe lists per tuple vertex instead of scoring
+  // all of G. Compare against BM_GenerateCandidates; the ann_* counters
+  // surface the index telemetry.
+  BenchSystem& bs = Shared();
+  const auto* caching =
+      dynamic_cast<const CachingVertexScorer*>(bs.system->context().hv);
+  const auto* emb = dynamic_cast<const EmbeddingVertexScorer*>(
+      caching != nullptr ? caching->inner() : bs.system->context().hv);
+  if (emb == nullptr) {
+    state.SkipWithError("unexpected h_v scorer wiring");
+    return;
+  }
+  static const IvfIndex* index = new IvfIndex(IvfIndex::Build(*emb, {}));
+  MatchContext ctx = bs.system->context();
+  ctx.ann = index;
+  ctx.candidate_gen.mode = CandidateMode::kAnn;
+  ctx.candidate_gen.nprobe = static_cast<size_t>(state.range(1));
+  const auto tuples = bs.data.canonical.TupleVertices();
+  const size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateCandidates(ctx, tuples, nullptr, threads));
+  }
+  state.counters["ann_build_s"] = index->build_seconds();
+  state.counters["ann_probes"] = static_cast<double>(index->Probes());
+  state.counters["ann_lists_scanned"] =
+      static_cast<double>(index->ListsScanned());
+  state.counters["ann_points_scanned"] =
+      static_cast<double>(index->PointsScanned());
+  state.counters["ann_fallbacks"] = static_cast<double>(index->Fallbacks());
+  state.counters["ann_recall"] = index->MeasuredRecall();
+}
+BENCHMARK(BM_GenerateCandidatesAnn)
+    ->Args({1, 4})
+    ->Args({8, 4})
+    ->Args({8, 16})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_PathScoreTrained(benchmark::State& state) {

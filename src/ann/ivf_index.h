@@ -1,0 +1,190 @@
+#ifndef HER_ANN_IVF_INDEX_H_
+#define HER_ANN_IVF_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "sim/scores.h"
+
+namespace her {
+
+/// Build-time knobs of the IVF coarse quantizer. Everything is seeded and
+/// deterministic: the same embeddings + config always produce the same
+/// lists, so index-backed candidate generation stays reproducible.
+struct IvfBuildConfig {
+  /// Number of inverted lists (k-means centroids); 0 derives ~sqrt(N)
+  /// from the indexed point count (clamped to [1, N]).
+  size_t nlist = 0;
+  /// Seed of the k-means++ initialization.
+  uint64_t seed = 0x1fA11;
+  /// Maximum Lloyd rounds (stops early when assignments reach a fixpoint).
+  size_t iterations = 10;
+  /// ParallelFor fan-out of the assignment step. Assignments are written
+  /// to per-point slots and reduced in vertex order, so the built index
+  /// is identical for every thread count.
+  size_t build_threads = 4;
+};
+
+/// One (vertex, h_v score) probe result.
+struct AnnHit {
+  VertexId v = kInvalidVertex;
+  double score = 0.0;
+};
+
+/// Inverted-file (IVF) index over the normalized h_v embedding rows of
+/// graph G (side 1 of EmbeddingVertexScorer): a seeded k-means coarse
+/// quantizer partitions the vertices into `nlist` lists, each stored as a
+/// contiguous row-major sub-matrix (SoA) so probes stream cache lines
+/// instead of gathering.
+///
+/// Probe(u, nprobe) ranks the centroids against the query row of u, scans
+/// the nprobe nearest lists with the same 4-lane blocked dot kernel as
+/// EmbeddingVertexScorer::ScoreBatch (per-row double accumulator in
+/// ascending dimension order), and returns every scanned vertex with its
+/// cosine-derived score — bit-identical to what the exact all-pairs scan
+/// would have computed for those vertices. The caller applies the sigma
+/// filter, so ANN mode only prunes the pool; it never perturbs a score.
+///
+/// Thread-safe after Build/LoadState: probes are read-only apart from the
+/// relaxed telemetry counters.
+class IvfIndex {
+ public:
+  IvfIndex() = default;
+
+  /// Movable despite the telemetry atomics: moves transfer the structural
+  /// state and carry the counter values over (single-threaded build/load
+  /// contexts only; concurrent probes never race with a move).
+  IvfIndex(IvfIndex&& o) noexcept { *this = std::move(o); }
+  IvfIndex& operator=(IvfIndex&& o) noexcept {
+    emb_ = o.emb_;
+    dim_ = o.dim_;
+    n_ = o.n_;
+    centroids_ = std::move(o.centroids_);
+    list_ids_ = std::move(o.list_ids_);
+    list_rows_ = std::move(o.list_rows_);
+    build_seconds_ = o.build_seconds_;
+    matrix_digest_ = o.matrix_digest_;
+    probes_.store(o.probes_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    lists_scanned_.store(o.lists_scanned_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    points_scanned_.store(o.points_scanned_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    fallbacks_.store(o.fallbacks_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    recall_matched_.store(o.recall_matched_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    recall_total_.store(o.recall_total_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Runs seeded k-means over the graph-1 rows of `emb` and lays the
+  /// lists out contiguously. The scorer is borrowed and must outlive the
+  /// index (probes read query rows and list rows from its matrix copies).
+  static IvfIndex Build(const EmbeddingVertexScorer& emb,
+                        const IvfBuildConfig& config = {});
+
+  /// Scans the `nprobe` lists nearest to the graph-0 row of `u` (centroid
+  /// ranking by dot product, ties broken by lower list id) and appends
+  /// every member with its exact h_v score to `hits`, sorted by vertex id.
+  /// Returns the number of lists scanned (min(nprobe, num_lists)).
+  size_t Probe(VertexId u, size_t nprobe, std::vector<AnnHit>* hits) const;
+
+  size_t num_lists() const { return list_ids_.size(); }
+  size_t num_points() const { return n_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Wall seconds the k-means build (or the snapshot row re-gather) took;
+  /// surfaced as MatchEngine::Stats::ann_build_seconds.
+  double build_seconds() const { return build_seconds_; }
+
+  /// Members of one list, sorted by vertex id (tests / diagnostics).
+  std::span<const VertexId> ListIds(size_t list) const {
+    return list_ids_[list];
+  }
+
+  /// --- telemetry (cumulative, relaxed atomics; snapshot semantics in
+  /// MatchEngine::Stats like the shared scorer counters) ---
+  size_t Probes() const { return probes_.load(std::memory_order_relaxed); }
+  size_t ListsScanned() const {
+    return lists_scanned_.load(std::memory_order_relaxed);
+  }
+  size_t PointsScanned() const {
+    return points_scanned_.load(std::memory_order_relaxed);
+  }
+  /// GenerateCandidates runs that abandoned ANN for the exact scan after
+  /// the sampled recall check came in under min_recall.
+  size_t Fallbacks() const {
+    return fallbacks_.load(std::memory_order_relaxed);
+  }
+  void NoteFallback() const {
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Accumulates one sampled-recall measurement: of `total` exact sigma
+  /// survivors, the ANN pool contained `matched`.
+  void NoteRecall(size_t matched, size_t total) const {
+    recall_matched_.fetch_add(matched, std::memory_order_relaxed);
+    recall_total_.fetch_add(total, std::memory_order_relaxed);
+  }
+  /// matched / total over every sampled probe so far; 1.0 before any
+  /// sample (an empty measurement is not evidence of misses).
+  double MeasuredRecall() const {
+    const size_t total = recall_total_.load(std::memory_order_relaxed);
+    if (total == 0) return 1.0;
+    return static_cast<double>(
+               recall_matched_.load(std::memory_order_relaxed)) /
+           static_cast<double>(total);
+  }
+
+  /// Serializes centroids + list membership (rows are re-gathered from
+  /// the embedding matrix at load, so the snapshot stays compact) plus a
+  /// digest of the indexed matrix.
+  void SaveState(ByteWriter* w) const;
+
+  /// Inverse of SaveState against the *current* scorer: the stored matrix
+  /// digest must match `emb`'s graph-1 rows (FailedPrecondition when the
+  /// embeddings changed — the caller rebuilds the index cold), and any
+  /// structural damage surfaces as IOError.
+  Status LoadState(ByteReader* r, const EmbeddingVertexScorer& emb);
+
+  /// Structural equality (centroids bit for bit, identical lists); lets
+  /// tests assert build determinism and snapshot round trips.
+  bool operator==(const IvfIndex& o) const {
+    return dim_ == o.dim_ && n_ == o.n_ && centroids_ == o.centroids_ &&
+           list_ids_ == o.list_ids_ && list_rows_ == o.list_rows_;
+  }
+
+ private:
+  /// FNV-1a over the graph-1 rows of `emb` (dim + count chained in), so a
+  /// snapshot built over different embeddings is rejected at load.
+  static uint64_t MatrixDigest(const EmbeddingVertexScorer& emb);
+
+  /// Gathers each list's member rows into its contiguous sub-matrix.
+  void FillListRows();
+
+  const EmbeddingVertexScorer* emb_ = nullptr;
+  size_t dim_ = 0;
+  size_t n_ = 0;  // indexed points (= |V(G)|)
+  std::vector<float> centroids_;               // num_lists x dim_, row-major
+  std::vector<std::vector<VertexId>> list_ids_;   // per list, sorted by id
+  std::vector<std::vector<float>> list_rows_;     // per list, SoA row copies
+  double build_seconds_ = 0.0;
+  uint64_t matrix_digest_ = 0;
+
+  mutable std::atomic<size_t> probes_{0};
+  mutable std::atomic<size_t> lists_scanned_{0};
+  mutable std::atomic<size_t> points_scanned_{0};
+  mutable std::atomic<size_t> fallbacks_{0};
+  mutable std::atomic<size_t> recall_matched_{0};
+  mutable std::atomic<size_t> recall_total_{0};
+};
+
+}  // namespace her
+
+#endif  // HER_ANN_IVF_INDEX_H_

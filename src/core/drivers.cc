@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ann/ivf_index.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 
@@ -41,7 +42,8 @@ std::vector<VertexId> FilterBySigma(MatchEngine& engine, VertexId u_t,
 }  // namespace
 
 std::vector<VertexId> VParaMatch(MatchEngine& engine, VertexId u_t) {
-  const auto all = AllVertices(*engine.context().g);
+  const MatchContext& ctx = engine.context();
+  const auto all = ctx.all_vertices.Get(*ctx.g);
   return engine.MatchCandidates(u_t, FilterBySigma(engine, u_t, all));
 }
 
@@ -61,21 +63,97 @@ std::vector<MatchPair> GenerateCandidates(
     VertexId u, v;
     size_t degree;  // of v, for the increasing-degree order (line 4)
   };
-  const std::vector<VertexId> all =
-      index == nullptr ? AllVertices(*ctx.g) : std::vector<VertexId>{};
+  const std::span<const VertexId> all = index == nullptr
+                                            ? ctx.all_vertices.Get(*ctx.g)
+                                            : std::span<const VertexId>{};
   std::vector<std::vector<Cand>> per_tuple(tuple_vertices.size());
   const VertexScorer* hv = BulkScorer(ctx.hv);
-  ParallelFor(tuple_vertices.size(), num_threads, [&](size_t i) {
-    const VertexId u = tuple_vertices[i];
-    std::vector<VertexId> blocked;
-    std::span<const VertexId> pool = all;
-    if (index != nullptr) {
-      blocked = index->Lookup(ctx.gd->label(u));
-      pool = blocked;
+
+  // Exhaustive sigma scan over the full pool for one tuple vertex. The
+  // exact path, the ANN recall probes, and the ANN fallback all share it.
+  const auto ExactSurvivors = [&](VertexId u, std::vector<Cand>& out) {
+    std::vector<double> scores(all.size());
+    hv->ScoreBatch(u, all, scores);
+    for (size_t j = 0; j < all.size(); ++j) {
+      if (scores[j] >= ctx.params.sigma) {
+        out.push_back(Cand{u, all[j], ctx.g->Degree(all[j])});
+      }
     }
+  };
+
+  // The ANN probe only ever prunes the pool: scanned vertices get scores
+  // bit-identical to the exact kernel, so its sigma-survivors are a subset
+  // of the exact ones. Blocked (InvertedIndex) calls keep the label pool.
+  bool ann_active = index == nullptr && ctx.ann != nullptr &&
+                    !ctx.ann->empty() &&
+                    ctx.candidate_gen.mode == CandidateMode::kAnn;
+  std::vector<char> validated(tuple_vertices.size(), 0);
+  if (ann_active && ctx.candidate_gen.min_recall > 0 &&
+      ctx.candidate_gen.recall_sample > 0 && !tuple_vertices.empty()) {
+    // Deterministic evenly-spaced sample of tuple positions (depends only
+    // on the tuple count, so the measured recall -- and any fallback
+    // decision -- is identical for every num_threads). Sampled positions
+    // are scanned exactly anyway, so their survivor lists are kept.
+    const size_t n = tuple_vertices.size();
+    const size_t k = std::min(ctx.candidate_gen.recall_sample, n);
+    std::vector<size_t> sample(k);
+    for (size_t s = 0; s < k; ++s) sample[s] = s * n / k;
+    for (const size_t i : sample) validated[i] = 1;
+    std::vector<size_t> exact_hits(k, 0), ann_hits(k, 0);
+    ParallelFor(k, num_threads, [&](size_t s) {
+      const size_t i = sample[s];
+      const VertexId u = tuple_vertices[i];
+      ExactSurvivors(u, per_tuple[i]);
+      exact_hits[s] = per_tuple[i].size();
+      static thread_local std::vector<AnnHit> hits;
+      hits.clear();
+      ctx.ann->Probe(u, ctx.candidate_gen.nprobe, &hits);
+      size_t kept = 0;
+      for (const AnnHit& h : hits) kept += h.score >= ctx.params.sigma;
+      ann_hits[s] = kept;
+    });
+    size_t matched = 0, total = 0;
+    for (size_t s = 0; s < k; ++s) {
+      matched += ann_hits[s];
+      total += exact_hits[s];
+    }
+    ctx.ann->NoteRecall(matched, total);
+    if (total > 0 && static_cast<double>(matched) <
+                         ctx.candidate_gen.min_recall *
+                             static_cast<double>(total)) {
+      // Sampled recall under the floor: distrust the index for this whole
+      // call and rescan everything exactly.
+      ann_active = false;
+      ctx.ann->NoteFallback();
+    }
+  }
+
+  ParallelFor(tuple_vertices.size(), num_threads, [&](size_t i) {
+    if (validated[i]) return;  // already holds the exact survivor list
+    const VertexId u = tuple_vertices[i];
+    auto& out = per_tuple[i];
+    if (ann_active) {
+      // Probe returns hits sorted by vertex id, so `out` stays v-sorted
+      // exactly as the counting-scatter merge below requires. The buffer
+      // is per-thread scratch, reused across tuple vertices.
+      static thread_local std::vector<AnnHit> hits;
+      hits.clear();
+      ctx.ann->Probe(u, ctx.candidate_gen.nprobe, &hits);
+      out.reserve(hits.size());
+      for (const AnnHit& h : hits) {
+        if (h.score >= ctx.params.sigma) {
+          out.push_back(Cand{u, h.v, ctx.g->Degree(h.v)});
+        }
+      }
+      return;
+    }
+    if (index == nullptr) {
+      ExactSurvivors(u, out);
+      return;
+    }
+    const std::vector<VertexId> pool = index->Lookup(ctx.gd->label(u));
     std::vector<double> scores(pool.size());
     hv->ScoreBatch(u, pool, scores);
-    auto& out = per_tuple[i];
     for (size_t j = 0; j < pool.size(); ++j) {
       if (scores[j] >= ctx.params.sigma) {
         out.push_back(Cand{u, pool[j], ctx.g->Degree(pool[j])});
@@ -97,30 +175,42 @@ std::vector<MatchPair> GenerateCandidates(
     }
     return a < b;
   });
-  size_t max_degree = 0;
-  for (VertexId v = 0; v < ctx.g->num_vertices(); ++v) {
-    max_degree = std::max(max_degree, ctx.g->Degree(v));
-  }
-  std::vector<size_t> cursor(max_degree + 1, 0);
+  // The scatter runs in parallel: `order` splits into contiguous chunks,
+  // each chunk histograms its buffers' degrees, a serial pass turns the
+  // histograms into absolute write cursors (exclusive prefix in (degree,
+  // chunk) order), and each chunk then scatters independently. Chunk t's
+  // degree-d elements land exactly where the serial order-sequence
+  // scatter would put them, so the output stays byte-identical for every
+  // num_threads.
+  const size_t nbuckets = ctx.g->MaxDegree() + 1;
+  const size_t chunks =
+      std::max<size_t>(1, std::min(num_threads, per_tuple.size()));
+  const auto chunk_begin = [&](size_t t) { return t * order.size() / chunks; };
+  std::vector<std::vector<size_t>> cursor(chunks,
+                                          std::vector<size_t>(nbuckets, 0));
+  ParallelFor(chunks, num_threads, [&](size_t t) {
+    auto& hist = cursor[t];
+    for (size_t k = chunk_begin(t); k < chunk_begin(t + 1); ++k) {
+      for (const Cand& c : per_tuple[order[k]]) ++hist[c.degree];
+    }
+  });
   size_t total = 0;
-  for (const auto& pt : per_tuple) {
-    total += pt.size();
-    for (const Cand& c : pt) ++cursor[c.degree];
-  }
-  // Exclusive prefix sum: cursor[d] becomes the first write index of the
-  // degree-d bucket, then advances as the scatter fills it.
-  size_t run = 0;
-  for (size_t d = 0; d < cursor.size(); ++d) {
-    const size_t in_bucket = cursor[d];
-    cursor[d] = run;
-    run += in_bucket;
-  }
-  std::vector<MatchPair> out(total);
-  for (const size_t i : order) {
-    for (const Cand& c : per_tuple[i]) {
-      out[cursor[c.degree]++] = MatchPair(c.u, c.v);
+  for (size_t d = 0; d < nbuckets; ++d) {
+    for (size_t t = 0; t < chunks; ++t) {
+      const size_t count = cursor[t][d];
+      cursor[t][d] = total;
+      total += count;
     }
   }
+  std::vector<MatchPair> out(total);
+  ParallelFor(chunks, num_threads, [&](size_t t) {
+    auto& cur = cursor[t];
+    for (size_t k = chunk_begin(t); k < chunk_begin(t + 1); ++k) {
+      for (const Cand& c : per_tuple[order[k]]) {
+        out[cur[c.degree]++] = MatchPair(c.u, c.v);
+      }
+    }
+  });
   return out;
 }
 
@@ -241,6 +331,17 @@ std::vector<MatchPair> ParallelAllParaMatch(
           std::max(stats->hrho_batch_calls, s.hrho_batch_calls);
       stats->hrho_hash_rejects =
           std::max(stats->hrho_hash_rejects, s.hrho_hash_rejects);
+      // ANN counters also snapshot a shared object (the context's
+      // IvfIndex); freshest snapshot wins.
+      stats->ann_probes = std::max(stats->ann_probes, s.ann_probes);
+      stats->ann_lists_scanned =
+          std::max(stats->ann_lists_scanned, s.ann_lists_scanned);
+      stats->ann_points_scanned =
+          std::max(stats->ann_points_scanned, s.ann_points_scanned);
+      stats->ann_fallbacks = std::max(stats->ann_fallbacks, s.ann_fallbacks);
+      stats->ann_recall = s.ann_recall;
+      stats->ann_build_seconds =
+          std::max(stats->ann_build_seconds, s.ann_build_seconds);
       // Fault-tolerance telemetry: unresolved pairs sum across the disjoint
       // worker shares; deadline_expired is a flag (any worker expiring
       // marks the whole run degraded).

@@ -5,6 +5,7 @@
 #include <limits>
 #include <mutex>
 
+#include "ann/ivf_index.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -158,6 +159,14 @@ const MatchEngine::Stats& MatchEngine::stats() const {
   }
   if (ctx_.properties != nullptr) {
     stats_.ptable_build_seconds = ctx_.properties->build_seconds();
+  }
+  if (ctx_.ann != nullptr) {
+    stats_.ann_probes = ctx_.ann->Probes();
+    stats_.ann_lists_scanned = ctx_.ann->ListsScanned();
+    stats_.ann_points_scanned = ctx_.ann->PointsScanned();
+    stats_.ann_fallbacks = ctx_.ann->Fallbacks();
+    stats_.ann_recall = ctx_.ann->MeasuredRecall();
+    stats_.ann_build_seconds = ctx_.ann->build_seconds();
   }
   stats_.unresolved_pairs = unresolved_.size();
   return stats_;

@@ -188,6 +188,15 @@ class MatchEngine {
     size_t hr_lstm_lanes = 0;        // total lanes across those rounds
     size_t hr_walk_rounds = 0;       // lockstep frontier rounds
     double ptable_build_seconds = 0.0;  // last PropertyTable Build/Refresh
+    // --- ANN candidate-generation telemetry (snapshots of the context's
+    // shared IvfIndex — same aggregation caveat as the h_v fields: the BSP
+    // aggregation assigns, never sums, them) ---
+    size_t ann_probes = 0;         // IvfIndex::Probe calls
+    size_t ann_lists_scanned = 0;  // inverted lists scanned across probes
+    size_t ann_points_scanned = 0;  // candidate rows scored across probes
+    size_t ann_fallbacks = 0;      // calls demoted to exact on low recall
+    double ann_recall = 1.0;       // measured recall over sampled probes
+    double ann_build_seconds = 0.0;  // IvfIndex::Build wall time
     // Wall seconds spent restoring state from a durable snapshot (0 on a
     // cold run); with ptable_build_seconds == 0 it is the observable proof
     // that a warm start skipped the build (bench_micro reports both).

@@ -82,6 +82,12 @@ void AssignSharedSnapshots(const MatchEngine::Stats& s,
   agg->hr_lstm_lanes = s.hr_lstm_lanes;
   agg->hr_walk_rounds = s.hr_walk_rounds;
   agg->ptable_build_seconds = s.ptable_build_seconds;
+  agg->ann_probes = s.ann_probes;
+  agg->ann_lists_scanned = s.ann_lists_scanned;
+  agg->ann_points_scanned = s.ann_points_scanned;
+  agg->ann_fallbacks = s.ann_fallbacks;
+  agg->ann_recall = s.ann_recall;
+  agg->ann_build_seconds = s.ann_build_seconds;
 }
 
 /// Sums one worker's per-engine counters into the aggregate.
@@ -1200,21 +1206,32 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
 ParallelResult BspAllMatch::RunAsync(std::span<const VertexId> tuple_vertices,
                                      const InvertedIndex* index,
                                      const RunOptions& options) {
-  return RunAsyncOnCandidates(GenerateCandidates(ctx_, tuple_vertices, index),
-                              options);
+  return RunAsyncOnCandidates(
+      GenerateCandidates(ScanContext(), tuple_vertices, index), options);
 }
 
 ParallelResult BspAllMatch::Run(std::span<const VertexId> tuple_vertices,
                                 const InvertedIndex* index,
                                 const RunOptions& options) {
-  return RunOnCandidates(GenerateCandidates(ctx_, tuple_vertices, index),
-                         options);
+  return RunOnCandidates(
+      GenerateCandidates(ScanContext(), tuple_vertices, index), options);
 }
 
 ParallelResult BspAllMatch::RunVPair(VertexId u_t, const InvertedIndex* index,
                                      const RunOptions& options) {
   const VertexId roots[] = {u_t};
-  return RunOnCandidates(GenerateCandidates(ctx_, roots, index), options);
+  return RunOnCandidates(GenerateCandidates(ScanContext(), roots, index),
+                         options);
+}
+
+MatchContext BspAllMatch::ScanContext() const {
+  // Shallow copy (borrowed pointers + the shared vertex-pool handle) with
+  // the run's candidate-generation override applied, if any.
+  MatchContext scan = ctx_;
+  if (config_.candidate_gen.has_value()) {
+    scan.candidate_gen = *config_.candidate_gen;
+  }
+  return scan;
 }
 
 }  // namespace her

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -63,6 +64,10 @@ struct ParallelConfig {
   /// Durable on-disk checkpoint/resume policy (BSP Run*/RunOnCandidates
   /// only; the async model has no superstep boundary to checkpoint at).
   CheckpointOptions checkpoint;
+  /// Overrides MatchContext::candidate_gen for the Run/RunVPair/RunAsync
+  /// candidate scan when set (nullopt keeps the context's config). Lets a
+  /// parallel run pick exact vs ANN without mutating the shared context.
+  std::optional<CandidateGenConfig> candidate_gen;
 };
 
 /// Outcome of a parallel run, with the fixpoint-iteration telemetry the
@@ -173,6 +178,10 @@ class BspAllMatch {
   /// Rejects invalid configurations/candidates before any worker state is
   /// built (see ParallelResult::status).
   Status Validate(std::span<const MatchPair> candidates) const;
+
+  /// The context the candidate scan runs under: ctx_ with the config's
+  /// candidate_gen override applied (a shallow, borrowed-pointer copy).
+  MatchContext ScanContext() const;
 
   const MatchContext& ctx_;
   ParallelConfig config_;

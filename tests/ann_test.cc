@@ -1,0 +1,319 @@
+// The IVF candidate index must earn its speedup without touching
+// semantics: probes return scores bit-identical to the exact blocked
+// kernel, builds are deterministic for every seed and thread count, the
+// measured-recall fallback keeps GenerateCandidates sound, and snapshots
+// reject corruption/staleness instead of loading garbage.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "ann/ivf_index.h"
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "core/drivers.h"
+#include "core/match_engine.h"
+#include "ml/text_embedder.h"
+
+namespace her {
+namespace {
+
+/// Attribute-graph pair as in parallel_driver_test, but scored by the
+/// trained-path EmbeddingVertexScorer (the matrix the IVF index is over).
+struct AnnHarness {
+  AnnHarness(uint64_t seed, int roots, SimulationParams params) {
+    Rng rng(seed);
+    const char* values[] = {"red", "white", "blue", "foam", "wool", "500"};
+    const char* edges[] = {"color", "material", "qty", "kind"};
+    GraphBuilder b1;
+    GraphBuilder b2;
+    for (int r = 0; r < roots; ++r) {
+      const VertexId u = b1.AddVertex("item");
+      const VertexId v = b2.AddVertex("item");
+      const int attrs = 2 + static_cast<int>(rng.Below(3));
+      for (int a = 0; a < attrs; ++a) {
+        const char* e = edges[rng.Below(4)];
+        const char* val1 = values[rng.Below(6)];
+        const char* val2 = rng.Chance(0.7) ? val1 : values[rng.Below(6)];
+        const VertexId c1 = b1.AddVertex(val1);
+        b1.AddEdge(u, c1, e);
+        const VertexId c2 = b2.AddVertex(val2);
+        b2.AddEdge(v, c2, e);
+      }
+    }
+    g1 = std::move(b1).Build();
+    g2 = std::move(b2).Build();
+    hv = std::make_unique<EmbeddingVertexScorer>(g1, g2, embedder);
+    vocab = std::make_unique<JointVocab>(g1, g2);
+    mrho = std::make_unique<TokenOverlapPathScorer>(vocab.get());
+    hr = std::make_unique<PraRanker>(g1, g2);
+    ctx.gd = &g1;
+    ctx.g = &g2;
+    ctx.hv = hv.get();
+    ctx.mrho = mrho.get();
+    ctx.hr = hr.get();
+    ctx.vocab = vocab.get();
+    ctx.params = params;
+  }
+
+  std::vector<VertexId> Roots() const {
+    std::vector<VertexId> roots;
+    for (VertexId u = 0; u < g1.num_vertices(); ++u) {
+      if (g1.label(u) == "item") roots.push_back(u);
+    }
+    return roots;
+  }
+
+  Graph g1, g2;
+  HashedTextEmbedder embedder;
+  std::unique_ptr<EmbeddingVertexScorer> hv;
+  std::unique_ptr<JointVocab> vocab;
+  std::unique_ptr<TokenOverlapPathScorer> mrho;
+  std::unique_ptr<PraRanker> hr;
+  MatchContext ctx;
+};
+
+TEST(IvfIndexTest, BuildIsDeterministicAcrossThreadCounts) {
+  AnnHarness h(42, /*roots=*/20, {.sigma = 0.8, .delta = 0.5, .k = 4});
+  IvfBuildConfig cfg;
+  cfg.seed = 7;
+  cfg.build_threads = 1;
+  const IvfIndex one = IvfIndex::Build(*h.hv, cfg);
+  for (const size_t threads : {2u, 4u, 8u}) {
+    cfg.build_threads = threads;
+    EXPECT_TRUE(IvfIndex::Build(*h.hv, cfg) == one) << "threads=" << threads;
+  }
+  // A different seed may partition differently, but stays a partition.
+  cfg.seed = 8;
+  const IvfIndex other = IvfIndex::Build(*h.hv, cfg);
+  EXPECT_EQ(other.num_points(), one.num_points());
+}
+
+TEST(IvfIndexTest, ListsPartitionTheVertexSet) {
+  AnnHarness h(43, /*roots=*/15, {.sigma = 0.8, .delta = 0.5, .k = 4});
+  const IvfIndex index = IvfIndex::Build(*h.hv);
+  std::set<VertexId> seen;
+  for (size_t c = 0; c < index.num_lists(); ++c) {
+    for (const VertexId v : index.ListIds(c)) {
+      EXPECT_TRUE(seen.insert(v).second) << "vertex " << v << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), h.g2.num_vertices());
+}
+
+TEST(IvfIndexTest, FullProbeScoresBitIdenticalToExactKernel) {
+  AnnHarness h(44, /*roots=*/15, {.sigma = 0.8, .delta = 0.5, .k = 4});
+  const IvfIndex index = IvfIndex::Build(*h.hv);
+  const auto all = AllVertices(h.g2);
+  for (const VertexId u : h.Roots()) {
+    std::vector<double> exact(all.size());
+    h.hv->ScoreBatch(u, all, exact);
+    std::vector<AnnHit> hits;
+    index.Probe(u, index.num_lists(), &hits);
+    ASSERT_EQ(hits.size(), all.size());
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].v, all[i]);  // id-sorted union of all lists
+      // Bit-identical, not approximately equal: the probe runs the same
+      // blocked kernel over the same row bytes.
+      EXPECT_EQ(hits[i].score, exact[hits[i].v]) << "u=" << u << " v=" << i;
+    }
+  }
+}
+
+TEST(IvfIndexTest, PartialProbeIsSubsetWithExactScores) {
+  AnnHarness h(45, /*roots=*/20, {.sigma = 0.8, .delta = 0.5, .k = 4});
+  const IvfIndex index = IvfIndex::Build(*h.hv);
+  const auto all = AllVertices(h.g2);
+  for (const uint64_t nprobe : {1u, 2u, 4u}) {
+    for (const VertexId u : h.Roots()) {
+      std::vector<double> exact(all.size());
+      h.hv->ScoreBatch(u, all, exact);
+      std::vector<AnnHit> hits;
+      const size_t scanned = index.Probe(u, nprobe, &hits);
+      EXPECT_EQ(scanned, std::min<size_t>(nprobe, index.num_lists()));
+      for (const AnnHit& hit : hits) {
+        EXPECT_EQ(hit.score, exact[hit.v]);
+      }
+    }
+  }
+}
+
+// seeds x nprobe matrix: GenerateCandidates in ANN mode must deliver the
+// configured recall floor — via good probes or via the exact fallback —
+// and its ANN survivors must always be a subset of the exact ones.
+class AnnRecallTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnnRecallTest, CandidateRecallMeetsFloorForEveryNprobe) {
+  AnnHarness h(GetParam(), /*roots=*/24,
+               {.sigma = 0.95, .delta = 0.5, .k = 4});
+  const auto roots = h.Roots();
+  const auto exact = GenerateCandidates(h.ctx, roots, nullptr, 4);
+  ASSERT_FALSE(exact.empty());
+  const std::set<MatchPair> exact_set(exact.begin(), exact.end());
+
+  for (const size_t nprobe : {1u, 2u, 4u, 8u, 64u}) {
+    const IvfIndex index = IvfIndex::Build(*h.hv, {.seed = GetParam()});
+    MatchContext ctx = h.ctx;
+    ctx.ann = &index;
+    ctx.candidate_gen.mode = CandidateMode::kAnn;
+    ctx.candidate_gen.nprobe = nprobe;
+    ctx.candidate_gen.min_recall = 0.99;
+    ctx.candidate_gen.recall_sample = 8;
+    const auto ann = GenerateCandidates(ctx, roots, nullptr, 4);
+    // Soundness: ANN only prunes, never invents or rescores.
+    for (const MatchPair& p : ann) {
+      EXPECT_TRUE(exact_set.count(p))
+          << "nprobe=" << nprobe << " invented (" << p.first << ", "
+          << p.second << ")";
+    }
+    const double recall = static_cast<double>(ann.size()) /
+                          static_cast<double>(exact.size());
+    if (index.Fallbacks() == 0) {
+      // The sampled estimate accepted the index; the floor is enforced on
+      // the sample, so allow slack on the unsampled remainder.
+      EXPECT_GE(recall, 0.5) << "nprobe=" << nprobe;
+      EXPECT_GE(index.MeasuredRecall(), 0.99) << "nprobe=" << nprobe;
+    } else {
+      // Fallback path: the call must have produced the exact result.
+      EXPECT_EQ(ann, exact) << "nprobe=" << nprobe;
+    }
+  }
+}
+
+TEST_P(AnnRecallTest, FullSampleValidationReproducesExactByteIdentically) {
+  // recall_sample >= |T| validates every tuple vertex against the exact
+  // scan, so ANN mode must reproduce the exact candidate list exactly —
+  // for every thread count.
+  AnnHarness h(GetParam() + 500, /*roots=*/16,
+               {.sigma = 0.95, .delta = 0.5, .k = 4});
+  const auto roots = h.Roots();
+  const IvfIndex index = IvfIndex::Build(*h.hv, {.seed = GetParam()});
+  MatchContext ctx = h.ctx;
+  ctx.ann = &index;
+  ctx.candidate_gen.mode = CandidateMode::kAnn;
+  ctx.candidate_gen.nprobe = 2;
+  ctx.candidate_gen.recall_sample = roots.size();
+  const auto exact = GenerateCandidates(h.ctx, roots, nullptr, 1);
+  for (const size_t threads : {1u, 4u, 8u}) {
+    EXPECT_EQ(GenerateCandidates(ctx, roots, nullptr, threads), exact)
+        << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnRecallTest,
+                         ::testing::Values(31, 32, 33, 34));
+
+TEST(AnnDriverTest, ExactFallbackModeBitIdenticalAcrossThreads) {
+  // The acceptance bar: with ANN configured but forced down the exact
+  // path (mode=kExact, index present), candidate lists are byte-identical
+  // to the baseline for 1, 4 and 8 threads.
+  AnnHarness h(77, /*roots=*/24, {.sigma = 0.95, .delta = 0.5, .k = 4});
+  const auto roots = h.Roots();
+  const IvfIndex index = IvfIndex::Build(*h.hv);
+  const auto baseline = GenerateCandidates(h.ctx, roots, nullptr, 1);
+  MatchContext ctx = h.ctx;
+  ctx.ann = &index;
+  ctx.candidate_gen.mode = CandidateMode::kExact;
+  for (const size_t threads : {1u, 4u, 8u}) {
+    EXPECT_EQ(GenerateCandidates(ctx, roots, nullptr, threads), baseline)
+        << "threads=" << threads;
+  }
+  // kAnn with no index bound also degrades to the exact scan.
+  ctx.ann = nullptr;
+  ctx.candidate_gen.mode = CandidateMode::kAnn;
+  for (const size_t threads : {1u, 4u, 8u}) {
+    EXPECT_EQ(GenerateCandidates(ctx, roots, nullptr, threads), baseline)
+        << "threads=" << threads;
+  }
+}
+
+TEST(AnnDriverTest, AnnModeEndToEndMatchesExactPi) {
+  // Pi computed over ANN candidates with a full-validation sample equals
+  // the exact-mode Pi (the engine only sees the candidate pool).
+  AnnHarness h(88, /*roots=*/12, {.sigma = 0.95, .delta = 0.5, .k = 4});
+  const auto roots = h.Roots();
+  const IvfIndex index = IvfIndex::Build(*h.hv);
+  MatchEngine exact_engine(h.ctx);
+  const auto exact_pi = AllParaMatch(exact_engine, roots);
+
+  MatchContext ctx = h.ctx;
+  ctx.ann = &index;
+  ctx.candidate_gen.mode = CandidateMode::kAnn;
+  ctx.candidate_gen.recall_sample = roots.size();
+  MatchEngine ann_engine(ctx);
+  EXPECT_EQ(AllParaMatch(ann_engine, roots), exact_pi);
+  const MatchEngine::Stats st = ann_engine.stats();
+  EXPECT_GT(st.ann_probes, 0u);
+  EXPECT_GT(st.ann_lists_scanned, 0u);
+}
+
+TEST(IvfIndexTest, SnapshotRoundTripReproducesIndexAndProbes) {
+  AnnHarness h(99, /*roots=*/18, {.sigma = 0.8, .delta = 0.5, .k = 4});
+  const IvfIndex index = IvfIndex::Build(*h.hv);
+  ByteWriter w;
+  index.SaveState(&w);
+  IvfIndex loaded;
+  ByteReader r(w.data());
+  ASSERT_TRUE(loaded.LoadState(&r, *h.hv).ok());
+  EXPECT_TRUE(loaded == index);
+  for (const VertexId u : h.Roots()) {
+    std::vector<AnnHit> a, b;
+    index.Probe(u, 4, &a);
+    loaded.Probe(u, 4, &b);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].v, b[i].v);
+      EXPECT_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST(IvfIndexTest, CorruptSnapshotIsRejectedNotLoaded) {
+  AnnHarness h(100, /*roots=*/18, {.sigma = 0.8, .delta = 0.5, .k = 4});
+  const IvfIndex index = IvfIndex::Build(*h.hv);
+  ByteWriter w;
+  index.SaveState(&w);
+  // Truncation and trailing garbage must both surface as errors.
+  {
+    IvfIndex loaded;
+    ByteReader r(std::string_view(w.data()).substr(0, w.data().size() / 2));
+    EXPECT_FALSE(loaded.LoadState(&r, *h.hv).ok());
+  }
+  {
+    IvfIndex loaded;
+    const std::string padded = w.data() + std::string("junk");
+    ByteReader r(padded);
+    EXPECT_FALSE(loaded.LoadState(&r, *h.hv).ok());
+  }
+}
+
+TEST(IvfIndexTest, StaleSnapshotAgainstDifferentEmbeddingsIsRejected) {
+  AnnHarness h(101, /*roots=*/18, {.sigma = 0.8, .delta = 0.5, .k = 4});
+  const IvfIndex index = IvfIndex::Build(*h.hv);
+  ByteWriter w;
+  index.SaveState(&w);
+  // A scorer over different graphs (different matrix) must be refused
+  // with FailedPrecondition — the digest binds index to embedding bytes.
+  AnnHarness other(102, /*roots=*/18, {.sigma = 0.8, .delta = 0.5, .k = 4});
+  IvfIndex loaded;
+  ByteReader r(w.data());
+  const Status st = loaded.LoadState(&r, *other.hv);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IvfIndexTest, EmptyMatrixBuildsEmptyIndex) {
+  Graph g1 = GraphBuilder().Build();
+  Graph g2 = GraphBuilder().Build();
+  HashedTextEmbedder embedder;
+  EmbeddingVertexScorer hv(g1, g2, embedder);
+  const IvfIndex index = IvfIndex::Build(hv);
+  EXPECT_TRUE(index.empty());
+  std::vector<AnnHit> hits;
+  EXPECT_EQ(index.Probe(0, 4, &hits), 0u);
+  EXPECT_TRUE(hits.empty());
+}
+
+}  // namespace
+}  // namespace her

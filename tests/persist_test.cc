@@ -576,5 +576,89 @@ TEST(WarmStartTest, CorruptSnapshotRebuildsCold) {
   EXPECT_EQ(healed.APair(), reference.APair());
 }
 
+// --- ANN index snapshot section -----------------------------------------
+
+HerConfig AnnModeConfig() {
+  HerConfig config;
+  config.candidate_gen.mode = CandidateMode::kAnn;
+  config.candidate_gen.nprobe = 4;
+  return config;
+}
+
+TEST(WarmStartTest, AnnIndexSectionRoundTripsThroughSnapshot) {
+  DatasetSpec spec = UkgovSpec(/*seed=*/7);
+  spec.num_entities = 30;
+  const GeneratedDataset data = Generate(spec);
+  const AnnotationSplit split = SplitAnnotations(data.annotations);
+  const std::string snap = TempPath("warm_ann.snap");
+  std::filesystem::remove(snap);
+
+  HerSystem cold(data.canonical, data.g, AnnModeConfig());
+  cold.TrainOrLoad(snap, data.path_pairs, split.validation);
+  ASSERT_TRUE(cold.trained());
+  ASSERT_NE(cold.ann_index(), nullptr);
+  const auto cold_pi = cold.APair();
+
+  HerSystem warm(data.canonical, data.g, AnnModeConfig());
+  warm.TrainOrLoad(snap, data.path_pairs, split.validation);
+  // Fully warm: no ptable build, and the restored index is structurally
+  // identical to the one the cold run built and saved.
+  EXPECT_EQ(warm.engine().stats().ptable_build_seconds, 0.0);
+  ASSERT_NE(warm.ann_index(), nullptr);
+  EXPECT_TRUE(*warm.ann_index() == *cold.ann_index());
+  EXPECT_EQ(warm.APair(), cold_pi);
+}
+
+TEST(WarmStartTest, MissingAnnSectionRebuildsJustTheIndex) {
+  DatasetSpec spec = UkgovSpec(/*seed=*/8);
+  spec.num_entities = 30;
+  const GeneratedDataset data = Generate(spec);
+  const AnnotationSplit split = SplitAnnotations(data.annotations);
+  const std::string snap = TempPath("warm_ann_missing.snap");
+  std::filesystem::remove(snap);
+
+  // The snapshot predates ANN mode: written by an exact-mode system, so
+  // it has no "ann_index" section.
+  HerSystem exact(data.canonical, data.g, HerConfig{});
+  exact.TrainOrLoad(snap, data.path_pairs, split.validation);
+  ASSERT_TRUE(std::filesystem::exists(snap));
+
+  // ANN-mode warm start: models/ptable/params restore warm (NotFound on
+  // the section only rebuilds the index).
+  HerSystem ann(data.canonical, data.g, AnnModeConfig());
+  ann.TrainOrLoad(snap, data.path_pairs, split.validation);
+  EXPECT_EQ(ann.engine().stats().ptable_build_seconds, 0.0);
+  ASSERT_NE(ann.ann_index(), nullptr);
+  EXPECT_GT(ann.ann_index()->num_lists(), 0u);
+
+  // The rebuild self-primed the snapshot: a third system restores the
+  // very same index without building.
+  HerSystem healed(data.canonical, data.g, AnnModeConfig());
+  healed.TrainOrLoad(snap, data.path_pairs, split.validation);
+  ASSERT_NE(healed.ann_index(), nullptr);
+  EXPECT_TRUE(*healed.ann_index() == *ann.ann_index());
+  EXPECT_EQ(healed.APair(), ann.APair());
+}
+
+TEST(WarmStartTest, CorruptSnapshotColdRebuildsAnnCleanly) {
+  DatasetSpec spec = UkgovSpec(/*seed=*/9);
+  spec.num_entities = 30;
+  const GeneratedDataset data = Generate(spec);
+  const AnnotationSplit split = SplitAnnotations(data.annotations);
+  const std::string snap = TempPath("warm_ann_corrupt.snap");
+  ASSERT_TRUE(AtomicWriteFile(snap, "garbage, not a snapshot").ok());
+
+  HerSystem sys(data.canonical, data.g, AnnModeConfig());
+  sys.TrainOrLoad(snap, data.path_pairs, split.validation);
+  ASSERT_TRUE(sys.trained());
+  ASSERT_NE(sys.ann_index(), nullptr);
+
+  HerSystem reference(data.canonical, data.g, AnnModeConfig());
+  reference.Train(data.path_pairs, split.validation);
+  ASSERT_NE(reference.ann_index(), nullptr);
+  EXPECT_TRUE(*sys.ann_index() == *reference.ann_index());
+  EXPECT_EQ(sys.APair(), reference.APair());
+}
+
 }  // namespace
 }  // namespace her

@@ -21,6 +21,13 @@
 //         --pi-out=FILE          write Pi as "u v" lines (atomic install)
 //         --kill-at-superstep=N  CI crash hook: SIGKILL the process after
 //                                N supersteps (checkpoint already on disk)
+//       Candidate generation:
+//         --candidate-mode=MODE  exact (default) scans every |T| x |V|
+//                                pair; ann probes the IVF index over the
+//                                h_v embeddings (sampled recall below the
+//                                floor falls back to exact per call)
+//         --nprobe=N             inverted lists scanned per ANN probe
+//                                (default 8)
 //
 //   her_cli spair <dir> <relation> <tuple-key> <vertex-id>
 //       Single-pair check with explanation.
@@ -52,6 +59,7 @@ int Usage() {
                "  her_cli evaluate <dir> [workers] [deadline-ms]\n"
                "      [--checkpoint-dir=DIR] [--checkpoint-every-supersteps=N]\n"
                "      [--resume] [--pi-out=FILE] [--kill-at-superstep=N]\n"
+               "      [--candidate-mode=exact|ann] [--nprobe=N]\n"
                "  her_cli spair <dir> <relation> <tuple-key> <vertex-id>\n"
                "  her_cli vpair <dir> <relation> <tuple-key>\n");
   return 2;
@@ -98,13 +106,14 @@ struct LoadedSystem {
 };
 
 Result<LoadedSystem> LoadAndTrain(const std::string& dir,
-                                  const std::string& snapshot_path = "") {
+                                  const std::string& snapshot_path = "",
+                                  const HerConfig& config = {}) {
   LoadedSystem out;
   HER_ASSIGN_OR_RETURN(GeneratedDataset loaded, LoadDataset(dir));
   out.data = std::make_unique<GeneratedDataset>(std::move(loaded));
   out.split = SplitAnnotations(out.data->annotations);
   out.system = std::make_unique<HerSystem>(out.data->canonical, out.data->g,
-                                           HerConfig{});
+                                           config);
   if (snapshot_path.empty()) {
     out.system->Train(out.data->path_pairs, out.split.validation);
   } else {
@@ -149,6 +158,7 @@ int CmdEvaluate(int argc, char** argv) {
   std::vector<std::string> pos;
   CheckpointOptions ckpt;
   std::string pi_out;
+  HerConfig config;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--checkpoint-dir=", 0) == 0) {
@@ -161,6 +171,19 @@ int CmdEvaluate(int argc, char** argv) {
       pi_out = a.substr(9);
     } else if (a.rfind("--kill-at-superstep=", 0) == 0) {
       ckpt.halt_after_supersteps = std::strtoull(a.c_str() + 20, nullptr, 10);
+    } else if (a.rfind("--candidate-mode=", 0) == 0) {
+      const std::string mode = a.substr(17);
+      if (mode == "exact") {
+        config.candidate_gen.mode = CandidateMode::kExact;
+      } else if (mode == "ann") {
+        config.candidate_gen.mode = CandidateMode::kAnn;
+      } else {
+        std::fprintf(stderr, "unknown candidate mode '%s'\n", mode.c_str());
+        return Usage();
+      }
+    } else if (a.rfind("--nprobe=", 0) == 0) {
+      config.candidate_gen.nprobe =
+          std::max<size_t>(1, std::strtoull(a.c_str() + 9, nullptr, 10));
     } else if (a.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
       return Usage();
@@ -189,7 +212,7 @@ int CmdEvaluate(int argc, char** argv) {
     }
     model_snapshot = ckpt.dir + "/model.snap";
   }
-  auto loaded = LoadAndTrain(pos[0], model_snapshot);
+  auto loaded = LoadAndTrain(pos[0], model_snapshot, config);
   if (!loaded.ok()) return Fail(loaded.status());
   const Confusion c =
       EvaluatePredictor(loaded->split.test, [&](VertexId u, VertexId v) {
@@ -214,6 +237,13 @@ int CmdEvaluate(int argc, char** argv) {
   std::printf("APair (%u workers): %zu matches, %zu supersteps, "
               "simulated %.3fs\n",
               workers, r.matches.size(), r.supersteps, r.simulated_seconds);
+  if (config.candidate_gen.mode == CandidateMode::kAnn) {
+    std::printf("ann: build %.3fs, %zu probes over %zu lists, recall %.4f, "
+                "%zu exact fallback(s)\n",
+                r.stats.ann_build_seconds, r.stats.ann_probes,
+                r.stats.ann_lists_scanned, r.stats.ann_recall,
+                r.stats.ann_fallbacks);
+  }
   if (r.resumed_from_checkpoint) {
     std::printf("resumed from checkpoint (%zu durable checkpoint(s) "
                 "written this run)\n", r.stats.disk_checkpoints);

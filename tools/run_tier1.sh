@@ -3,7 +3,9 @@
 # build of the parallel-driver determinism tests — the shared read-only
 # MatchContext fan-out must be data-race free (tsan) and leak/UB free
 # (asan/ubsan) — plus the batched-kernel bit-identity tests (StepProbBatch,
-# TopKBatch, PropertyTable build determinism) under the same sanitizer.
+# TopKBatch, PropertyTable build determinism) and the ANN candidate-
+# generation suite (IVF probe parity, sampled-recall fallback) under the
+# same sanitizer.
 # Usage: tools/run_tier1.sh [sanitizer] [build-dir] [san-build-dir]
 #   sanitizer: tsan (default) | asan | ubsan | none
 set -euo pipefail
@@ -33,8 +35,9 @@ if [ -n "$HER_SANITIZE" ]; then
   cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DHER_SANITIZE="$HER_SANITIZE"
   cmake --build "$SAN_DIR" -j --target parallel_driver_test ml_test \
-    sim_test property_test persist_test
+    sim_test property_test persist_test ann_test
   "$SAN_DIR/tests/parallel_driver_test"
+  "$SAN_DIR/tests/ann_test"
   "$SAN_DIR/tests/ml_test" \
     --gtest_filter='LstmTest.StepProbBatch*:MlpTest.PredictBatch*'
   "$SAN_DIR/tests/sim_test" --gtest_filter='LstmPraRankerTest.*'
