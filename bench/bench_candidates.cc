@@ -131,6 +131,24 @@ int main(int argc, char** argv) {
   }
 
   const double speedup8 = baseline_s / batched_s.back();
+
+  // h_v memo telemetry accumulated across the batched runs: the sharded
+  // flat-table probe counters and the fraction of batched probes answered
+  // from the memo.
+  const size_t memo_hits = caching != nullptr ? caching->CacheHits() : 0;
+  const size_t memo_batches =
+      caching != nullptr ? caching->ProbeBatches() : 0;
+  const size_t memo_probe_len = caching != nullptr ? caching->ProbeLen() : 0;
+  const double memo_hit_rate =
+      memo_probe_len == 0
+          ? 0.0
+          : static_cast<double>(memo_hits) /
+                static_cast<double>(memo_probe_len);
+  std::printf("h_v memo: %zu probe batches, %zu probes, hit rate %.3f, "
+              "load factor %.2f\n",
+              memo_batches, memo_probe_len, memo_hit_rate,
+              caching != nullptr ? caching->MemoLoadFactor() : 0.0);
+
   std::ofstream out(out_path);
   out << "{\n"
       << "  \"workload\": \"bench_fig6_scalability synthetic "
@@ -148,6 +166,16 @@ int main(int argc, char** argv) {
         << (i + 1 < thread_counts.size() ? ",\n" : "\n");
   }
   out << "  },\n"
+      << "  \"hv_memo\": {\n"
+      << "    \"probe_batches\": " << memo_batches << ",\n"
+      << "    \"probe_len\": " << memo_probe_len << ",\n"
+      << "    \"hits\": " << memo_hits << ",\n"
+      << "    \"hit_rate\": " << memo_hit_rate << ",\n"
+      << "    \"evictions\": "
+      << (caching != nullptr ? caching->CacheEvictions() : 0) << ",\n"
+      << "    \"load_factor\": "
+      << (caching != nullptr ? caching->MemoLoadFactor() : 0.0) << "\n"
+      << "  },\n"
       << "  \"speedup_batched_1_thread\": " << baseline_s / batched_s[0]
       << ",\n"
       << "  \"speedup_batched_8_threads\": " << speedup8 << "\n"

@@ -8,10 +8,13 @@
 #include <algorithm>
 #include <filesystem>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ann/ivf_index.h"
 #include "bench/bench_util.h"
+#include "common/flat_table.h"
+#include "common/rng.h"
 
 namespace {
 
@@ -62,6 +65,104 @@ void BM_VertexScoreBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_VertexScoreBatch)->Arg(64)->Arg(512);
 
+/// Shared memo-probe workload: `entries` resident PairKeys plus a probe
+/// stream drawn from twice that key space (~50% hit rate, the regime the
+/// h_v memo sees during candidate generation).
+struct MemoWorkload {
+  std::vector<uint64_t> resident;
+  std::vector<uint64_t> probes;
+};
+
+MemoWorkload MakeMemoWorkload(size_t entries, size_t probes) {
+  MemoWorkload w;
+  uint64_t state = 0x9E3779B97F4A7C15ULL;
+  w.resident.reserve(entries);
+  for (size_t i = 0; i < entries; ++i) {
+    w.resident.push_back(PairKey(static_cast<uint32_t>(i % 64),
+                                 static_cast<uint32_t>(i)));
+  }
+  w.probes.reserve(probes);
+  for (size_t i = 0; i < probes; ++i) {
+    const uint64_t r = SplitMix64(state) % (entries * 2);
+    w.probes.push_back(
+        PairKey(static_cast<uint32_t>(r % 64), static_cast<uint32_t>(r)));
+  }
+  return w;
+}
+
+void BM_MemoProbeUnorderedMap(benchmark::State& state) {
+  // The pre-flat-table memo: std::unordered_map probed one key at a time
+  // (node-based buckets, one dependent cache miss per probe).
+  const MemoWorkload w =
+      MakeMemoWorkload(static_cast<size_t>(state.range(0)), 4096);
+  std::unordered_map<uint64_t, double> memo;
+  memo.reserve(w.resident.size());
+  for (const uint64_t k : w.resident) {
+    memo.emplace(k, static_cast<double>(k & 0xffff));
+  }
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (const uint64_t k : w.probes) {
+      auto it = memo.find(k);
+      if (it != memo.end()) {
+        benchmark::DoNotOptimize(it->second);
+        ++hits;
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.probes.size()));
+}
+BENCHMARK(BM_MemoProbeUnorderedMap)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_MemoProbeFlatScalar(benchmark::State& state) {
+  // Open-addressing flat table, still one Find per key: tag-byte scan
+  // inside one cache line, no pointer chase.
+  const MemoWorkload w =
+      MakeMemoWorkload(static_cast<size_t>(state.range(0)), 4096);
+  FlatTable<double> memo(w.resident.size());
+  for (const uint64_t k : w.resident) {
+    memo.TryEmplace(k, static_cast<double>(k & 0xffff));
+  }
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (const uint64_t k : w.probes) {
+      if (const double* v = memo.Find(k)) {
+        benchmark::DoNotOptimize(*v);
+        ++hits;
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.probes.size()));
+  state.counters["load_factor"] = memo.LoadFactor();
+}
+BENCHMARK(BM_MemoProbeFlatScalar)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_MemoProbeFlatBatched(benchmark::State& state) {
+  // The prefetch-pipelined FindBatch: bucket lines for key i+8 are
+  // in flight while key i is probed, hiding the DRAM latency the scalar
+  // variants eat per probe.
+  const MemoWorkload w =
+      MakeMemoWorkload(static_cast<size_t>(state.range(0)), 4096);
+  FlatTable<double> memo(w.resident.size());
+  for (const uint64_t k : w.resident) {
+    memo.TryEmplace(k, static_cast<double>(k & 0xffff));
+  }
+  std::vector<double> out(w.probes.size());
+  std::vector<uint8_t> found(w.probes.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        memo.FindBatch(w.probes, out.data(), found.data()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.probes.size()));
+  state.counters["load_factor"] = memo.LoadFactor();
+}
+BENCHMARK(BM_MemoProbeFlatBatched)->Arg(1 << 12)->Arg(1 << 16);
+
 void BM_GenerateCandidates(benchmark::State& state) {
   // Fig. 8 lines 1-4 over every tuple vertex, exhaustive scan of G,
   // fanned across range(0) threads.
@@ -85,6 +186,12 @@ void BM_GenerateCandidates(benchmark::State& state) {
       static_cast<double>(stats.hrho_list_memo_hits);
   state.counters["hrho_hash_rejects"] =
       static_cast<double>(stats.hrho_hash_rejects);
+  state.counters["memo_probe_batches"] =
+      static_cast<double>(stats.memo_probe_batches);
+  state.counters["memo_probe_len"] =
+      static_cast<double>(stats.memo_probe_len);
+  state.counters["hv_memo_load_factor"] = stats.hv_memo_load_factor;
+  state.counters["hrho_memo_load_factor"] = stats.hrho_memo_load_factor;
   state.counters["cand_gen_s"] = stats.candidate_gen_seconds;
 }
 BENCHMARK(BM_GenerateCandidates)

@@ -342,6 +342,19 @@ std::vector<MatchPair> ParallelAllParaMatch(
       stats->ann_recall = s.ann_recall;
       stats->ann_build_seconds =
           std::max(stats->ann_build_seconds, s.ann_build_seconds);
+      // Memo probe counters snapshot the shared caching scorers (freshest
+      // wins); the engine verdict-table load factor is per-engine but an
+      // occupancy, so the busiest worker is the meaningful aggregate.
+      stats->memo_probe_batches =
+          std::max(stats->memo_probe_batches, s.memo_probe_batches);
+      stats->memo_probe_len =
+          std::max(stats->memo_probe_len, s.memo_probe_len);
+      stats->hv_memo_load_factor =
+          std::max(stats->hv_memo_load_factor, s.hv_memo_load_factor);
+      stats->hrho_memo_load_factor =
+          std::max(stats->hrho_memo_load_factor, s.hrho_memo_load_factor);
+      stats->engine_cache_load_factor = std::max(
+          stats->engine_cache_load_factor, s.engine_cache_load_factor);
       // Fault-tolerance telemetry: unresolved pairs sum across the disjoint
       // worker shares; deadline_expired is a flag (any worker expiring
       // marks the whole run degraded).

@@ -47,6 +47,15 @@ EmbeddedPath OperandOf(const Property& p) {
   return EmbeddedPath{p.joint, p.embedding};
 }
 
+/// Flat-table key of a candidate pair.
+uint64_t KeyOf(const MatchPair& p) { return PairKey(p.first, p.second); }
+
+/// Inverse of KeyOf (flat-table iteration hands back packed keys).
+MatchPair PairOf(uint64_t key) {
+  return MatchPair{static_cast<VertexId>(key >> 32),
+                   static_cast<VertexId>(key & 0xffffffffu)};
+}
+
 }  // namespace
 
 PropertyTable PropertyTable::Build(const Graph& gd, const Graph& g,
@@ -112,13 +121,15 @@ std::span<const Property> MatchEngine::PropertiesOf(int graph, VertexId v) {
     return ctx_.properties->Get(graph, v, ctx_.params.k);
   }
   auto& store = ecache_[graph];
-  auto it = store.find(v);
-  if (it != store.end()) return it->second;
-  // unordered_map is node-based: the reference stays valid across future
-  // insertions, which recursion relies on.
-  return store
-      .emplace(v, RankProperties(ctx_, graph, v, ctx_.params.k))
-      .first->second;
+  if (const std::vector<Property>* row = store.Find(v)) {
+    return {row->data(), row->size()};
+  }
+  // The span points into the row vector's heap buffer, which stays put
+  // when a later insertion rehashes the table (only the vector object
+  // moves) — recursion relies on this, as it did on node stability before.
+  auto [row, inserted] =
+      store.TryEmplace(v, RankProperties(ctx_, graph, v, ctx_.params.k));
+  return {row->data(), row->size()};
 }
 
 double MatchEngine::HRho(const Property& pu, const Property& pv) {
@@ -129,17 +140,23 @@ double MatchEngine::HRho(const Property& pu, const Property& pv) {
 
 const MatchEngine::CacheEntry* MatchEngine::Lookup(VertexId u,
                                                    VertexId v) const {
-  auto it = cache_.find(MatchPair{u, v});
-  return it == cache_.end() ? nullptr : &it->second;
+  return cache_.Find(PairKey(u, v));
 }
 
 const MatchEngine::Stats& MatchEngine::stats() const {
+  // The memo probe counters span both shared caching scorers; recompute
+  // the sums wholesale so repeated stats() calls stay idempotent.
+  size_t probe_batches = 0;
+  size_t probe_len = 0;
   if (ctx_.hv != nullptr) {
     stats_.hv_batch_calls = ctx_.hv->BatchCalls();
     if (const auto* caching =
             dynamic_cast<const CachingVertexScorer*>(ctx_.hv)) {
       stats_.hv_cache_hits = caching->CacheHits();
       stats_.hv_cache_evictions = caching->CacheEvictions();
+      stats_.hv_memo_load_factor = caching->MemoLoadFactor();
+      probe_batches += caching->ProbeBatches();
+      probe_len += caching->ProbeLen();
     }
   }
   if (ctx_.mrho != nullptr) {
@@ -147,8 +164,14 @@ const MatchEngine::Stats& MatchEngine::stats() const {
     if (const auto* caching =
             dynamic_cast<const CachingPathScorer*>(ctx_.mrho)) {
       stats_.hrho_hash_rejects = caching->HashRejects();
+      stats_.hrho_memo_load_factor = caching->MemoLoadFactor();
+      probe_batches += caching->ProbeBatches();
+      probe_len += caching->ProbeLen();
     }
   }
+  stats_.memo_probe_batches = probe_batches;
+  stats_.memo_probe_len = probe_len;
+  stats_.engine_cache_load_factor = cache_.LoadFactor();
   if (ctx_.hr != nullptr) {
     stats_.hr_batch_calls = ctx_.hr->BatchCalls();
     if (const auto* lstm = dynamic_cast<const LstmPraRanker*>(ctx_.hr)) {
@@ -207,7 +230,7 @@ bool MatchEngine::ConsumeBudget(const MatchPair& key) {
   // (Section V, analysis). We enforce the bound so the quadratic worst
   // case holds even under adversarial (inconsistent) score functions.
   const int limit = ctx_.params.k * ctx_.params.k + 4;
-  return ++eval_count_[key] <= limit;
+  return ++*eval_count_.TryEmplace(KeyOf(key), 0).first <= limit;
 }
 
 bool MatchEngine::ParaMatch(VertexId u, VertexId v) {
@@ -250,9 +273,9 @@ std::shared_ptr<const MatchEngine::CandLists> MatchEngine::CandidateListsFor(
     VertexId u, VertexId v, std::span<const Property> pu,
     std::span<const Property> pv) {
   const MatchPair key{u, v};
-  if (auto it = lists_memo_.find(key); it != lists_memo_.end()) {
+  if (const auto* memoized = lists_memo_.Find(KeyOf(key))) {
     ++stats_.hrho_list_memo_hits;
-    return it->second;
+    return *memoized;
   }
 
   auto built = std::make_shared<CandLists>();
@@ -299,11 +322,11 @@ std::shared_ptr<const MatchEngine::CandLists> MatchEngine::CandidateListsFor(
     });
   }
 
-  if (lists_memo_.size() >= kListMemoCap) {
-    lists_memo_.clear();
+  if (lists_memo_.Size() >= kListMemoCap) {
+    lists_memo_.Clear();
     ++stats_.hrho_list_memo_evictions;
   }
-  lists_memo_.emplace(key, built);
+  lists_memo_.TryEmplace(KeyOf(key), built);
   return built;
 }
 
@@ -348,6 +371,10 @@ bool MatchEngine::EvalOnce(VertexId u, VertexId v, bool* stale) {
     if (!lists[i].empty()) {
       contrib[i] = lists[i][0].hrho;
       maxsco += contrib[i];
+      // The matching stage's first verdict probe per property is its list
+      // head; hint those cache lines now so the Lookups below overlap the
+      // remaining MaxSco setup instead of serializing on memory.
+      cache_.PrefetchKey(PairKey(pu[i].descendant, lists[i][0].v2));
     }
   }
 
@@ -433,18 +460,20 @@ void MatchEngine::Store(VertexId u, VertexId v, bool valid,
                         std::vector<MatchPair> witnesses) {
   const MatchPair key{u, v};
   bool was_valid = false;
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    was_valid = it->second.valid;
-    for (const MatchPair& w : it->second.witnesses) {
+  // Single probe: TryEmplace finds a resident entry or installs a fresh
+  // one; the returned slot is only used up to the dependents_ updates
+  // (which never touch cache_), so no later insert can invalidate it.
+  auto [entry, inserted] = cache_.TryEmplace(KeyOf(key));
+  if (!inserted) {
+    was_valid = entry->valid;
+    for (const MatchPair& w : entry->witnesses) {
       auto dit = dependents_.find(w);
       if (dit != dependents_.end()) dit->second.erase(key);
     }
   }
-  CacheEntry& entry = cache_[key];
-  entry.valid = valid;
-  entry.witnesses = std::move(witnesses);
-  for (const MatchPair& w : entry.witnesses) dependents_[w].insert(key);
+  entry->valid = valid;
+  entry->witnesses = std::move(witnesses);
+  for (const MatchPair& w : entry->witnesses) dependents_[w].insert(key);
   if (was_valid && !valid) {
     newly_invalidated_.push_back(key);
     RecheckDependents(key);
@@ -452,13 +481,13 @@ void MatchEngine::Store(VertexId u, VertexId v, bool valid,
 }
 
 void MatchEngine::Unset(const MatchPair& key) {
-  auto it = cache_.find(key);
-  if (it == cache_.end()) return;
-  for (const MatchPair& w : it->second.witnesses) {
+  const CacheEntry* entry = cache_.Find(KeyOf(key));
+  if (entry == nullptr) return;
+  for (const MatchPair& w : entry->witnesses) {
     auto dit = dependents_.find(w);
     if (dit != dependents_.end()) dit->second.erase(key);
   }
-  cache_.erase(it);
+  cache_.Erase(KeyOf(key));
 }
 
 void MatchEngine::RecheckDependents(const MatchPair& key) {
@@ -472,8 +501,8 @@ void MatchEngine::RecheckDependents(const MatchPair& key) {
   std::vector<MatchPair> to_check(dit->second.begin(), dit->second.end());
   std::sort(to_check.begin(), to_check.end());
   for (const MatchPair& parent : to_check) {
-    auto it = cache_.find(parent);
-    if (it == cache_.end() || !it->second.valid) continue;
+    const CacheEntry* entry = cache_.Find(KeyOf(parent));
+    if (entry == nullptr || !entry->valid) continue;
     ++stats_.cleanup_reruns;
     Unset(parent);
     ParaMatch(parent.first, parent.second);
@@ -548,11 +577,12 @@ void MatchEngine::InvalidateForUpdate(std::span<const VertexId> affected_u,
   const std::unordered_set<VertexId> sv(affected_v.begin(), affected_v.end());
   std::deque<MatchPair> queue;
   std::unordered_set<MatchPair, PairHash> doomed;
-  for (const auto& [key, entry] : cache_) {
+  cache_.ForEach([&](uint64_t packed, const CacheEntry&) {
+    const MatchPair key = PairOf(packed);
     if (su.count(key.first) != 0 || sv.count(key.second) != 0) {
       if (doomed.insert(key).second) queue.push_back(key);
     }
-  }
+  });
   while (!queue.empty()) {
     const MatchPair p = queue.front();
     queue.pop_front();
@@ -566,26 +596,27 @@ void MatchEngine::InvalidateForUpdate(std::span<const VertexId> affected_u,
   for (const MatchPair& p : doomed) {
     Unset(p);
     dependents_.erase(p);
-    eval_count_.erase(p);  // fresh re-evaluation budget after the update
+    eval_count_.Erase(KeyOf(p));  // fresh re-evaluation budget after update
   }
-  for (const VertexId v : affected_u) ecache_[0].erase(v);
-  for (const VertexId v : affected_v) ecache_[1].erase(v);
+  for (const VertexId v : affected_u) ecache_[0].Erase(v);
+  for (const VertexId v : affected_v) ecache_[1].Erase(v);
   // Candidate lists are derived from the properties and h_v scores of the
   // pair's vertices; drop the rows the update touches (same granularity as
-  // the ecache rows above).
-  for (auto it = lists_memo_.begin(); it != lists_memo_.end();) {
-    if (su.count(it->first.first) != 0 || sv.count(it->first.second) != 0) {
-      it = lists_memo_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  // the ecache rows above). In-place erasure during ForEach is safe:
+  // tombstoning never moves surviving slots.
+  lists_memo_.ForEach(
+      [&](uint64_t packed, std::shared_ptr<const CandLists>&) {
+        const MatchPair key = PairOf(packed);
+        if (su.count(key.first) != 0 || sv.count(key.second) != 0) {
+          lists_memo_.Erase(packed);
+        }
+      });
 }
 
 void MatchEngine::ClearPairCache() {
-  cache_.clear();
+  cache_.Clear();
   dependents_.clear();
-  eval_count_.clear();
+  eval_count_.Clear();
   newly_invalidated_.clear();
 }
 
@@ -626,9 +657,9 @@ std::vector<MatchPair> MatchEngine::Witness(VertexId u, VertexId v) const {
     const MatchPair cur = queue.front();
     queue.pop_front();
     out.push_back(cur);
-    auto it = cache_.find(cur);
-    if (it == cache_.end()) continue;
-    for (const MatchPair& w : it->second.witnesses) {
+    const CacheEntry* entry = cache_.Find(KeyOf(cur));
+    if (entry == nullptr) continue;
+    for (const MatchPair& w : entry->witnesses) {
       if (seen.insert(w).second) queue.push_back(w);
     }
   }
@@ -653,18 +684,21 @@ std::vector<PairOutcome> MatchEngine::ResolveOutcomes(
   // valid verdicts whose support chain contains a non-proved pair until the
   // greatest fixpoint is reached. Cycles of valid pairs survive (optimistic
   // semantics); anything resting on a missing/abandoned/false pair does not.
-  std::unordered_map<MatchPair, PairOutcome, PairHash> value;
+  // The demotion is monotone (kProved -> kUnresolved only), so the fixpoint
+  // is unique regardless of the table's iteration order.
+  FlatTable<PairOutcome> value;
   std::deque<MatchPair> queue(roots.begin(), roots.end());
   while (!queue.empty()) {
     const MatchPair p = queue.front();
     queue.pop_front();
-    if (value.count(p) != 0) continue;
+    if (value.Find(KeyOf(p)) != nullptr) continue;
     const CacheEntry* e = Lookup(p.first, p.second);
     if (e == nullptr) {
-      value[p] = PairOutcome::kUnresolved;
+      value.TryEmplace(KeyOf(p), PairOutcome::kUnresolved);
       continue;
     }
-    value[p] = e->valid ? PairOutcome::kProved : PairOutcome::kDisproved;
+    value.TryEmplace(KeyOf(p), e->valid ? PairOutcome::kProved
+                                        : PairOutcome::kDisproved);
     if (e->valid) {
       for (const MatchPair& w : e->witnesses) queue.push_back(w);
     }
@@ -672,19 +706,22 @@ std::vector<PairOutcome> MatchEngine::ResolveOutcomes(
   bool changed = true;
   while (changed) {
     changed = false;
-    for (auto& [p, val] : value) {
-      if (val != PairOutcome::kProved) continue;
+    value.ForEach([&](uint64_t packed, PairOutcome& val) {
+      if (val != PairOutcome::kProved) return;
+      const MatchPair p = PairOf(packed);
       const CacheEntry* e = Lookup(p.first, p.second);
       for (const MatchPair& w : e->witnesses) {
-        if (value.at(w) != PairOutcome::kProved) {
+        if (*value.Find(KeyOf(w)) != PairOutcome::kProved) {
           val = PairOutcome::kUnresolved;
           changed = true;
           break;
         }
       }
-    }
+    });
   }
-  for (size_t i = 0; i < roots.size(); ++i) out[i] = value.at(roots[i]);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    out[i] = *value.Find(KeyOf(roots[i]));
+  }
   return out;
 }
 
@@ -695,17 +732,20 @@ PairOutcome MatchEngine::OutcomeOf(VertexId u, VertexId v) const {
 
 MatchEngine::Snapshot MatchEngine::SnapshotLocalState() const {
   Snapshot s;
-  s.verdicts.reserve(cache_.size());
-  for (const auto& [key, entry] : cache_) {
+  s.verdicts.reserve(cache_.Size());
+  cache_.ForEach([&](uint64_t packed, const CacheEntry& entry) {
+    const MatchPair key = PairOf(packed);
     // Border assumptions about remote pairs are the owner's to checkpoint.
-    if (is_local_ && !is_local_(key.first, key.second)) continue;
+    if (is_local_ && !is_local_(key.first, key.second)) return;
     s.verdicts.emplace_back(key, entry);
-  }
+  });
   std::sort(s.verdicts.begin(), s.verdicts.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (int g = 0; g < 2; ++g) {
-    s.ecache[g].reserve(ecache_[g].size());
-    for (const auto& [v, props] : ecache_[g]) s.ecache[g].emplace_back(v, props);
+    s.ecache[g].reserve(ecache_[g].Size());
+    ecache_[g].ForEach([&](uint64_t v, const std::vector<Property>& props) {
+      s.ecache[g].emplace_back(static_cast<VertexId>(v), props);
+    });
     std::sort(s.ecache[g].begin(), s.ecache[g].end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
   }
@@ -802,24 +842,26 @@ void MatchEngine::SaveEngineState(ByteWriter* w) const {
   // byte-stable, and the restored containers must drive the identical
   // evaluation trajectory regardless of the hashmaps' insertion history.
   std::vector<MatchPair> keys;
-  keys.reserve(cache_.size());
-  for (const auto& [key, entry] : cache_) keys.push_back(key);
+  keys.reserve(cache_.Size());
+  cache_.ForEach(
+      [&](uint64_t packed, const CacheEntry&) { keys.push_back(PairOf(packed)); });
   std::sort(keys.begin(), keys.end());
   w->PutVarint(keys.size());
   for (const MatchPair& key : keys) {
-    const CacheEntry& entry = cache_.at(key);
+    const CacheEntry& entry = *cache_.Find(KeyOf(key));
     PutPair(w, key);
     w->PutU8(entry.valid ? 1 : 0);
     w->PutVarint(entry.witnesses.size());
     for (const MatchPair& wit : entry.witnesses) PutPair(w, wit);
   }
   keys.clear();
-  for (const auto& [key, count] : eval_count_) keys.push_back(key);
+  eval_count_.ForEach(
+      [&](uint64_t packed, const int&) { keys.push_back(PairOf(packed)); });
   std::sort(keys.begin(), keys.end());
   w->PutVarint(keys.size());
   for (const MatchPair& key : keys) {
     PutPair(w, key);
-    w->PutVarint(static_cast<uint64_t>(eval_count_.at(key)));
+    w->PutVarint(static_cast<uint64_t>(*eval_count_.Find(KeyOf(key))));
   }
   // The un-drained message queues keep their order (they are drained
   // sorted+deduped anyway, but the checkpoint must not reorder state).
@@ -848,7 +890,7 @@ Status MatchEngine::LoadEngineState(ByteReader* r) {
     for (uint64_t j = 0; j < wn; ++j) {
       HER_RETURN_NOT_OK(GetPair(r, &entry.witnesses[j]));
     }
-    cache.emplace(key, std::move(entry));
+    cache.TryEmplace(KeyOf(key), std::move(entry));
   }
   HER_RETURN_NOT_OK(r->GetCount(&n));
   for (uint64_t i = 0; i < n; ++i) {
@@ -856,7 +898,7 @@ Status MatchEngine::LoadEngineState(ByteReader* r) {
     uint64_t count = 0;
     HER_RETURN_NOT_OK(GetPair(r, &key));
     HER_RETURN_NOT_OK(r->GetVarint(&count));
-    eval_count.emplace(key, static_cast<int>(count));
+    eval_count.TryEmplace(KeyOf(key), static_cast<int>(count));
   }
   HER_RETURN_NOT_OK(r->GetCount(&n));
   newly_invalidated.resize(n);
@@ -874,32 +916,38 @@ Status MatchEngine::LoadEngineState(ByteReader* r) {
   new_assumptions_ = std::move(new_assumptions);
   // The reverse dependency index is exactly derivable from the witnesses.
   dependents_.clear();
-  for (const auto& [key, entry] : cache_) {
+  cache_.ForEach([&](uint64_t packed, const CacheEntry& entry) {
+    const MatchPair key = PairOf(packed);
     for (const MatchPair& wit : entry.witnesses) dependents_[wit].insert(key);
-  }
+  });
   return Status::OK();
 }
 
 void MatchEngine::SaveWarmCaches(ByteWriter* w) const {
   for (int gi = 0; gi < 2; ++gi) {
     std::vector<VertexId> vs;
-    vs.reserve(ecache_[gi].size());
-    for (const auto& [v, props] : ecache_[gi]) vs.push_back(v);
+    vs.reserve(ecache_[gi].Size());
+    ecache_[gi].ForEach([&](uint64_t v, const std::vector<Property>&) {
+      vs.push_back(static_cast<VertexId>(v));
+    });
     std::sort(vs.begin(), vs.end());
     w->PutVarint(vs.size());
     for (const VertexId v : vs) {
       w->PutVarint(v);
-      PutProperties(w, ecache_[gi].at(v));
+      PutProperties(w, *ecache_[gi].Find(v));
     }
   }
   std::vector<MatchPair> keys;
-  keys.reserve(lists_memo_.size());
-  for (const auto& [key, lists] : lists_memo_) keys.push_back(key);
+  keys.reserve(lists_memo_.Size());
+  lists_memo_.ForEach(
+      [&](uint64_t packed, const std::shared_ptr<const CandLists>&) {
+        keys.push_back(PairOf(packed));
+      });
   std::sort(keys.begin(), keys.end());
   w->PutVarint(keys.size());
   for (const MatchPair& key : keys) {
     PutPair(w, key);
-    const CandLists& lists = *lists_memo_.at(key);
+    const CandLists& lists = **lists_memo_.Find(KeyOf(key));
     w->PutVarint(lists.per_property.size());
     for (const auto& list : lists.per_property) {
       w->PutVarint(list.size());
@@ -912,7 +960,7 @@ void MatchEngine::SaveWarmCaches(ByteWriter* w) const {
 }
 
 Status MatchEngine::LoadWarmCaches(ByteReader* r) {
-  std::unordered_map<VertexId, std::vector<Property>> ecache[2];
+  FlatTable<std::vector<Property>> ecache[2];
   decltype(lists_memo_) memo;
   for (int gi = 0; gi < 2; ++gi) {
     uint64_t n = 0;
@@ -922,7 +970,7 @@ Status MatchEngine::LoadWarmCaches(ByteReader* r) {
       HER_RETURN_NOT_OK(r->GetVarint(&v));
       std::vector<Property> props;
       HER_RETURN_NOT_OK(GetProperties(r, &props));
-      ecache[gi].emplace(static_cast<VertexId>(v), std::move(props));
+      ecache[gi].TryEmplace(v, std::move(props));
     }
   }
   uint64_t n = 0;
@@ -945,7 +993,7 @@ Status MatchEngine::LoadWarmCaches(ByteReader* r) {
         HER_RETURN_NOT_OK(r->GetDouble(&lists->per_property[p][c].hrho));
       }
     }
-    memo.emplace(key, std::move(lists));
+    memo.TryEmplace(KeyOf(key), std::move(lists));
   }
   ecache_[0] = std::move(ecache[0]);
   ecache_[1] = std::move(ecache[1]);

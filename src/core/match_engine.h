@@ -12,6 +12,7 @@
 
 #include "common/bytes.h"
 #include "common/check.h"
+#include "common/flat_table.h"
 #include "common/hash.h"
 #include "common/run_options.h"
 #include "core/match_context.h"
@@ -197,6 +198,16 @@ class MatchEngine {
     size_t ann_fallbacks = 0;      // calls demoted to exact on low recall
     double ann_recall = 1.0;       // measured recall over sampled probes
     double ann_build_seconds = 0.0;  // IvfIndex::Build wall time
+    // --- flat-table memo telemetry. The probe counters and the two scorer
+    // load factors are snapshots of the context's shared caching scorers
+    // (same aggregation caveat as the h_v fields: the BSP aggregation
+    // assigns, never sums, them); engine_cache_load_factor is per-engine
+    // and max-merges across workers (occupancies do not add). ---
+    size_t memo_probe_batches = 0;  // batched probes into the hv+mrho memos
+    size_t memo_probe_len = 0;      // total keys across those probes
+    double hv_memo_load_factor = 0.0;    // h_v memo shard occupancy [0,1]
+    double hrho_memo_load_factor = 0.0;  // M_rho memo shard occupancy [0,1]
+    double engine_cache_load_factor = 0.0;  // this engine's verdict table
     // Wall seconds spent restoring state from a durable snapshot (0 on a
     // cold run); with ptable_build_seconds == 0 it is the observable proof
     // that a warm start skipped the build (bench_micro reports both).
@@ -438,18 +449,23 @@ class MatchEngine {
 
   /// Records a pair abandoned without a cached verdict.
   void MarkUnresolved(const MatchPair& key) {
-    if (cache_.find(key) == cache_.end()) unresolved_.insert(key);
+    if (cache_.Find(PairKey(key.first, key.second)) == nullptr) {
+      unresolved_.insert(key);
+    }
   }
 
   const MatchContext& ctx_;
   // mutable: stats() refreshes the h_v scorer snapshot fields on read.
   mutable Stats stats_;
 
-  std::unordered_map<MatchPair, CacheEntry, PairHash> cache_;
+  // Pair verdicts, keyed by PairKey(u, v) in a cache-line-bucketed flat
+  // table: EvalOnce's Lookup loop is the hottest probe site in the engine
+  // and prefetches list-head keys ahead of the matching stage.
+  FlatTable<CacheEntry> cache_;
   std::unordered_map<MatchPair, std::unordered_set<MatchPair, PairHash>,
                      PairHash>
       dependents_;
-  std::unordered_map<MatchPair, int, PairHash> eval_count_;
+  FlatTable<int> eval_count_;
   std::vector<MatchPair> newly_invalidated_;
   std::vector<MatchPair> new_assumptions_;
   // Deadline/cancellation contract of the current run; default never fires.
@@ -459,16 +475,17 @@ class MatchEngine {
   // (u, v) -> is this pair owned by this fragment? empty = everything is.
   std::function<bool(VertexId, VertexId)> is_local_;
 
-  // ecache: [graph] vertex -> properties. Filled lazily via h_r.
-  std::unordered_map<VertexId, std::vector<Property>> ecache_[2];
+  // ecache: [graph] vertex -> properties. Filled lazily via h_r. Rows are
+  // vectors, so the spans PropertiesOf hands out stay valid across table
+  // rehashes (the heap buffer moves with the vector object, not the slot).
+  FlatTable<std::vector<Property>> ecache_[2];
 
   // Candidate-list memo: (u, v) -> the sorted per-property lists of
   // EvalOnce. Like ecache it is graph/parameter-determined, so it survives
   // ClearPairCache; InvalidateForUpdate drops the affected rows. Cleared
   // wholesale when it exceeds kListMemoCap (counted as an eviction).
   static constexpr size_t kListMemoCap = 1 << 15;
-  std::unordered_map<MatchPair, std::shared_ptr<const CandLists>, PairHash>
-      lists_memo_;
+  FlatTable<std::shared_ptr<const CandLists>> lists_memo_;
 };
 
 }  // namespace her

@@ -53,10 +53,13 @@ std::vector<PraPath> MaxPraPaths(const Graph& g, VertexId root,
   // Frontier of (vertex, pra of best path of current length).
   std::vector<std::pair<VertexId, double>> frontier = {
       {root, 1.0}};
-  std::unordered_map<VertexId, double> frontier_pra = {{root, 1.0}};
+  // Hoisted out of the relaxation loop: clear() keeps the bucket array, so
+  // after the first round the map rehashes (and allocates) nothing.
+  std::unordered_map<VertexId, double> next_pra;
+  next_pra.reserve(g.OutDegree(root));
 
   for (size_t len = 1; len <= max_len && !frontier.empty(); ++len) {
-    std::unordered_map<VertexId, double> next_pra;
+    next_pra.clear();
     for (const auto& [v, pra] : frontier) {
       const size_t deg = g.OutDegree(v);
       if (deg == 0) continue;
@@ -73,7 +76,6 @@ std::vector<PraPath> MaxPraPaths(const Graph& g, VertexId root,
     frontier.assign(next_pra.begin(), next_pra.end());
     // Deterministic relaxation order across runs.
     std::sort(frontier.begin(), frontier.end());
-    frontier_pra = std::move(next_pra);
   }
 
   std::vector<PraPath> out;

@@ -1,5 +1,6 @@
 #include "ml/text_embedder.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -15,10 +16,12 @@ void HashedTextEmbedder::FitIdf(
     const std::vector<std::string_view>& corpus) {
   std::unordered_map<std::string, size_t> df;
   for (const auto doc : corpus) {
-    // Count each token once per document.
-    std::unordered_map<std::string, char> seen;
-    for (auto& tok : WordTokens(doc)) seen.emplace(std::move(tok), 1);
-    for (const auto& [tok, _] : seen) ++df[tok];
+    // Count each token once per document: sort-and-dedupe the token list
+    // in place instead of building a throwaway hash set per document.
+    auto toks = WordTokens(doc);
+    std::sort(toks.begin(), toks.end());
+    toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+    for (const auto& tok : toks) ++df[tok];
   }
   const double n = static_cast<double>(corpus.size());
   idf_.clear();

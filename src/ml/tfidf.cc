@@ -1,5 +1,6 @@
 #include "ml/tfidf.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/hash.h"
@@ -21,12 +22,18 @@ double SparseCosine(const SparseVec& a, const SparseVec& b) {
 void TfidfVectorizer::Fit(const std::vector<std::string>& docs) {
   df_.clear();
   num_docs_ = docs.size();
+  // Sort-and-dedupe the per-document hashes instead of building a
+  // throwaway hash set per document; the buffer's capacity is reused
+  // across the whole corpus.
+  std::vector<uint64_t> hashes;
   for (const auto& doc : docs) {
-    std::unordered_map<uint64_t, char> seen;
+    hashes.clear();
     for (const auto& g : CharNgrams(doc, char_ngram_)) {
-      seen.emplace(HashString(g), 1);
+      hashes.push_back(HashString(g));
     }
-    for (const auto& [k, _] : seen) ++df_[k];
+    std::sort(hashes.begin(), hashes.end());
+    hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+    for (const uint64_t k : hashes) ++df_[k];
   }
 }
 

@@ -1,5 +1,6 @@
 #include "ml/word_embedder.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/hash.h"
@@ -15,27 +16,35 @@ void TrainedWordEmbedder::Fit(const std::vector<std::string_view>& labels,
   idf_.clear();
 
   // Tokenize once; build vocabulary, document frequencies and the SGNS
-  // corpus (each label is one "sentence" of word tokens).
+  // corpus (each label is one "sentence" of word tokens). Per-label
+  // dedupe runs over the small token-id sequence (sort + unique on a
+  // reused buffer) instead of a throwaway per-label hash set; document
+  // frequencies are counted per vocab id and keyed back by string below.
   std::vector<std::vector<int>> corpus;
-  std::unordered_map<std::string, size_t> df;
+  std::vector<size_t> df;  // indexed by vocab id
+  std::vector<int> uniq;
   for (const auto label : labels) {
     const auto tokens = WordTokens(label);
     if (tokens.empty()) continue;
     std::vector<int> seq;
-    std::unordered_map<std::string, char> seen;
+    seq.reserve(tokens.size());
     for (const auto& t : tokens) {
       auto it = vocab_.find(t);
       if (it == vocab_.end()) {
         it = vocab_.emplace(t, static_cast<int>(vocab_.size())).first;
       }
       seq.push_back(it->second);
-      seen.emplace(t, 1);
     }
-    for (const auto& [t, _] : seen) ++df[t];
+    df.resize(vocab_.size(), 0);
+    uniq.assign(seq.begin(), seq.end());
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    for (const int id : uniq) ++df[id];
     corpus.push_back(std::move(seq));
   }
   const double n = static_cast<double>(corpus.size());
-  for (const auto& [t, count] : df) {
+  for (const auto& [t, id] : vocab_) {
+    const size_t count = static_cast<size_t>(id) < df.size() ? df[id] : 0;
     idf_[t] = std::log((n + 1.0) / (static_cast<double>(count) + 1.0)) + 1.0;
   }
   default_idf_ = std::log(n + 1.0) + 1.0;

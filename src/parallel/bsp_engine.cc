@@ -88,6 +88,10 @@ void AssignSharedSnapshots(const MatchEngine::Stats& s,
   agg->ann_fallbacks = s.ann_fallbacks;
   agg->ann_recall = s.ann_recall;
   agg->ann_build_seconds = s.ann_build_seconds;
+  agg->memo_probe_batches = s.memo_probe_batches;
+  agg->memo_probe_len = s.memo_probe_len;
+  agg->hv_memo_load_factor = s.hv_memo_load_factor;
+  agg->hrho_memo_load_factor = s.hrho_memo_load_factor;
 }
 
 /// Sums one worker's per-engine counters into the aggregate.
@@ -102,6 +106,10 @@ void SumWorkerStats(const MatchEngine::Stats& s, MatchEngine::Stats* agg) {
   agg->hrho_embed_reuse += s.hrho_embed_reuse;
   agg->hrho_list_memo_hits += s.hrho_list_memo_hits;
   agg->hrho_list_memo_evictions += s.hrho_list_memo_evictions;
+  // Load factors are occupancies, not counts: the busiest worker's table is
+  // the meaningful fleet-level number.
+  agg->engine_cache_load_factor =
+      std::max(agg->engine_cache_load_factor, s.engine_cache_load_factor);
   AssignSharedSnapshots(s, agg);
 }
 
@@ -145,44 +153,50 @@ void CollectResults(const std::vector<std::unique_ptr<Worker>>& workers,
   for (size_t i = 0; i < workers.size(); ++i) {
     snaps.push_back(workers[i]->engine.SnapshotLocalState());
   }
-  std::unordered_map<MatchPair, const MatchEngine::CacheEntry*, PairHash>
-      global;
+  const auto key_of = [](const MatchPair& p) {
+    return PairKey(p.first, p.second);
+  };
+  // TryEmplace keeps the first contribution per pair — the emplace
+  // semantics the unordered_map merge had.
+  FlatTable<const MatchEngine::CacheEntry*> global;
   for (const auto& snap : snaps) {
-    for (const auto& [p, e] : snap.verdicts) global.emplace(p, &e);
+    for (const auto& [p, e] : snap.verdicts) global.TryEmplace(key_of(p), &e);
   }
-  std::unordered_map<MatchPair, PairOutcome, PairHash> value;
+  // Demotion to the greatest fixpoint is monotone (kProved ->
+  // kUnresolved only), so the result is iteration-order independent.
+  FlatTable<PairOutcome> value;
   std::deque<MatchPair> queue(roots.begin(), roots.end());
   while (!queue.empty()) {
     const MatchPair p = queue.front();
     queue.pop_front();
-    if (value.count(p) != 0) continue;
-    const auto it = global.find(p);
-    if (it == global.end()) {
-      value[p] = PairOutcome::kUnresolved;
+    if (value.Find(key_of(p)) != nullptr) continue;
+    const auto* const* entry = global.Find(key_of(p));
+    if (entry == nullptr) {
+      value.TryEmplace(key_of(p), PairOutcome::kUnresolved);
       continue;
     }
-    value[p] = it->second->valid ? PairOutcome::kProved
-                                 : PairOutcome::kDisproved;
-    if (it->second->valid) {
-      for (const MatchPair& w : it->second->witnesses) queue.push_back(w);
+    value.TryEmplace(key_of(p), (*entry)->valid ? PairOutcome::kProved
+                                                : PairOutcome::kDisproved);
+    if ((*entry)->valid) {
+      for (const MatchPair& w : (*entry)->witnesses) queue.push_back(w);
     }
   }
   bool changed = true;
   while (changed) {
     changed = false;
-    for (auto& [p, val] : value) {
-      if (val != PairOutcome::kProved) continue;
-      for (const MatchPair& w : global.at(p)->witnesses) {
-        if (value.at(w) != PairOutcome::kProved) {
+    value.ForEach([&](uint64_t packed, PairOutcome& val) {
+      if (val != PairOutcome::kProved) return;
+      for (const MatchPair& w : (*global.Find(packed))->witnesses) {
+        if (*value.Find(key_of(w)) != PairOutcome::kProved) {
           val = PairOutcome::kUnresolved;
           changed = true;
           break;
         }
       }
-    }
+    });
   }
   for (const MatchPair& c : roots) {
-    const PairOutcome o = value.at(c);
+    const PairOutcome o = *value.Find(key_of(c));
     if (o == PairOutcome::kProved) result->matches.push_back(c);
     if (o == PairOutcome::kUnresolved) ++result->unresolved_pairs;
     result->outcomes.push_back({c, o});

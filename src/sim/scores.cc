@@ -92,25 +92,11 @@ void EmbeddingVertexScorer::ScoreBatch(VertexId u,
 }
 
 double CachingVertexScorer::Score(VertexId u, VertexId v) const {
-  const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
-  Shard& shard = shards_[Mix64(key) % kShards];
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
-    }
-  }
-  const double score = inner_->Score(u, v);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.map.size() >= shard_cap_) {
-      shard.map.clear();
-      evictions_.fetch_add(1, std::memory_order_relaxed);
-    }
-    shard.map.emplace(key, score);
-  }
+  const uint64_t key = PairKey(u, v);
+  double score = 0.0;
+  if (memo_.Find(key, &score)) return score;
+  score = inner_->Score(u, v);
+  memo_.Insert(key, score);
   return score;
 }
 
@@ -118,48 +104,30 @@ void CachingVertexScorer::ScoreBatch(VertexId u, std::span<const VertexId> vs,
                                      std::span<double> out) const {
   HER_DCHECK(vs.size() == out.size());
   batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  // One prefetch-pipelined memo probe for the whole candidate block, then
+  // one inner ScoreBatch over just the misses. Scratch is thread_local so
+  // a warm steady state allocates nothing per call.
+  thread_local std::vector<uint64_t> keys;
+  thread_local std::vector<uint8_t> found;
+  keys.resize(vs.size());
+  found.resize(vs.size());
+  for (size_t i = 0; i < vs.size(); ++i) keys[i] = PairKey(u, vs[i]);
+  memo_.FindBatch(keys, out.data(), found.data());
   std::vector<VertexId> miss_vs;
   std::vector<size_t> miss_idx;
-  size_t batch_hits = 0;
   for (size_t i = 0; i < vs.size(); ++i) {
-    const uint64_t key = (static_cast<uint64_t>(u) << 32) | vs[i];
-    Shard& shard = shards_[Mix64(key) % kShards];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
-      out[i] = it->second;
-      ++batch_hits;
-    } else {
+    if (found[i] == 0) {
       miss_vs.push_back(vs[i]);
       miss_idx.push_back(i);
     }
-  }
-  if (batch_hits != 0) {
-    hits_.fetch_add(batch_hits, std::memory_order_relaxed);
   }
   if (miss_vs.empty()) return;
   std::vector<double> miss_out(miss_vs.size());
   inner_->ScoreBatch(u, miss_vs, miss_out);
   for (size_t j = 0; j < miss_vs.size(); ++j) {
     out[miss_idx[j]] = miss_out[j];
-    const uint64_t key = (static_cast<uint64_t>(u) << 32) | miss_vs[j];
-    Shard& shard = shards_[Mix64(key) % kShards];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.map.size() >= shard_cap_) {
-      shard.map.clear();
-      evictions_.fetch_add(1, std::memory_order_relaxed);
-    }
-    shard.map.emplace(key, miss_out[j]);
+    memo_.Insert(PairKey(u, miss_vs[j]), miss_out[j]);
   }
-}
-
-size_t CachingVertexScorer::CacheSize() const {
-  size_t n = 0;
-  for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
-    n += s.map.size();
-  }
-  return n;
 }
 
 double JaccardVertexScorer::Score(VertexId u, VertexId v) const {
@@ -252,14 +220,14 @@ bool CachingPathScorer::Probe(uint64_t key, std::span<const int> p1,
                               std::span<const int> p2, double* score) const {
   Shard& shard = shards_[key % kShards];
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  if (it == shard.map.end()) return false;
-  if (!SamePath(it->second.p1, p1) || !SamePath(it->second.p2, p2)) {
+  const Entry* e = shard.table.Find(key);
+  if (e == nullptr) return false;
+  if (!SamePath(e->p1, p1) || !SamePath(e->p2, p2)) {
     hash_rejects_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
-  *score = it->second.score;
+  *score = e->score;
   return true;
 }
 
@@ -267,13 +235,13 @@ void CachingPathScorer::Insert(uint64_t key, std::span<const int> p1,
                                std::span<const int> p2, double score) const {
   Shard& shard = shards_[key % kShards];
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.map.size() >= shard_cap_) {
-    shard.map.clear();
+  if (shard.table.Size() >= shard_cap_) {
+    shard.table.Clear();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   // insert_or_assign so a hash-colliding resident entry is replaced by the
   // fresher pair instead of permanently shadowing it.
-  shard.map.insert_or_assign(
+  shard.table.InsertOrAssign(
       key, Entry{std::vector<int>(p1.begin(), p1.end()),
                  std::vector<int>(p2.begin(), p2.end()), score});
 }
@@ -298,12 +266,56 @@ void CachingPathScorer::ScoreBatch(std::span<const EmbeddedPath> p1s,
                                    std::span<double> out) const {
   HER_DCHECK(p1s.size() == out.size() && p2s.size() == out.size());
   batch_calls_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<uint64_t> keys(out.size());
+  const size_t n = out.size();
+  probe_batches_.fetch_add(1, std::memory_order_relaxed);
+  probe_len_.fetch_add(n, std::memory_order_relaxed);
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = HashPair(p1s[i].tokens, p2s[i].tokens);
+  }
+  // Grouped, prefetch-pipelined probe: one lock acquisition per shard and
+  // the home buckets of upcoming keys hinted ahead of each verified Find.
+  // Hit/reject accounting is exactly the per-key Probe path's.
+  static constexpr size_t kPrefetchWindow = 8;
+  std::vector<uint8_t> probe_hit(n, 0);
+  std::vector<size_t> sidx;
+  size_t batch_hits = 0;
+  size_t batch_rejects = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    sidx.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (keys[i] % kShards == s) sidx.push_back(i);
+    }
+    if (sidx.empty()) continue;
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const size_t warm = sidx.size() < kPrefetchWindow ? sidx.size()
+                                                      : kPrefetchWindow;
+    for (size_t j = 0; j < warm; ++j) shard.table.PrefetchKey(keys[sidx[j]]);
+    for (size_t j = 0; j < sidx.size(); ++j) {
+      if (j + kPrefetchWindow < sidx.size()) {
+        shard.table.PrefetchKey(keys[sidx[j + kPrefetchWindow]]);
+      }
+      const size_t i = sidx[j];
+      const Entry* e = shard.table.Find(keys[i]);
+      if (e == nullptr) continue;
+      if (!SamePath(e->p1, p1s[i].tokens) || !SamePath(e->p2, p2s[i].tokens)) {
+        ++batch_rejects;
+        continue;
+      }
+      out[i] = e->score;
+      probe_hit[i] = 1;
+      ++batch_hits;
+    }
+  }
+  if (batch_hits != 0) hits_.fetch_add(batch_hits, std::memory_order_relaxed);
+  if (batch_rejects != 0) {
+    hash_rejects_.fetch_add(batch_rejects, std::memory_order_relaxed);
+  }
   std::vector<size_t> miss_idx;
   std::vector<EmbeddedPath> m1, m2;
-  for (size_t i = 0; i < out.size(); ++i) {
-    keys[i] = HashPair(p1s[i].tokens, p2s[i].tokens);
-    if (!Probe(keys[i], p1s[i].tokens, p2s[i].tokens, &out[i])) {
+  for (size_t i = 0; i < n; ++i) {
+    if (probe_hit[i] == 0) {
       miss_idx.push_back(i);
       m1.push_back(p1s[i]);
       m2.push_back(p2s[i]);
@@ -323,9 +335,18 @@ size_t CachingPathScorer::CacheSize() const {
   size_t n = 0;
   for (const Shard& s : shards_) {
     std::lock_guard<std::mutex> lock(s.mu);
-    n += s.map.size();
+    n += s.table.Size();
   }
   return n;
+}
+
+double CachingPathScorer::MemoLoadFactor() const {
+  double sum = 0.0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    sum += s.table.LoadFactor();
+  }
+  return sum / static_cast<double>(kShards);
 }
 
 std::vector<std::vector<RankedProperty>> DescendantRanker::TopKBatch(

@@ -6,9 +6,9 @@
 #include <memory>
 #include <mutex>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "graph/graph.h"
 #include "ml/lstm.h"
 #include "ml/mlp.h"
@@ -90,12 +90,13 @@ class EmbeddingVertexScorer : public VertexScorer {
 
 /// Memoizing h_v decorator (mirrors CachingPathScorer): EvalOnce probes the
 /// same descendant pairs for every candidate root pair sharing properties,
-/// so a (u, v) -> score memo pays off. Sharded and lock-guarded; safe to
-/// share across threads. Each shard resets wholesale when it exceeds
-/// `shard_cap` entries (cheap bounded memory, counted by CacheEvictions).
-/// ScoreBatch goes through the same memo: cached entries are served
-/// directly, only the misses reach inner_->ScoreBatch, and their results
-/// are inserted — so the scalar and batch paths see one coherent cache and
+/// so a (u, v) -> score memo pays off. Backed by a ShardedFlatMemo
+/// (cache-line-bucketed open addressing); safe to share across threads.
+/// Each shard resets wholesale when it exceeds `shard_cap` entries (cheap
+/// bounded memory, counted by CacheEvictions). ScoreBatch goes through the
+/// memo's prefetch-pipelined FindBatch: cached entries are served directly,
+/// only the misses reach inner_->ScoreBatch, and their results are
+/// inserted — so the scalar and batch paths see one coherent cache and
 /// CacheHits/CacheEvictions cover both.
 class CachingVertexScorer : public VertexScorer {
  public:
@@ -103,30 +104,25 @@ class CachingVertexScorer : public VertexScorer {
 
   explicit CachingVertexScorer(const VertexScorer* inner,
                                size_t shard_cap = kDefaultShardCap)
-      : inner_(inner), shard_cap_(shard_cap == 0 ? 1 : shard_cap) {}
+      : inner_(inner), memo_(shard_cap) {}
 
   double Score(VertexId u, VertexId v) const override;
   void ScoreBatch(VertexId u, std::span<const VertexId> vs,
                   std::span<double> out) const override;
 
-  size_t CacheSize() const;
-  size_t CacheHits() const { return hits_.load(std::memory_order_relaxed); }
-  size_t CacheEvictions() const {
-    return evictions_.load(std::memory_order_relaxed);
-  }
+  size_t CacheSize() const { return memo_.Size(); }
+  size_t CacheHits() const { return memo_.Hits(); }
+  size_t CacheEvictions() const { return memo_.Evictions(); }
+  /// Batched-probe telemetry (feeds Stats::memo_probe_batches/_len).
+  size_t ProbeBatches() const { return memo_.ProbeBatches(); }
+  size_t ProbeLen() const { return memo_.ProbeLen(); }
+  /// Mean live occupancy of the memo's shard tables, in [0, 1].
+  double MemoLoadFactor() const { return memo_.LoadFactor(); }
   const VertexScorer* inner() const { return inner_; }
 
  private:
-  static constexpr size_t kShards = 16;
-  struct Shard {
-    mutable std::mutex mu;
-    mutable std::unordered_map<uint64_t, double> map;
-  };
   const VertexScorer* inner_;
-  size_t shard_cap_;
-  mutable Shard shards_[kShards];
-  mutable std::atomic<size_t> hits_{0};
-  mutable std::atomic<size_t> evictions_{0};
+  mutable ShardedFlatMemo<double> memo_;
 };
 
 /// Deterministic h_v for unit tests: token-set Jaccard of the two labels
@@ -269,6 +265,15 @@ class CachingPathScorer : public PathScorer {
   size_t HashRejects() const {
     return hash_rejects_.load(std::memory_order_relaxed);
   }
+  /// Batched-probe telemetry (feeds Stats::memo_probe_batches/_len).
+  size_t ProbeBatches() const {
+    return probe_batches_.load(std::memory_order_relaxed);
+  }
+  size_t ProbeLen() const {
+    return probe_len_.load(std::memory_order_relaxed);
+  }
+  /// Mean live occupancy of the memo's shard tables, in [0, 1].
+  double MemoLoadFactor() const;
   const PathScorer* inner() const { return inner_; }
 
  protected:
@@ -285,7 +290,7 @@ class CachingPathScorer : public PathScorer {
   };
   struct Shard {
     mutable std::mutex mu;
-    mutable std::unordered_map<uint64_t, Entry> map;
+    mutable FlatTable<Entry> table;
   };
 
   /// Probes one pair; returns true on a verified hit (score in *score).
@@ -300,6 +305,8 @@ class CachingPathScorer : public PathScorer {
   mutable std::atomic<size_t> hits_{0};
   mutable std::atomic<size_t> evictions_{0};
   mutable std::atomic<size_t> hash_rejects_{0};
+  mutable std::atomic<size_t> probe_batches_{0};
+  mutable std::atomic<size_t> probe_len_{0};
 };
 
 /// One important property of a vertex, as selected by h_r: a descendant

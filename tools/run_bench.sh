@@ -3,9 +3,11 @@
 # M_rho / h_r / ParaMatch primitives), bench_candidates (serial-scalar vs
 # batched h_v comparison -> BENCH_candidates.json), bench_ann (exact
 # sigma scan vs IVF-probed candidate generation -> BENCH_ann.json),
-# bench_hrho (scalar vs batched h_rho kernel -> BENCH_hrho.json) and
-# bench_hr (scalar vs lockstep h_r PropertyTable build -> BENCH_hr.json),
-# all at the repo root. Usage: tools/run_bench.sh [build-dir]
+# bench_hrho (scalar vs batched h_rho kernel -> BENCH_hrho.json),
+# bench_hr (scalar vs lockstep h_r PropertyTable build -> BENCH_hr.json)
+# and bench_memo (unordered_map vs prefetch-pipelined flat-table memo
+# probes -> BENCH_memo.json), all at the repo root.
+# Usage: tools/run_bench.sh [build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,7 +15,7 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target bench_micro bench_candidates \
-  bench_ann bench_hrho bench_hr
+  bench_ann bench_hrho bench_hr bench_memo
 
 echo "=== bench_micro ==="
 # Note: this benchmark library wants a bare double (no "s" suffix).
@@ -70,3 +72,16 @@ echo "=== bench_hr ==="
   fi
 }
 echo "wrote $(pwd)/BENCH_hr.json"
+
+echo "=== bench_memo ==="
+# Exit code 2 means the batched flat-table probe target (>= 1.3x over
+# unordered_map) was missed; still keep the JSON for inspection.
+"$BUILD_DIR/bench/bench_memo" BENCH_memo.json || {
+  rc=$?
+  if [ "$rc" -eq 2 ]; then
+    echo "WARNING: batched flat-table memo probe speedup below 1.3x" >&2
+  else
+    exit "$rc"
+  fi
+}
+echo "wrote $(pwd)/BENCH_memo.json"
