@@ -155,6 +155,7 @@ int main(int argc, char** argv) {
 
   std::ofstream out(out_path);
   out << "{\n"
+      << JsonPeakRssField()
       << "  \"workload\": \"scaling generator (ScalingSpec("
       << (smoke ? 150 : 1200) << "))\",\n"
       << "  \"tuple_vertices\": " << tuples.size() << ",\n"

@@ -120,6 +120,7 @@ int main(int argc, char** argv) {
 
   std::ofstream out(out_path);
   out << "{\n"
+      << her::bench::JsonPeakRssField()
       << "  \"workload\": \"bench_fig6_scalability synthetic (ScalingSpec("
       << (smoke ? 150 : 1200) << "))\",\n"
       << "  \"gd_vertices\": " << ctx.gd->num_vertices() << ",\n"

@@ -229,6 +229,7 @@ int main(int argc, char** argv) {
 
   std::ofstream out(out_path);
   out << "{\n"
+      << her::bench::JsonPeakRssField()
       << "  \"workload\": \"bench_fig6_scalability synthetic "
          "(ScalingSpec(1200))\",\n"
       << "  \"candidate_pairs\": " << work.size() << ",\n"

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/flat_table.h"
+#include "common/proc_stats.h"
 #include "common/rng.h"
 #include "common/timer.h"
 
@@ -202,6 +203,7 @@ int main(int argc, char** argv) {
   const double speedup = memo.umap_s / memo.batch_s;
   std::ofstream out(out_path);
   out << "{\n"
+      << "  \"peak_rss_bytes\": " << PeakRssBytes() << ",\n"
       << "  \"workload\": \"memo probe over PairKeys, ~50% hit rate\",\n"
       << "  \"bit_identical\": true,\n"
       << "  \"speedup\": " << speedup << ",\n";

@@ -399,6 +399,17 @@ void BM_BspAllMatch(benchmark::State& state) {
       static_cast<double>(last.stats.deadline_expired);
   state.counters["unresolved_pairs"] =
       static_cast<double>(last.unresolved_pairs);
+  state.counters["message_bytes_raw"] =
+      static_cast<double>(last.message_bytes_raw);
+  state.counters["message_bytes_wire"] =
+      static_cast<double>(last.message_bytes_wire);
+  state.counters["edge_cut_edges"] =
+      static_cast<double>(last.partition.edge_cut_edges);
+  state.counters["edge_cut_fraction"] = last.partition.edge_cut_fraction;
+  state.counters["border_vertices"] =
+      static_cast<double>(last.partition.border_vertices);
+  state.counters["fragment_imbalance"] =
+      last.partition.max_fragment_imbalance;
   state.counters["sim_s"] = last.simulated_seconds;
 }
 BENCHMARK(BM_BspAllMatch)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);

@@ -13,6 +13,7 @@
 #include "baselines/lexical.h"
 #include "baselines/magellan.h"
 #include "baselines/magnn.h"
+#include "common/proc_stats.h"
 #include "common/timer.h"
 #include "datagen/dataset.h"
 #include "learn/her_system.h"
@@ -95,6 +96,13 @@ inline void PrintHeader(const std::string& first,
   std::printf("%-10s", first.c_str());
   for (const auto& c : columns) std::printf(" %9s", c.c_str());
   std::printf("\n");
+}
+
+/// The "peak_rss_bytes" field every BENCH_*.json carries: the process
+/// high-water RSS (VmHWM) at JSON-write time, so each result records the
+/// memory footprint of producing it. Renders 0 where /proc is missing.
+inline std::string JsonPeakRssField() {
+  return "  \"peak_rss_bytes\": " + std::to_string(PeakRssBytes()) + ",\n";
 }
 
 /// Item entity vertices of G (the v-side candidate pool for baselines).

@@ -1,0 +1,35 @@
+#include "common/proc_stats.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace her {
+
+namespace {
+
+/// Reads one "Vm...: N kB" line from /proc/self/status, in bytes.
+size_t StatusFieldBytes(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  size_t bytes = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0) continue;
+    unsigned long long kb = 0;
+    if (std::sscanf(line + field_len, ": %llu kB", &kb) == 1) {
+      bytes = static_cast<size_t>(kb) * 1024;
+    }
+    break;
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+size_t PeakRssBytes() { return StatusFieldBytes("VmHWM"); }
+
+size_t CurrentRssBytes() { return StatusFieldBytes("VmRSS"); }
+
+}  // namespace her

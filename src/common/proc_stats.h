@@ -1,0 +1,18 @@
+#ifndef HER_COMMON_PROC_STATS_H_
+#define HER_COMMON_PROC_STATS_H_
+
+#include <cstddef>
+
+namespace her {
+
+/// High-water-mark resident set size of this process in bytes (VmHWM from
+/// /proc/self/status). Returns 0 on platforms without procfs — callers
+/// treat 0 as "unsupported", never as "no memory used".
+size_t PeakRssBytes();
+
+/// Current resident set size in bytes (VmRSS), 0 when unsupported.
+size_t CurrentRssBytes();
+
+}  // namespace her
+
+#endif  // HER_COMMON_PROC_STATS_H_

@@ -322,7 +322,7 @@ std::shared_ptr<const MatchEngine::CandLists> MatchEngine::CandidateListsFor(
     });
   }
 
-  if (lists_memo_.Size() >= kListMemoCap) {
+  if (lists_memo_.Size() >= lists_memo_cap_) {
     lists_memo_.Clear();
     ++stats_.hrho_list_memo_evictions;
   }

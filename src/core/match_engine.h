@@ -1,6 +1,7 @@
 #ifndef HER_CORE_MATCH_ENGINE_H_
 #define HER_CORE_MATCH_ENGINE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -350,6 +351,14 @@ class MatchEngine {
   /// BSP driver routes them to their owner for authoritative evaluation.
   std::vector<MatchPair> DrainNewAssumptions();
 
+  /// Caps the candidate-list memo (entries, not bytes); the BSP engine
+  /// derives this from ParallelConfig::worker_mem_budget_bytes. The memo
+  /// is a pure cache, so shrinking the cap costs recomputation only —
+  /// never correctness. 0 is clamped to 1.
+  void SetListsMemoCap(size_t cap) {
+    lists_memo_cap_ = std::max<size_t>(1, cap);
+  }
+
   /// Engine counters, with the h_v scorer telemetry refreshed from the
   /// context's (shared) VertexScorer at call time.
   const Stats& stats() const;
@@ -483,8 +492,9 @@ class MatchEngine {
   // Candidate-list memo: (u, v) -> the sorted per-property lists of
   // EvalOnce. Like ecache it is graph/parameter-determined, so it survives
   // ClearPairCache; InvalidateForUpdate drops the affected rows. Cleared
-  // wholesale when it exceeds kListMemoCap (counted as an eviction).
-  static constexpr size_t kListMemoCap = 1 << 15;
+  // wholesale when it exceeds lists_memo_cap_ (counted as an eviction).
+  static constexpr size_t kDefaultListMemoCap = 1 << 15;
+  size_t lists_memo_cap_ = kDefaultListMemoCap;
   FlatTable<std::shared_ptr<const CandLists>> lists_memo_;
 };
 

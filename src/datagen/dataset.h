@@ -49,6 +49,14 @@ struct DatasetSpec {
   /// knowledge graphs (the paper's "/akt:has-author" example). Lexical
   /// path matching then carries no signal; only a trained M_rho works.
   bool opaque_predicates = false;
+  /// 0 keeps the legacy sequential generator (byte-stable for every
+  /// existing dataset). >= 1 switches to the scaling generator: entity
+  /// content is rendered by that many threads from per-entity seeded RNG
+  /// streams, so the output depends only on the seed — the SAME dataset
+  /// for every thread count — and millions of entities render in
+  /// seconds. The two generators draw from different streams, so their
+  /// outputs differ from each other (both deterministic).
+  int gen_threads = 0;
 };
 
 /// One annotated pair: tuple vertex u in G_D, entity vertex v in G.
@@ -83,6 +91,13 @@ struct GeneratedDataset {
 
 /// Generates a dataset from a spec; fully deterministic given spec.seed.
 GeneratedDataset Generate(const DatasetSpec& spec);
+
+/// Order-sensitive content digest of a generated dataset (database rows,
+/// graph labels and edges, ground truth, annotations, path pairs). Two
+/// generations agree on this iff they produced the same dataset — the
+/// thread-count-independence tests and the scaling bench's provenance
+/// line are built on it.
+uint64_t DatasetDigest(const GeneratedDataset& d);
 
 /// Profiles named after the paper's evaluation datasets (Table IV). Sizes
 /// are laptop-scale; noise shapes mirror each dataset's character:

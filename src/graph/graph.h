@@ -126,6 +126,15 @@ class GraphBuilder {
     return edge_labels_.Intern(name);
   }
 
+  /// Preallocates the vertex/edge tables. Callers that know the final
+  /// size up front (the scaling datagen builds million-vertex graphs)
+  /// avoid the reallocation churn of incremental growth.
+  void Reserve(size_t vertices, size_t edges) {
+    labels_.reserve(vertices);
+    srcs_.reserve(edges);
+    dsts_.reserve(edges);
+  }
+
   /// Finalizes into an immutable CSR graph. The builder is consumed.
   Graph Build() &&;
 

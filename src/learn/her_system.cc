@@ -481,6 +481,8 @@ ParallelResult HerSystem::APairParallel(uint32_t workers, bool use_blocking,
   const auto tuples = canonical_->TupleVertices();
   ParallelConfig pcfg;
   pcfg.num_workers = workers;
+  pcfg.strategy = config_.partition;
+  pcfg.worker_mem_budget_bytes = config_.worker_mem_budget_bytes;
   if (!ckpt.dir.empty() && ckpt.fingerprint == 0) {
     ckpt.fingerprint = Fingerprint();
   }

@@ -40,6 +40,13 @@ struct HerConfig {
   /// Section V strategy switches (ablation only; keep on in production).
   bool enable_early_termination = true;
   bool enable_degree_sort = true;
+  /// How APairParallel fragments G across the BSP workers. kEdgeCut
+  /// co-locates neighborhoods (streaming LDG) and cuts the cross-fragment
+  /// recursion traffic; kHash is the balanced-in-expectation default.
+  PartitionStrategy partition = PartitionStrategy::kHash;
+  /// Per-BSP-worker memory budget in bytes; 0 = unlimited (see
+  /// ParallelConfig::worker_mem_budget_bytes).
+  size_t worker_mem_budget_bytes = 0;
 };
 
 /// The HER system (Section II): wires the canonical graph G_D, graph G,

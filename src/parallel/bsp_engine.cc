@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <deque>
 #include <iostream>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -14,7 +15,9 @@
 
 #include "common/bytes.h"
 #include "common/check.h"
+#include "common/proc_stats.h"
 #include "common/timer.h"
+#include "parallel/wire_format.h"
 #include "persist/snapshot.h"
 
 namespace her {
@@ -214,14 +217,18 @@ std::vector<MatchPair> SortedUnique(std::span<const MatchPair> candidates) {
 
 // --- durable checkpoint (de)serialization ------------------------------
 //
-// A BSP disk checkpoint is one snapshot file with a "bsp_meta" section
-// (resume round, worker count, candidate digest, run counters) plus one
-// "worker<i>" section per fragment. It is written at the superstep
-// boundary where inboxes are full (routed, audit-repaired) and outboxes
-// are empty, so a resumed run entering the stored round re-executes
-// exactly the computation the interrupted run would have — the greedy
-// lineage matching is not confluent, so any weaker capture could land on
-// a different fixpoint.
+// A BSP disk checkpoint is SHARDED: one `bsp.ckpt.meta` snapshot (resume
+// round, worker count, candidate digest, run counters, per-shard epochs)
+// plus one `bsp.ckpt.fragN` snapshot per fragment. Only fragments dirty
+// since the previous write are rewritten — checkpoint cost is O(changed
+// fragments) — and the meta is installed last, so the on-disk set is
+// always a consistent boundary (shards newer than the meta fail the
+// epoch check and cold-start, never mix rounds silently). Checkpoints
+// are taken at the superstep boundary where inboxes are full (routed,
+// audit-repaired) and outboxes are empty, so a resumed run entering the
+// stored round re-executes exactly the computation the interrupted run
+// would have — the greedy lineage matching is not confluent, so any
+// weaker capture could land on a different fixpoint.
 
 void PutPair(ByteWriter* w, const MatchPair& p) {
   w->PutVarint(p.first);
@@ -351,26 +358,52 @@ uint64_t RootsDigest(const std::vector<MatchPair>& roots) {
   return h;
 }
 
-std::string CheckpointPath(const CheckpointOptions& ckpt) {
-  return ckpt.dir + "/bsp.ckpt";
+std::string MetaPath(const CheckpointOptions& ckpt) {
+  return ckpt.dir + "/bsp.ckpt.meta";
+}
+
+std::string ShardPath(const CheckpointOptions& ckpt, size_t fragment) {
+  return ckpt.dir + "/bsp.ckpt.frag" + std::to_string(fragment);
 }
 
 constexpr char kBspMetaSection[] = "bsp_meta";
+constexpr char kBspShardSection[] = "bsp_frag";
 
+/// Writes the sharded checkpoint: every DIRTY fragment's shard first
+/// (recording its new epoch in `shard_epochs`), the meta last. Clean
+/// fragments' files already hold their current state under the epoch the
+/// meta names, so the write is O(changed fragments), not O(total state).
+/// A crash between a shard write and the meta install leaves shards newer
+/// than the meta: their epoch check fails on resume and only those
+/// fragments cold-start — never a silently mixed-round checkpoint.
 Status WriteBspCheckpoint(const CheckpointOptions& ckpt, size_t next_round,
                           uint64_t roots_digest, const ParallelResult& result,
-                          const std::vector<std::unique_ptr<Worker>>& workers) {
+                          const std::vector<std::unique_ptr<Worker>>& workers,
+                          const std::vector<uint8_t>& dirty,
+                          std::vector<uint64_t>* shard_epochs) {
+  for (size_t f = 0; f < workers.size(); ++f) {
+    if (dirty[f] == 0) continue;
+    SnapshotWriter shard(ckpt.fingerprint);
+    ByteWriter* w = shard.AddSection(kBspShardSection);
+    w->PutVarint(f);
+    w->PutVarint(next_round);  // this shard's epoch
+    w->PutU64(roots_digest);
+    SaveWorker(*workers[f], w);
+    HER_RETURN_NOT_OK(shard.WriteToFile(ShardPath(ckpt, f)));
+    (*shard_epochs)[f] = next_round;
+  }
   SnapshotWriter snap(ckpt.fingerprint);
   ByteWriter* meta = snap.AddSection(kBspMetaSection);
   meta->PutVarint(next_round);
   meta->PutVarint(workers.size());
   meta->PutU64(roots_digest);
   meta->PutVarint(result.messages);
+  meta->PutVarint(result.message_bytes_raw);
+  meta->PutVarint(result.message_bytes_wire);
   meta->PutDouble(result.simulated_seconds);
-  for (size_t i = 0; i < workers.size(); ++i) {
-    SaveWorker(*workers[i], snap.AddSection("worker" + std::to_string(i)));
-  }
-  return snap.WriteToFile(CheckpointPath(ckpt));
+  meta->PutVarint(shard_epochs->size());
+  for (const uint64_t e : *shard_epochs) meta->PutVarint(e);
+  return snap.WriteToFile(MetaPath(ckpt));
 }
 
 /// Progress counters restored alongside the worker state, so a resumed
@@ -378,36 +411,42 @@ Status WriteBspCheckpoint(const CheckpointOptions& ckpt, size_t next_round,
 struct RestoredProgress {
   size_t next_round = 0;
   size_t messages = 0;
+  size_t message_bytes_raw = 0;
+  size_t message_bytes_wire = 0;
   double simulated_seconds = 0.0;
+  std::vector<uint64_t> shard_epochs;
 };
 
-/// Restores every fragment from `<dir>/bsp.ckpt` in place. Any failure —
-/// missing file, corruption, stale fingerprint, changed worker count or
-/// candidate set — is returned as a Status; the caller logs it and starts
-/// cold (workers may be partially overwritten, so it must rebuild them).
-Status TryRestoreBspCheckpoint(
-    const CheckpointOptions& ckpt, uint64_t roots_digest,
-    std::vector<std::unique_ptr<Worker>>* workers, RestoredProgress* out) {
+/// Restores the checkpoint meta (round, counters, per-shard epochs). Any
+/// failure — missing file, corruption, stale fingerprint, changed worker
+/// count or candidate set — is returned as a Status and costs a FULL cold
+/// start: without a trustworthy meta no shard can be validated.
+Status TryRestoreBspMeta(const CheckpointOptions& ckpt, uint64_t roots_digest,
+                         size_t num_workers, RestoredProgress* out) {
   const uint64_t expected = ckpt.fingerprint == 0
                                 ? SnapshotReader::kAnyFingerprint
                                 : ckpt.fingerprint;
   HER_ASSIGN_OR_RETURN(SnapshotReader snap,
-                       SnapshotReader::Open(CheckpointPath(ckpt), expected));
+                       SnapshotReader::Open(MetaPath(ckpt), expected));
   HER_ASSIGN_OR_RETURN(ByteReader meta, snap.Section(kBspMetaSection));
   uint64_t next_round = 0;
-  uint64_t num_workers = 0;
+  uint64_t stored_workers = 0;
   uint64_t digest = 0;
   uint64_t messages = 0;
+  uint64_t bytes_raw = 0;
+  uint64_t bytes_wire = 0;
   double simulated = 0.0;
   HER_RETURN_NOT_OK(meta.GetVarint(&next_round));
-  HER_RETURN_NOT_OK(meta.GetVarint(&num_workers));
+  HER_RETURN_NOT_OK(meta.GetVarint(&stored_workers));
   HER_RETURN_NOT_OK(meta.GetU64(&digest));
   HER_RETURN_NOT_OK(meta.GetVarint(&messages));
+  HER_RETURN_NOT_OK(meta.GetVarint(&bytes_raw));
+  HER_RETURN_NOT_OK(meta.GetVarint(&bytes_wire));
   HER_RETURN_NOT_OK(meta.GetDouble(&simulated));
-  if (num_workers != workers->size()) {
+  if (stored_workers != num_workers) {
     return Status::FailedPrecondition(
-        "bsp checkpoint was taken with " + std::to_string(num_workers) +
-        " workers, this run has " + std::to_string(workers->size()));
+        "bsp checkpoint was taken with " + std::to_string(stored_workers) +
+        " workers, this run has " + std::to_string(num_workers));
   }
   if (digest != roots_digest) {
     return Status::FailedPrecondition(
@@ -416,15 +455,80 @@ Status TryRestoreBspCheckpoint(
   if (next_round == 0) {
     return Status::IOError("bsp checkpoint: resume round must be > 0");
   }
-  for (size_t i = 0; i < workers->size(); ++i) {
-    HER_ASSIGN_OR_RETURN(ByteReader wr,
-                         snap.Section("worker" + std::to_string(i)));
-    HER_RETURN_NOT_OK(LoadWorker(&wr, (*workers)[i].get()));
+  uint64_t n_epochs = 0;
+  HER_RETURN_NOT_OK(meta.GetCount(&n_epochs, /*min_bytes_each=*/1));
+  if (n_epochs != num_workers) {
+    return Status::IOError(
+        "bsp checkpoint meta: " + std::to_string(n_epochs) +
+        " shard epochs for " + std::to_string(num_workers) + " workers");
+  }
+  out->shard_epochs.resize(n_epochs);
+  for (uint64_t i = 0; i < n_epochs; ++i) {
+    HER_RETURN_NOT_OK(meta.GetVarint(&out->shard_epochs[i]));
   }
   out->next_round = next_round;
   out->messages = messages;
+  out->message_bytes_raw = bytes_raw;
+  out->message_bytes_wire = bytes_wire;
   out->simulated_seconds = simulated;
   return Status::OK();
+}
+
+/// Restores one fragment's shard in place, validated independently: file
+/// CRC/fingerprint (SnapshotReader), fragment id, epoch against the
+/// meta's record (a shard newer or older than the meta's view is stale),
+/// and candidate digest. A failure costs only THIS fragment a cold start.
+Status TryRestoreShard(const CheckpointOptions& ckpt, uint32_t fragment,
+                       uint64_t expected_epoch, uint64_t roots_digest,
+                       Worker* w) {
+  const uint64_t expected = ckpt.fingerprint == 0
+                                ? SnapshotReader::kAnyFingerprint
+                                : ckpt.fingerprint;
+  HER_ASSIGN_OR_RETURN(
+      SnapshotReader snap,
+      SnapshotReader::Open(ShardPath(ckpt, fragment), expected));
+  HER_ASSIGN_OR_RETURN(ByteReader r, snap.Section(kBspShardSection));
+  uint64_t frag = 0;
+  uint64_t epoch = 0;
+  uint64_t digest = 0;
+  HER_RETURN_NOT_OK(r.GetVarint(&frag));
+  HER_RETURN_NOT_OK(r.GetVarint(&epoch));
+  HER_RETURN_NOT_OK(r.GetU64(&digest));
+  if (frag != fragment) {
+    return Status::FailedPrecondition(
+        "shard file holds fragment " + std::to_string(frag) +
+        ", expected " + std::to_string(fragment));
+  }
+  if (epoch != expected_epoch) {
+    return Status::FailedPrecondition(
+        "stale shard: epoch " + std::to_string(epoch) +
+        ", checkpoint meta expects " + std::to_string(expected_epoch));
+  }
+  if (digest != roots_digest) {
+    return Status::FailedPrecondition(
+        "shard candidate set differs from this run's");
+  }
+  return LoadWorker(&r, w);
+}
+
+/// Derives the engine candidate-list memo cap from a per-worker memory
+/// budget. A memoized entry costs ~512 bytes (per-property lists of
+/// 12-byte Cands plus table overhead); the memo gets half the budget.
+/// 0 keeps the engine default; undersized budgets clamp to a useful
+/// floor — the cap costs recomputation, never correctness.
+size_t ListsMemoCapForBudget(size_t budget_bytes) {
+  if (budget_bytes == 0) return 0;
+  constexpr size_t kBytesPerEntry = 512;
+  return std::clamp<size_t>(budget_bytes / 2 / kBytesPerEntry,
+                            size_t{1} << 10, size_t{1} << 15);
+}
+
+/// Pairs per encoded wire frame under the budget: oversized outboxes ship
+/// as several frames so the encode/decode staging stays within bounds.
+/// Effectively unbounded (one frame per link) when unbudgeted.
+size_t FramePairCapForBudget(size_t budget_bytes) {
+  if (budget_bytes == 0) return std::numeric_limits<size_t>::max();
+  return std::max<size_t>(1024, budget_bytes / 2 / sizeof(MatchPair));
 }
 
 }  // namespace
@@ -498,17 +602,22 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
   std::vector<uint32_t> host_of(n);
   for (uint32_t i = 0; i < n; ++i) host_of[i] = i;
 
-  std::vector<std::unique_ptr<Worker>> workers;
-  workers.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    workers.push_back(std::make_unique<Worker>(ctx_));
-    const uint32_t frag = i;
-    workers.back()->engine.SetLocalityFilter(
+  const size_t memo_cap = ListsMemoCapForBudget(config_.worker_mem_budget_bytes);
+  // Fresh fragment worker: locality filter, run options and the budgeted
+  // memo cap applied; the caller distributes its owned candidates.
+  const auto make_worker = [&](uint32_t frag) {
+    auto w = std::make_unique<Worker>(ctx_);
+    w->engine.SetLocalityFilter(
         [&owner_of, frag](VertexId u, VertexId v) {
           return owner_of(MatchPair{u, v}) == frag;
         });
-    workers.back()->engine.SetRunOptions(options);
-  }
+    w->engine.SetRunOptions(options);
+    if (memo_cap != 0) w->engine.SetListsMemoCap(memo_cap);
+    return w;
+  };
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) workers.push_back(make_worker(i));
   const std::vector<MatchPair> roots = SortedUnique(candidates);
   for (const MatchPair& c : candidates) {
     workers[owner_of(c)]->owned_candidates.push_back(c);
@@ -527,16 +636,50 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
   const bool ckpt_enabled = !ckpt.dir.empty();
   const uint64_t roots_digest = ckpt_enabled ? RootsDigest(roots) : 0;
   size_t start_round = 0;
+  // Shard dirty tracking for O(fragment) durable checkpoints: a
+  // fragment's on-disk shard is rewritten only when its state may have
+  // changed since the last write. Everything is dirty on a cold start.
+  std::vector<uint8_t> dirty(n, 1);
+  std::vector<uint64_t> shard_epochs(n, 0);
+  // Fragments cold-started by a PARTIAL rebuild (their shard was missing,
+  // corrupt or stale on resume while the meta was fine): they re-run
+  // their owned candidates at the resumed round — PPSim for them, IncPSim
+  // for everyone else — and the assumption audit re-derives the messages
+  // the lost shard state exchanged with the rest.
+  std::vector<uint8_t> bootstrap(n, 0);
+  bool any_bootstrap = false;
   if (ckpt_enabled && ckpt.resume) {
     RestoredProgress progress;
-    const Status st =
-        TryRestoreBspCheckpoint(ckpt, roots_digest, &workers, &progress);
+    const Status st = TryRestoreBspMeta(ckpt, roots_digest, n, &progress);
     if (st.ok()) {
       result.resumed_from_checkpoint = true;
       start_round = progress.next_round;
       result.supersteps = progress.next_round;
       result.messages = progress.messages;
+      result.message_bytes_raw = progress.message_bytes_raw;
+      result.message_bytes_wire = progress.message_bytes_wire;
       result.simulated_seconds = progress.simulated_seconds;
+      shard_epochs = progress.shard_epochs;
+      for (uint32_t f = 0; f < n; ++f) {
+        const Status ss = TryRestoreShard(ckpt, f, shard_epochs[f],
+                                          roots_digest, workers[f].get());
+        if (ss.ok()) {
+          dirty[f] = 0;
+          continue;
+        }
+        // Partial rebuild: only this fragment cold-starts. The failed
+        // restore may have partially overwritten its state, so the worker
+        // is rebuilt from the job input.
+        std::cerr << "her: checkpoint shard " << f << " invalid ("
+                  << ss.ToString() << "); cold-starting fragment " << f
+                  << std::endl;
+        workers[f] = make_worker(f);
+        for (const MatchPair& c : candidates) {
+          if (owner_of(c) == f) workers[f]->owned_candidates.push_back(c);
+        }
+        bootstrap[f] = 1;
+        any_bootstrap = true;
+      }
       if (injector != nullptr) {
         // Mirror the in-memory crash checkpoint the interrupted run held
         // at this boundary, so a crash plan firing right after resume
@@ -548,34 +691,31 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
         }
       }
     } else {
-      // Graceful degradation: a missing/corrupt/stale checkpoint costs
-      // the warm start, never correctness. A failed restore may have
-      // partially overwritten fragment state, so every worker is rebuilt
-      // from the job input before the cold start.
+      // Graceful degradation: a missing/corrupt/stale meta costs the warm
+      // start, never correctness. A failed restore may have partially
+      // overwritten fragment state, so every worker is rebuilt from the
+      // job input before the cold start.
       std::cerr << "her: checkpoint resume failed ("
                 << st.ToString() << "); starting cold" << std::endl;
-      for (uint32_t i = 0; i < n; ++i) {
-        workers[i] = std::make_unique<Worker>(ctx_);
-        const uint32_t frag = i;
-        workers[i]->engine.SetLocalityFilter(
-            [&owner_of, frag](VertexId u, VertexId v) {
-              return owner_of(MatchPair{u, v}) == frag;
-            });
-        workers[i]->engine.SetRunOptions(options);
-      }
+      for (uint32_t i = 0; i < n; ++i) workers[i] = make_worker(i);
       for (const MatchPair& c : candidates) {
         workers[owner_of(c)]->owned_candidates.push_back(c);
       }
+      std::fill(shard_epochs.begin(), shard_epochs.end(), 0);
     }
   }
 
-  // Superstep body: PPSim on round 0, IncPSim afterwards.
-  auto superstep = [&](Worker& w, size_t round) {
-    if (round == 0) {
+  // Superstep body: PPSim on round 0, IncPSim afterwards. A fragment
+  // cold-started by a partial rebuild (`boot`) re-runs its owned
+  // candidates at the resumed round — its PPSim — before consuming the
+  // inboxes the audit re-derived for it.
+  auto superstep = [&](Worker& w, size_t round, bool boot) {
+    if (round == 0 || boot) {
       for (const MatchPair& c : w.owned_candidates) {
         w.engine.Match(c.first, c.second);
       }
-    } else {
+    }
+    if (round != 0) {
       // Inboxes are processed in sorted, deduplicated order so the
       // superstep is invariant to arrival order: duplicated messages,
       // retransmissions and audit-reconstructed deliveries then leave the
@@ -660,15 +800,24 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
                 subs->second.end();
         if (theirs != nullptr && !theirs->valid && subscribed) {
           w.invalid_inbox.push_back(p);
+          dirty[i] = 1;
           ++delivered;
         } else if (theirs == nullptr || !subscribed) {
           ow.request_inbox.emplace_back(p, i);
+          dirty[owner] = 1;
           ++delivered;
         }
       }
     }
     return delivered;
   };
+
+  if (any_bootstrap) {
+    // Partial rebuild: the cold fragments' inboxes died with their shard
+    // state. Re-derive every message owed to or by them before the first
+    // resumed superstep, exactly as crash recovery does.
+    result.messages += audit();
+  }
 
   std::vector<double> busy(n, 0.0);
   for (size_t round = start_round;; ++round) {
@@ -698,18 +847,13 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
           if (checkpoints[victim] != nullptr) {
             workers[victim] = std::make_unique<Worker>(*checkpoints[victim]);
           } else {
-            auto fresh = std::make_unique<Worker>(ctx_);
-            const uint32_t frag = victim;
-            fresh->engine.SetLocalityFilter(
-                [&owner_of, frag](VertexId u, VertexId v) {
-                  return owner_of(MatchPair{u, v}) == frag;
-                });
-            fresh->engine.SetRunOptions(options);
+            auto fresh = make_worker(victim);
             for (const MatchPair& c : candidates) {
-              if (owner_of(c) == frag) fresh->owned_candidates.push_back(c);
+              if (owner_of(c) == victim) fresh->owned_candidates.push_back(c);
             }
             workers[victim] = std::move(fresh);
           }
+          dirty[victim] = 1;  // in-memory state diverged from its shard
           // The in-flight messages that died in the victim's inboxes are
           // re-derived from the surviving assumption sets before the
           // superstep proceeds, so the restored fragment sees the same
@@ -726,6 +870,17 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
     // fault-free trajectory. Each host's busy time is taken from its
     // thread CPU clock so the simulated makespan is meaningful even on
     // machines with fewer cores than workers.
+    // Fragments whose state this superstep will touch: everything on a
+    // PPSim round (round 0 / bootstrap), plus every fragment with pending
+    // inbox deliveries. Clean fragments' shards on disk stay valid and
+    // the next checkpoint write skips them.
+    for (uint32_t f = 0; f < n; ++f) {
+      if (round == 0 || bootstrap[f] != 0 ||
+          !workers[f]->request_inbox.empty() ||
+          !workers[f]->invalid_inbox.empty()) {
+        dirty[f] = 1;
+      }
+    }
     {
       std::vector<std::thread> threads;
       threads.reserve(n);
@@ -734,12 +889,18 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
         threads.emplace_back([&, h] {
           const double start = ThreadCpuSeconds();
           for (uint32_t f = 0; f < n; ++f) {
-            if (host_of[f] == h) superstep(*workers[f], round);
+            if (host_of[f] == h) {
+              superstep(*workers[f], round, bootstrap[f] != 0);
+            }
           }
           busy[h] = ThreadCpuSeconds() - start;
         });
       }
       for (auto& t : threads) t.join();
+    }
+    if (any_bootstrap) {
+      std::fill(bootstrap.begin(), bootstrap.end(), 0);
+      any_bootstrap = false;
     }
     double round_max = 0.0;
     for (uint32_t h = 0; h < n; ++h) {
@@ -786,17 +947,51 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
       return 1;
     };
     bool any_message = false;
+    // One frame per (sender, destination) link: outboxes are staged per
+    // destination (fault copies applied at staging), sorted, encoded as a
+    // varint-delta wire frame and decoded into the destination's inboxes.
+    // The receiver consumes inboxes in sorted-deduplicated order, so the
+    // compact encoding is invisible to the trajectory — Pi stays
+    // bit-identical to the raw struct exchange — while message_bytes_wire
+    // records what the wire actually carries vs the raw baseline.
+    auto ship_frame = [&](uint32_t from, uint32_t to,
+                          const std::vector<MatchPair>& reqs,
+                          const std::vector<MatchPair>& invs) {
+      ByteWriter frame;
+      EncodeMessageFrame(reqs, invs, &frame);
+      result.message_bytes_wire += frame.data().size();
+      result.message_bytes_raw += RawFrameBytes(reqs.size(), invs.size());
+      ByteReader r(frame.data());
+      std::vector<MatchPair> dec_reqs;
+      std::vector<MatchPair> dec_invs;
+      const Status st = DecodeMessageFrame(&r, &dec_reqs, &dec_invs);
+      HER_CHECK(st.ok());  // a self-encoded frame always decodes
+      Worker& dest = *workers[to];
+      for (const MatchPair& p : dec_reqs) {
+        dest.request_inbox.emplace_back(p, from);
+      }
+      for (const MatchPair& p : dec_invs) dest.invalid_inbox.push_back(p);
+      result.messages += dec_reqs.size() + dec_invs.size();
+      if (!dec_reqs.empty() || !dec_invs.empty()) {
+        any_message = true;
+        dirty[to] = 1;
+      }
+    };
+    const size_t frame_cap =
+        FramePairCapForBudget(config_.worker_mem_budget_bytes);
+    std::vector<std::vector<MatchPair>> req_stage(n);
+    std::vector<std::vector<MatchPair>> inv_stage(n);
     for (uint32_t i = 0; i < n; ++i) {
       Worker& w = *workers[i];
+      for (uint32_t d = 0; d < n; ++d) {
+        req_stage[d].clear();
+        inv_stage[d].clear();
+      }
       for (const MatchPair& p : w.assumptions_out) {
         const uint32_t owner = owner_of(p);
         HER_DCHECK(owner != i);
         const int copies = deliveries(FaultChannel::kRequest, p, i, owner);
-        for (int c = 0; c < copies; ++c) {
-          workers[owner]->request_inbox.emplace_back(p, i);
-          ++result.messages;
-          any_message = true;
-        }
+        for (int c = 0; c < copies; ++c) req_stage[owner].push_back(p);
       }
       w.assumptions_out.clear();
       // true->false flips broadcast to the subscribers known at flip time
@@ -808,24 +1003,48 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
         if (!w.notified_false.insert(p).second) continue;
         for (const uint32_t j : it->second) {
           const int copies = deliveries(FaultChannel::kInvalidation, p, i, j);
-          for (int c = 0; c < copies; ++c) {
-            workers[j]->invalid_inbox.push_back(p);
-            ++result.messages;
-            any_message = true;
-          }
+          for (int c = 0; c < copies; ++c) inv_stage[j].push_back(p);
         }
       }
       w.invalidations_out.clear();
       for (const auto& [p, origin] : w.direct_replies) {
         const int copies =
             deliveries(FaultChannel::kDirectReply, p, i, origin);
-        for (int c = 0; c < copies; ++c) {
-          workers[origin]->invalid_inbox.push_back(p);
-          ++result.messages;
-          any_message = true;
-        }
+        for (int c = 0; c < copies; ++c) inv_stage[origin].push_back(p);
       }
       w.direct_replies.clear();
+      for (uint32_t d = 0; d < n; ++d) {
+        auto& reqs = req_stage[d];
+        auto& invs = inv_stage[d];
+        if (reqs.empty() && invs.empty()) continue;
+        // Sorted with duplicates preserved: injected duplicate deliveries
+        // ride the frame as zero-delta pairs and still reach the inbox
+        // twice, keeping the fault accounting identical to raw routing.
+        std::sort(reqs.begin(), reqs.end());
+        std::sort(invs.begin(), invs.end());
+        if (reqs.size() + invs.size() <= frame_cap) {
+          ship_frame(i, d, reqs, invs);
+        } else {
+          // Budgeted batching: oversized links ship as several frames.
+          // Each chunk is itself sorted, and the receiver's
+          // consumption-time sort+dedupe makes frame boundaries invisible
+          // to the trajectory.
+          std::vector<MatchPair> chunk;
+          const std::vector<MatchPair> none;
+          for (size_t off = 0; off < reqs.size(); off += frame_cap) {
+            chunk.assign(
+                reqs.begin() + off,
+                reqs.begin() + std::min(reqs.size(), off + frame_cap));
+            ship_frame(i, d, chunk, none);
+          }
+          for (size_t off = 0; off < invs.size(); off += frame_cap) {
+            chunk.assign(
+                invs.begin() + off,
+                invs.begin() + std::min(invs.size(), off + frame_cap));
+            ship_frame(i, d, none, chunk);
+          }
+        }
+      }
     }
 
     // Superstep-boundary checkpoints (only under a fault plan: production
@@ -867,10 +1086,12 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
     if (ckpt_enabled && !fixpoint &&
         (halting || (ckpt.every_supersteps > 0 &&
                      result.supersteps % ckpt.every_supersteps == 0))) {
-      const Status st =
-          WriteBspCheckpoint(ckpt, round + 1, roots_digest, result, workers);
+      const Status st = WriteBspCheckpoint(ckpt, round + 1, roots_digest,
+                                           result, workers, dirty,
+                                           &shard_epochs);
       if (st.ok()) {
         ++result.stats.disk_checkpoints;
+        std::fill(dirty.begin(), dirty.end(), 0);
       } else {
         std::cerr << "her: checkpoint write failed: " << st.ToString()
                   << std::endl;
@@ -900,6 +1121,12 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
       result.stats.faults_injected += flaky->FaultedCalls();
     }
   }
+
+  result.partition.edge_cut_edges = part.edge_cut_edges;
+  result.partition.edge_cut_fraction = part.EdgeCutFraction(*ctx_.g);
+  result.partition.border_vertices = part.border_vertices;
+  result.partition.max_fragment_imbalance = part.max_fragment_imbalance;
+  result.peak_rss_bytes = PeakRssBytes();
 
   // Pi = union of owned partial results (Section VI-B, termination). Every
   // fragment exists and is authoritative for its owned pairs — crashed
@@ -969,6 +1196,8 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
   std::atomic<size_t> backoff_sleeps{0};
   std::atomic<size_t> async_retries{0};
 
+  const size_t memo_cap =
+      ListsMemoCapForBudget(config_.worker_mem_budget_bytes);
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -979,6 +1208,7 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
           return owner_of(MatchPair{u, v}) == frag;
         });
     workers.back()->engine.SetRunOptions(options);
+    if (memo_cap != 0) workers.back()->engine.SetListsMemoCap(memo_cap);
   }
   const std::vector<MatchPair> roots = SortedUnique(candidates);
   for (const MatchPair& c : candidates) {
@@ -1212,6 +1442,12 @@ ParallelResult BspAllMatch::RunAsyncOnCandidates(
       result.stats.faults_injected += flaky->FaultedCalls();
     }
   }
+
+  result.partition.edge_cut_edges = part.edge_cut_edges;
+  result.partition.edge_cut_fraction = part.EdgeCutFraction(*ctx_.g);
+  result.partition.border_vertices = part.border_vertices;
+  result.partition.max_fragment_imbalance = part.max_fragment_imbalance;
+  result.peak_rss_bytes = PeakRssBytes();
 
   CollectResults(workers, owner_of, roots, &result);
   return result;

@@ -19,14 +19,19 @@
 namespace her {
 
 /// Durable BSP progress checkpoints (see DESIGN.md "Durable checkpoints").
-/// When `dir` is non-empty the BSP loop writes a checksummed snapshot of
-/// every fragment's state to `<dir>/bsp.ckpt` every `every_supersteps`
-/// rounds (atomically: tmp + fsync + rename, so a crash mid-write leaves
-/// the previous checkpoint intact). With `resume` set, a run first tries
-/// to restore from that file and re-enters the loop at the stored round;
-/// any validation failure (corruption, stale fingerprint, changed worker
-/// count or candidate set) is logged and falls back to a cold start —
-/// never a crash, never a silently wrong Pi.
+/// When `dir` is non-empty the BSP loop writes a sharded checksummed
+/// checkpoint every `every_supersteps` rounds: `<dir>/bsp.ckpt.meta`
+/// (round, counters, per-shard epochs) plus one `<dir>/bsp.ckpt.fragN`
+/// snapshot per fragment — and only the fragments DIRTY since the last
+/// write are rewritten, so checkpoint cost is O(changed fragments), not
+/// O(total state). Every file is installed atomically (tmp + fsync +
+/// rename), with the meta written last, so a crash mid-write leaves a
+/// consistent previous checkpoint. With `resume` set, a run restores the
+/// meta and then validates every shard independently: a missing, corrupt
+/// or stale shard costs only THAT fragment a cold start (partial
+/// rebuild — the assumption audit re-derives its lost messages), while a
+/// failed meta falls back to a full cold start. Never a crash, never a
+/// silently wrong Pi.
 struct CheckpointOptions {
   std::string dir;
   /// Checkpoint cadence in supersteps; 0 disables periodic writes (a
@@ -68,6 +73,12 @@ struct ParallelConfig {
   /// candidate scan when set (nullopt keeps the context's config). Lets a
   /// parallel run pick exact vs ANN without mutating the shared context.
   std::optional<CandidateGenConfig> candidate_gen;
+  /// Per-worker memory budget in bytes; 0 = unlimited. Sizes the engine's
+  /// candidate-list memo cap and the wire-frame batch size from the
+  /// budget (soft caps on the caches/batches the engine controls, not a
+  /// hard allocator limit). Exceeding a cap costs recomputation or an
+  /// extra frame, never correctness.
+  size_t worker_mem_budget_bytes = 0;
 };
 
 /// Outcome of a parallel run, with the fixpoint-iteration telemetry the
@@ -96,6 +107,24 @@ struct ParallelResult {
   std::vector<PairVerdict> outcomes;
   size_t supersteps = 0;           // BSP rounds until fixpoint
   size_t messages = 0;             // cross-worker messages exchanged
+  /// Bytes the raw struct exchange would have shipped for those messages
+  /// (12 B/request, 8 B/invalidation) vs the varint-delta wire frames
+  /// actually encoded in the BSP sync phase. Zero for async runs (the
+  /// async model pushes single messages, nothing to batch-encode).
+  size_t message_bytes_raw = 0;
+  size_t message_bytes_wire = 0;
+  /// Partition quality of the G fragmentation this run used (edge-cut
+  /// count/fraction, sum of border sets |O_i|, fragment size imbalance).
+  struct PartitionStats {
+    size_t edge_cut_edges = 0;
+    double edge_cut_fraction = 0.0;
+    size_t border_vertices = 0;
+    double max_fragment_imbalance = 0.0;
+  };
+  PartitionStats partition;
+  /// Process-wide peak RSS (VmHWM) sampled at the end of the run; 0 where
+  /// unsupported. A process-level watermark, not a per-run delta.
+  size_t peak_rss_bytes = 0;
   MatchEngine::Stats stats;        // summed over all workers (shared-scorer
                                    // snapshot fields assigned, not summed)
   size_t max_worker_calls = 0;     // ParaMatch calls of the busiest worker

@@ -1,0 +1,93 @@
+#include "parallel/wire_format.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace her {
+
+namespace {
+
+void EncodePairs(const std::vector<MatchPair>& pairs, ByteWriter* out) {
+  HER_DCHECK(std::is_sorted(pairs.begin(), pairs.end()));
+  out->PutVarint(pairs.size());
+  uint32_t prev_u = 0;
+  uint32_t prev_v = 0;
+  bool first = true;
+  for (const MatchPair& p : pairs) {
+    if (first) {
+      out->PutVarint(p.first);
+      out->PutVarint(p.second);
+      first = false;
+    } else {
+      const uint32_t du = p.first - prev_u;
+      out->PutVarint(du);
+      if (du == 0) {
+        out->PutVarint(p.second - prev_v);  // same u run: delta v
+      } else {
+        out->PutVarint(p.second);  // new u: v restarts absolute
+      }
+    }
+    prev_u = p.first;
+    prev_v = p.second;
+  }
+}
+
+Status DecodePairs(ByteReader* r, std::vector<MatchPair>* out,
+                   const char* what) {
+  uint64_t n = 0;
+  // Every encoded pair is at least two varint bytes.
+  HER_RETURN_NOT_OK(r->GetCount(&n, /*min_bytes_each=*/2));
+  out->reserve(out->size() + n);
+  constexpr uint64_t kMaxId = std::numeric_limits<VertexId>::max();
+  uint64_t prev_u = 0;
+  uint64_t prev_v = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t a = 0;
+    uint64_t b = 0;
+    HER_RETURN_NOT_OK(r->GetVarint(&a));
+    HER_RETURN_NOT_OK(r->GetVarint(&b));
+    uint64_t u;
+    uint64_t v;
+    if (i == 0) {
+      u = a;
+      v = b;
+    } else {
+      u = prev_u + a;
+      v = a == 0 ? prev_v + b : b;
+    }
+    if (u > kMaxId || v > kMaxId) {
+      return Status::IOError(std::string("wire frame: ") + what +
+                             " pair id overflows VertexId");
+    }
+    out->emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    prev_u = u;
+    prev_v = v;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeMessageFrame(const std::vector<MatchPair>& requests,
+                        const std::vector<MatchPair>& invalidations,
+                        ByteWriter* out) {
+  out->PutU8(kWireFrameMagic);
+  EncodePairs(requests, out);
+  EncodePairs(invalidations, out);
+}
+
+Status DecodeMessageFrame(ByteReader* r, std::vector<MatchPair>* requests,
+                          std::vector<MatchPair>* invalidations) {
+  uint8_t magic = 0;
+  HER_RETURN_NOT_OK(r->GetU8(&magic));
+  if (magic != kWireFrameMagic) {
+    return Status::IOError("wire frame: bad magic byte");
+  }
+  HER_RETURN_NOT_OK(DecodePairs(r, requests, "request"));
+  HER_RETURN_NOT_OK(DecodePairs(r, invalidations, "invalidation"));
+  return Status::OK();
+}
+
+}  // namespace her

@@ -1,0 +1,58 @@
+#ifndef HER_PARALLEL_WIRE_FORMAT_H_
+#define HER_PARALLEL_WIRE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/match_engine.h"
+
+namespace her {
+
+/// Compact wire format for one sender->destination message frame of the
+/// BSP synchronization phase (see DESIGN.md "100x scale").
+///
+///   [u8 magic 'F'] [varint n_requests]      [delta-coded pairs...]
+///                  [varint n_invalidations] [delta-coded pairs...]
+///
+/// Pairs must arrive sorted ascending by (u, v); the encoder then writes
+/// varint deltas: the first pair absolute, afterwards du = u - prev_u and
+/// either dv = v - prev_v (du == 0, same u run) or v absolute (new u).
+/// Duplicates encode as (0, 0) — two bytes — which preserves the
+/// duplication-fault semantics through the codec. The requester/origin is
+/// NOT on the wire: a frame is per (sender, destination) link, so the
+/// decoder stamps every request with the sender id it already knows.
+///
+/// The raw-encoding byte count the struct exchange would have shipped
+/// (u32 u + u32 v + u32 origin per request, u32 u + u32 v per
+/// invalidation) is what ParallelResult::message_bytes_raw accumulates
+/// for the before/after comparison.
+inline constexpr uint8_t kWireFrameMagic = 0x46;  // 'F'
+inline constexpr size_t kRawRequestBytes = 12;
+inline constexpr size_t kRawInvalidationBytes = 8;
+
+/// Appends the frame for (requests, invalidations) to `out`. Precondition:
+/// both vectors are sorted ascending (duplicates allowed) — HER_DCHECKed.
+void EncodeMessageFrame(const std::vector<MatchPair>& requests,
+                        const std::vector<MatchPair>& invalidations,
+                        ByteWriter* out);
+
+/// Decodes one frame, appending to `requests`/`invalidations` (the pairs
+/// come back in the exact sorted order they were encoded in). Truncated,
+/// garbled or out-of-range frames fail with a Status — never UB, never an
+/// unbounded allocation (counts are validated against the bytes that
+/// actually remain before reserving).
+Status DecodeMessageFrame(ByteReader* r, std::vector<MatchPair>* requests,
+                          std::vector<MatchPair>* invalidations);
+
+/// Raw bytes the pre-wire struct exchange would have used for this frame.
+inline size_t RawFrameBytes(size_t n_requests, size_t n_invalidations) {
+  return n_requests * kRawRequestBytes +
+         n_invalidations * kRawInvalidationBytes;
+}
+
+}  // namespace her
+
+#endif  // HER_PARALLEL_WIRE_FORMAT_H_

@@ -400,6 +400,7 @@ TEST_P(KillResumeTest, ResumedPiIsBitIdentical) {
 
   const std::string dir = TempPath("kr_" + std::to_string(seed) + "_" +
                                    std::to_string(workers));
+  std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   const uint64_t fp = FingerprintSetup(h.g1, h.g2, h.ctx.params, seed);
 
@@ -418,7 +419,12 @@ TEST_P(KillResumeTest, ResumedPiIsBitIdentical) {
   }
   EXPECT_TRUE(first.matches.empty());
   EXPECT_GT(first.stats.disk_checkpoints, 0u);
-  EXPECT_TRUE(std::filesystem::exists(dir + "/bsp.ckpt"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/bsp.ckpt.meta"));
+  for (uint32_t f = 0; f < workers; ++f) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/bsp.ckpt.frag" +
+                                        std::to_string(f)))
+        << "missing shard " << f;
+  }
 
   ParallelConfig resume_cfg{.num_workers = workers};
   resume_cfg.checkpoint = {.dir = dir, .every_supersteps = 1,
@@ -448,8 +454,9 @@ TEST(KillResumeTest, CorruptCheckpointFallsBackToColdStart) {
   const auto baseline = clean.Run(roots).matches;
 
   const std::string dir = TempPath("kr_corrupt");
+  std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
-  ASSERT_TRUE(AtomicWriteFile(dir + "/bsp.ckpt", "not a snapshot").ok());
+  ASSERT_TRUE(AtomicWriteFile(dir + "/bsp.ckpt.meta", "not a snapshot").ok());
 
   ParallelConfig cfg{.num_workers = 4};
   cfg.checkpoint = {.dir = dir, .every_supersteps = 1, .resume = true,
@@ -461,6 +468,78 @@ TEST(KillResumeTest, CorruptCheckpointFallsBackToColdStart) {
   EXPECT_EQ(r.matches, baseline);
 }
 
+/// Losing ONE shard of a sharded checkpoint costs only that fragment a
+/// cold start (partial rebuild): the meta and the surviving shards
+/// restore, the lost fragment rebuilds from the job input, and the
+/// assumption audit re-derives the messages it exchanged — the resumed
+/// run still lands on the uninterrupted Pi bit for bit, for every choice
+/// of lost fragment.
+TEST(KillResumeTest, DeletedShardRebuildsOnlyThatFragment) {
+  auto [g1, g2] = RandomEntityGraphs(34, 8);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  BspAllMatch clean(h.ctx, {.num_workers = 4});
+  const auto baseline = clean.Run(roots).matches;
+
+  for (uint32_t lost = 0; lost < 4; ++lost) {
+    const std::string dir = TempPath("kr_shard" + std::to_string(lost));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    ParallelConfig halt_cfg{.num_workers = 4};
+    halt_cfg.checkpoint = {.dir = dir, .every_supersteps = 1,
+                           .fingerprint = 11, .halt_after_supersteps = 1};
+    const ParallelResult first = BspAllMatch(h.ctx, halt_cfg).Run(roots);
+    ASSERT_TRUE(first.status.ok());
+    if (!first.halted) GTEST_SKIP() << "single-superstep fixpoint";
+
+    ASSERT_TRUE(std::filesystem::remove(dir + "/bsp.ckpt.frag" +
+                                        std::to_string(lost)));
+
+    ParallelConfig resume_cfg{.num_workers = 4};
+    resume_cfg.checkpoint = {.dir = dir, .every_supersteps = 1,
+                             .resume = true, .fingerprint = 11};
+    const ParallelResult r = BspAllMatch(h.ctx, resume_cfg).Run(roots);
+    ASSERT_TRUE(r.status.ok());
+    // A partial rebuild still counts as a resume: the meta was good.
+    EXPECT_TRUE(r.resumed_from_checkpoint) << "lost=" << lost;
+    EXPECT_EQ(r.matches, baseline) << "lost=" << lost;
+    EXPECT_EQ(r.unresolved_pairs, 0u) << "lost=" << lost;
+  }
+}
+
+/// A corrupted (bit-flipped) shard is detected by its CRC and handled
+/// like a missing one: partial rebuild of that fragment only, identical
+/// final Pi.
+TEST(KillResumeTest, CorruptShardRebuildsOnlyThatFragment) {
+  auto [g1, g2] = RandomEntityGraphs(35, 8);
+  ContextHarness h(std::move(g1), std::move(g2), TestParams());
+  const auto roots = ItemRoots(h.g1);
+  BspAllMatch clean(h.ctx, {.num_workers = 4});
+  const auto baseline = clean.Run(roots).matches;
+
+  const std::string dir = TempPath("kr_shard_corrupt");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ParallelConfig halt_cfg{.num_workers = 4};
+  halt_cfg.checkpoint = {.dir = dir, .every_supersteps = 1,
+                         .fingerprint = 12, .halt_after_supersteps = 1};
+  const ParallelResult first = BspAllMatch(h.ctx, halt_cfg).Run(roots);
+  ASSERT_TRUE(first.status.ok());
+  if (!first.halted) GTEST_SKIP() << "single-superstep fixpoint";
+
+  ASSERT_TRUE(
+      AtomicWriteFile(dir + "/bsp.ckpt.frag1", "garbage shard bytes").ok());
+
+  ParallelConfig resume_cfg{.num_workers = 4};
+  resume_cfg.checkpoint = {.dir = dir, .every_supersteps = 1,
+                           .resume = true, .fingerprint = 12};
+  const ParallelResult r = BspAllMatch(h.ctx, resume_cfg).Run(roots);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.resumed_from_checkpoint);
+  EXPECT_EQ(r.matches, baseline);
+  EXPECT_EQ(r.unresolved_pairs, 0u);
+}
+
 TEST(KillResumeTest, StaleFingerprintFallsBackToColdStart) {
   auto [g1, g2] = RandomEntityGraphs(32, 8);
   ContextHarness h(std::move(g1), std::move(g2), TestParams());
@@ -469,6 +548,7 @@ TEST(KillResumeTest, StaleFingerprintFallsBackToColdStart) {
   const auto baseline = clean.Run(roots).matches;
 
   const std::string dir = TempPath("kr_stale");
+  std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   ParallelConfig halt_cfg{.num_workers = 4};
   halt_cfg.checkpoint = {.dir = dir, .every_supersteps = 1,
@@ -496,6 +576,7 @@ TEST(KillResumeTest, ChangedWorkerCountFallsBackToColdStart) {
   const auto baseline = clean.Run(roots).matches;
 
   const std::string dir = TempPath("kr_workers");
+  std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   ParallelConfig halt_cfg{.num_workers = 4};
   halt_cfg.checkpoint = {.dir = dir, .every_supersteps = 1,

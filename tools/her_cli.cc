@@ -12,8 +12,8 @@
 //       unresolved candidates instead of overrunning the budget.
 //       Durability flags:
 //         --checkpoint-dir=DIR   write durable snapshots (trained model to
-//                                DIR/model.snap, BSP progress to
-//                                DIR/bsp.ckpt)
+//                                DIR/model.snap, BSP progress sharded as
+//                                DIR/bsp.ckpt.meta + DIR/bsp.ckpt.fragN)
 //         --checkpoint-every-supersteps=N   BSP checkpoint cadence
 //                                           (default 1)
 //         --resume               restart from DIR's snapshots; invalid or
@@ -28,6 +28,13 @@
 //                                floor falls back to exact per call)
 //         --nprobe=N             inverted lists scanned per ANN probe
 //                                (default 8)
+//       Scale:
+//         --partition=hash|edgecut  how G is fragmented across workers
+//                                   (edgecut = streaming LDG, cuts
+//                                   cross-fragment messages; default hash)
+//         --mem-budget-mb=N      per-worker memory budget (soft caps on
+//                                the engine memos and wire batches; 0 =
+//                                unlimited)
 //
 //   her_cli spair <dir> <relation> <tuple-key> <vertex-id>
 //       Single-pair check with explanation.
@@ -60,6 +67,7 @@ int Usage() {
                "      [--checkpoint-dir=DIR] [--checkpoint-every-supersteps=N]\n"
                "      [--resume] [--pi-out=FILE] [--kill-at-superstep=N]\n"
                "      [--candidate-mode=exact|ann] [--nprobe=N]\n"
+               "      [--partition=hash|edgecut] [--mem-budget-mb=N]\n"
                "  her_cli spair <dir> <relation> <tuple-key> <vertex-id>\n"
                "  her_cli vpair <dir> <relation> <tuple-key>\n");
   return 2;
@@ -184,6 +192,20 @@ int CmdEvaluate(int argc, char** argv) {
     } else if (a.rfind("--nprobe=", 0) == 0) {
       config.candidate_gen.nprobe =
           std::max<size_t>(1, std::strtoull(a.c_str() + 9, nullptr, 10));
+    } else if (a.rfind("--partition=", 0) == 0) {
+      const std::string strategy = a.substr(12);
+      if (strategy == "hash") {
+        config.partition = PartitionStrategy::kHash;
+      } else if (strategy == "edgecut") {
+        config.partition = PartitionStrategy::kEdgeCut;
+      } else {
+        std::fprintf(stderr, "unknown partition strategy '%s'\n",
+                     strategy.c_str());
+        return Usage();
+      }
+    } else if (a.rfind("--mem-budget-mb=", 0) == 0) {
+      config.worker_mem_budget_bytes =
+          std::strtoull(a.c_str() + 16, nullptr, 10) << 20;
     } else if (a.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
       return Usage();
@@ -237,6 +259,14 @@ int CmdEvaluate(int argc, char** argv) {
   std::printf("APair (%u workers): %zu matches, %zu supersteps, "
               "simulated %.3fs\n",
               workers, r.matches.size(), r.supersteps, r.simulated_seconds);
+  std::printf("partition (%s): cut %.3f (%zu edges), %zu border vertices, "
+              "imbalance %.2f; wire %zu B (raw %zu B); peak RSS %zu MiB\n",
+              config.partition == PartitionStrategy::kEdgeCut ? "edgecut"
+                                                              : "hash",
+              r.partition.edge_cut_fraction, r.partition.edge_cut_edges,
+              r.partition.border_vertices,
+              r.partition.max_fragment_imbalance, r.message_bytes_wire,
+              r.message_bytes_raw, r.peak_rss_bytes >> 20);
   if (config.candidate_gen.mode == CandidateMode::kAnn) {
     std::printf("ann: build %.3fs, %zu probes over %zu lists, recall %.4f, "
                 "%zu exact fallback(s)\n",

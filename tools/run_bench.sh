@@ -5,8 +5,10 @@
 # sigma scan vs IVF-probed candidate generation -> BENCH_ann.json),
 # bench_hrho (scalar vs batched h_rho kernel -> BENCH_hrho.json),
 # bench_hr (scalar vs lockstep h_r PropertyTable build -> BENCH_hr.json)
-# and bench_memo (unordered_map vs prefetch-pipelined flat-table memo
-# probes -> BENCH_memo.json), all at the repo root.
+# bench_memo (unordered_map vs prefetch-pipelined flat-table memo
+# probes -> BENCH_memo.json) and bench_scale (the Fig-6 trajectory to 1M
+# vertices: edge-cut vs hash partitioning, varint-delta wire compaction
+# -> BENCH_scale.json), all at the repo root.
 # Usage: tools/run_bench.sh [build-dir]
 set -euo pipefail
 
@@ -15,7 +17,7 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target bench_micro bench_candidates \
-  bench_ann bench_hrho bench_hr bench_memo
+  bench_ann bench_hrho bench_hr bench_memo bench_scale
 
 echo "=== bench_micro ==="
 # Note: this benchmark library wants a bare double (no "s" suffix).
@@ -85,3 +87,17 @@ echo "=== bench_memo ==="
   fi
 }
 echo "wrote $(pwd)/BENCH_memo.json"
+
+echo "=== bench_scale ==="
+# Exit code 2 means a scale gate was missed (wire compaction < 2x or
+# edgecut exchanging more messages than hash); exit 1 means Pi diverged
+# across configurations — that one is fatal.
+"$BUILD_DIR/bench/bench_scale" BENCH_scale.json || {
+  rc=$?
+  if [ "$rc" -eq 2 ]; then
+    echo "WARNING: bench_scale gate missed (wire < 2x or edgecut > hash)" >&2
+  else
+    exit "$rc"
+  fi
+}
+echo "wrote $(pwd)/BENCH_scale.json"

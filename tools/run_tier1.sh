@@ -35,8 +35,12 @@ if [ -n "$HER_SANITIZE" ]; then
   cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DHER_SANITIZE="$HER_SANITIZE"
   cmake --build "$SAN_DIR" -j --target parallel_driver_test ml_test \
-    sim_test property_test persist_test ann_test flat_table_test
+    sim_test property_test persist_test ann_test flat_table_test \
+    partition_test
   "$SAN_DIR/tests/parallel_driver_test"
+  # Partitioner invariants + wire-codec corruption suite (the UB target
+  # for the varint-delta frame decoder).
+  "$SAN_DIR/tests/partition_test"
   # Flat-table oracle + concurrent sharded-memo stress (the TSan target
   # for the open-addressing memo tables).
   "$SAN_DIR/tests/flat_table_test"
