@@ -407,7 +407,10 @@ std::vector<VertexId> HerSystem::BlockedSigmaCandidates(VertexId u_t) {
 }
 
 std::vector<VertexId> HerSystem::VPair(TupleRef t, bool use_blocking) {
-  const VertexId u_t = canonical_->VertexOf(t);
+  return VPairVertex(canonical_->VertexOf(t), use_blocking);
+}
+
+std::vector<VertexId> HerSystem::VPairVertex(VertexId u_t, bool use_blocking) {
   std::vector<VertexId> matches;
   if (use_blocking) {
     EnsureBlockingIndex();
@@ -527,6 +530,10 @@ void HerSystem::AddFeedbackOverride(VertexId u_t, VertexId v_g,
   feedback_[MatchPair{u_t, v_g}] = is_match;
 }
 
+void HerSystem::RemoveFeedbackOverride(VertexId u_t, VertexId v_g) {
+  feedback_.erase(MatchPair{u_t, v_g});
+}
+
 void HerSystem::FineTune(std::span<const PathPairExample> fp_evidence,
                          std::span<const PathPairExample> fn_evidence,
                          int epochs, double triplet_margin) {
@@ -576,7 +583,7 @@ void HerSystem::SetParams(const SimulationParams& params) {
   engine_ = std::make_unique<MatchEngine>(ctx_);
 }
 
-void HerSystem::UpdateGraph(const Graph& new_g) {
+void HerSystem::UpdateGraph(const Graph& new_g, const RunOptions& options) {
   HER_CHECK(trained_);
   HER_CHECK(new_g.num_vertices() == g_->num_vertices());
   // Vertices whose out-edges changed, then everything whose ranked paths
@@ -608,10 +615,43 @@ void HerSystem::UpdateGraph(const Graph& new_g) {
   }
   ctx_.hr = hr_.get();
   if (properties_ != nullptr) {
-    properties_->Refresh(1, *g_, affected, *hr_, *models_.vocab, mrho_.get());
+    properties_->Refresh(1, *g_, affected, *hr_, *models_.vocab, mrho_.get(),
+                         options);
   }
+  // Retraction is unconditional — even when the refresh above expired
+  // mid-way, no verdict supported by a stale property row stays cached.
+  // The un-refreshed rows surface via Pending()/UpdateComplete(), and
+  // CompleteUpdate() re-ranks them without repeating finished work.
   engine_->InvalidateForUpdate({}, affected);
   blocking_.reset();  // attribute values reachable per vertex changed
+}
+
+bool HerSystem::UpdateComplete() const {
+  return properties_ == nullptr || properties_->Complete();
+}
+
+Status HerSystem::CompleteUpdate(const RunOptions& options) {
+  if (UpdateComplete()) return Status::OK();
+  // Pending() shrinks as rows are re-ranked; copy the spans since Refresh
+  // mutates the underlying pending sets.
+  const auto pending0 = properties_->Pending(0);
+  if (!pending0.empty()) {
+    const std::vector<VertexId> rows(pending0.begin(), pending0.end());
+    properties_->Refresh(0, canonical_->graph(), rows, *hr_, *models_.vocab,
+                         mrho_.get(), options);
+  }
+  const auto pending1 = properties_->Pending(1);
+  if (!pending1.empty()) {
+    const std::vector<VertexId> rows(pending1.begin(), pending1.end());
+    properties_->Refresh(1, *g_, rows, *hr_, *models_.vocab, mrho_.get(),
+                         options);
+  }
+  if (properties_->Complete()) return Status::OK();
+  return Status::ResourceExhausted(
+      "update deadline expired with " +
+      std::to_string(properties_->Pending(0).size() +
+                     properties_->Pending(1).size()) +
+      " property row(s) still pending");
 }
 
 }  // namespace her

@@ -94,6 +94,10 @@ class HerSystem {
   /// VPair: all vertices of G matching tuple t.
   std::vector<VertexId> VPair(TupleRef t, bool use_blocking = true);
 
+  /// VPair addressed by the G_D tuple vertex directly (the serving
+  /// layer's read entry point; feedback overrides apply like VPair).
+  std::vector<VertexId> VPairVertex(VertexId u_t, bool use_blocking = true);
+
   /// APair: all matches across D and G (sequential).
   std::vector<MatchPair> APair(bool use_blocking = true);
 
@@ -120,6 +124,11 @@ class HerSystem {
   /// Records a user-verified verdict for a pair (Interaction, Section IV).
   /// Applied on top of parametric simulation in SPair*.
   void AddFeedbackOverride(VertexId u_t, VertexId v_g, bool is_match);
+
+  /// Withdraws a previously recorded override (no-op when absent); the
+  /// pair falls back to parametric simulation. The serving layer's
+  /// feedback Delete entry point.
+  void RemoveFeedbackOverride(VertexId u_t, VertexId v_g);
 
   /// Fine-tunes M_rho from FP/FN path evidence and invalidates the pair
   /// cache so new scores take effect.
@@ -149,7 +158,24 @@ class HerSystem {
   /// horizon touches a changed vertex and drops only the affected
   /// verdicts; everything else stays cached. `new_g` must outlive the
   /// system. Requires a trained system.
-  void UpdateGraph(const Graph& new_g);
+  ///
+  /// `options` bounds the re-ranking work: affected verdicts are ALWAYS
+  /// retracted (no stale verdict survives, regardless of expiry), but
+  /// property rows not re-ranked before the deadline stay pending —
+  /// UpdateComplete() turns false and CompleteUpdate() finishes the work
+  /// later. The engine is consistent throughout: a pair either has no
+  /// cached verdict or one whose support was fully re-derived.
+  void UpdateGraph(const Graph& new_g, const RunOptions& options = {});
+
+  /// True when no property rows are pending from a deadline-degraded
+  /// Build/UpdateGraph; fresh verdicts are only trustworthy when true.
+  bool UpdateComplete() const;
+
+  /// Re-ranks the rows a deadline-degraded Build/UpdateGraph left
+  /// pending. Returns OK once the table is complete; ResourceExhausted
+  /// when `options` expired first (call again to resume — progress is
+  /// kept, vertices already re-ranked never repeat).
+  Status CompleteUpdate(const RunOptions& options = {});
 
   const SimulationParams& params() const { return ctx_.params; }
   const MatchContext& context() const { return ctx_; }

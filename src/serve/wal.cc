@@ -1,0 +1,179 @@
+#include "serve/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/file_util.h"
+
+namespace her {
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " " + path + ": " + std::strerror(errno));
+}
+
+uint32_t ReadU32Le(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64Le(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::string WalHeader(uint64_t fingerprint) {
+  ByteWriter w;
+  w.PutBytes(kWalMagic, sizeof kWalMagic);
+  w.PutU64(fingerprint);
+  return w.data();
+}
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WalReplay> ReadWal(const std::string& path) {
+  // Distinguish "no log yet" (a fresh server, not an error) from an
+  // unreadable or damaged file before touching the contents.
+  if (::access(path.c_str(), F_OK) != 0) {
+    return Status::NotFound("wal: no log at " + path);
+  }
+  HER_ASSIGN_OR_RETURN(const std::string data, ReadFileToString(path));
+  if (data.size() < kWalHeaderSize) {
+    return Status::IOError("wal: " + path + " too short for a header (" +
+                           std::to_string(data.size()) + " bytes)");
+  }
+  if (std::memcmp(data.data(), kWalMagic, sizeof kWalMagic) != 0) {
+    return Status::IOError("wal: " + path + " has wrong magic");
+  }
+  WalReplay out;
+  out.fingerprint = ReadU64Le(data.data() + sizeof kWalMagic);
+  size_t pos = kWalHeaderSize;
+  while (pos < data.size()) {
+    if (data.size() - pos < kWalFrameHeaderSize) {
+      out.truncation_reason = "torn frame header";
+      break;
+    }
+    const uint32_t len = ReadU32Le(data.data() + pos);
+    const uint32_t crc = ReadU32Le(data.data() + pos + 4);
+    if (data.size() - pos - kWalFrameHeaderSize < len) {
+      out.truncation_reason = "torn final record";
+      break;
+    }
+    const std::string_view payload(data.data() + pos + kWalFrameHeaderSize,
+                                   len);
+    if (Crc32(payload) != crc) {
+      out.truncation_reason = "frame CRC mismatch";
+      break;
+    }
+    out.records.emplace_back(payload);
+    pos += kWalFrameHeaderSize + len;
+  }
+  out.valid_bytes = pos;
+  out.discarded_bytes = data.size() - pos;
+  return out;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   uint64_t fingerprint,
+                                                   size_t valid_bytes) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return Errno("open", path);
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Errno("lseek", path);
+  }
+  size_t size = static_cast<size_t>(end);
+  if (size == 0) {
+    const std::string header = WalHeader(fingerprint);
+    const Status st = WriteAll(fd, header, path);
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
+    }
+    size = header.size();
+  } else {
+    // Existing log: bind-check the stored fingerprint before appending.
+    char buf[kWalHeaderSize];
+    if (::pread(fd, buf, sizeof buf, 0) !=
+        static_cast<ssize_t>(sizeof buf)) {
+      ::close(fd);
+      return Status::IOError("wal: " + path + " header unreadable");
+    }
+    if (std::memcmp(buf, kWalMagic, sizeof kWalMagic) != 0) {
+      ::close(fd);
+      return Status::IOError("wal: " + path + " has wrong magic");
+    }
+    const uint64_t stored = ReadU64Le(buf + sizeof kWalMagic);
+    if (stored != fingerprint) {
+      ::close(fd);
+      return Status::FailedPrecondition(
+          "wal: " + path + " belongs to a different serving setup");
+    }
+    // Drop a damaged tail so new frames never land after garbage.
+    if (valid_bytes >= kWalHeaderSize && valid_bytes < size) {
+      if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+        ::close(fd);
+        return Errno("ftruncate", path);
+      }
+      if (::lseek(fd, 0, SEEK_END) < 0) {
+        ::close(fd);
+        return Errno("lseek", path);
+      }
+      size = valid_bytes;
+    }
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(fd, size));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Append(std::string_view payload, bool sync) {
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload));
+  frame.PutBytes(payload.data(), payload.size());
+  HER_RETURN_NOT_OK(WriteAll(fd_, frame.data(), "wal"));
+  size_ += frame.size();
+  if (sync) return Sync();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (::fsync(fd_) != 0 && errno != EINVAL && errno != ENOTSUP) {
+    return Errno("fsync", "wal");
+  }
+  return Status::OK();
+}
+
+Status TruncateWal(const std::string& path, uint64_t fingerprint) {
+  return AtomicWriteFile(path, WalHeader(fingerprint));
+}
+
+}  // namespace her

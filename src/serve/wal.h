@@ -1,0 +1,99 @@
+#ifndef HER_SERVE_WAL_H_
+#define HER_SERVE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace her {
+
+/// Write-ahead log of the serving layer (version 1):
+///
+///   offset 0   magic "HERWAL01"                        (8 bytes)
+///   offset 8   u64 fingerprint of the serving setup    (little-endian)
+///   ...        frames, each:
+///                u32 payload size | u32 CRC32 of payload | payload bytes
+///
+/// Accepted mutations are framed, appended and fsync'd BEFORE they are
+/// applied, so a SIGKILL at any point loses no acknowledged write: replay
+/// of snapshot + WAL reconstructs the exact accepted-mutation prefix.
+/// Replay is prefix-tolerant — it stops at the first frame that is torn
+/// (fewer bytes than its header promises) or corrupt (CRC mismatch) and
+/// reports how many trailing bytes were discarded; everything before the
+/// break is trusted. The writer then truncates the log back to the valid
+/// prefix so new frames never append after garbage.
+inline constexpr char kWalMagic[8] = {'H', 'E', 'R', 'W', 'A', 'L', '0', '1'};
+inline constexpr size_t kWalHeaderSize = 16;
+inline constexpr size_t kWalFrameHeaderSize = 8;
+
+/// Outcome of reading a WAL from disk. `records` holds every payload of
+/// the valid prefix, in append order. A clean log has empty
+/// `truncation_reason` and zero `discarded_bytes`.
+struct WalReplay {
+  std::vector<std::string> records;
+  uint64_t fingerprint = 0;
+  /// Byte length of the valid prefix (header + intact frames); the offset
+  /// a writer must truncate to before appending.
+  size_t valid_bytes = 0;
+  /// Bytes after the last intact frame (torn or corrupt tail).
+  size_t discarded_bytes = 0;
+  /// Why replay stopped early ("" = clean end of log).
+  std::string truncation_reason;
+};
+
+/// Reads and validates `path`. A missing file is NotFound (a fresh server
+/// has no log yet); a file too short for the header or with the wrong
+/// magic is an IOError — nothing in it can be trusted, which is different
+/// from a torn tail and needs operator attention rather than a silent
+/// fresh start. Frame-level damage is NOT an error: the valid prefix is
+/// returned with the damage described in the replay report.
+Result<WalReplay> ReadWal(const std::string& path);
+
+/// Append-only writer. Every Append frames one payload and, by default,
+/// fsyncs before returning — the durability point an accepted mutation is
+/// acknowledged at. Not thread-safe; the server serializes appends.
+class WalWriter {
+ public:
+  /// Opens `path` for appending, writing the header if the file is new or
+  /// empty. `valid_bytes` (from a prior ReadWal) truncates a damaged tail
+  /// first; pass 0 for a fresh log. Fails with FailedPrecondition when an
+  /// existing log carries a different fingerprint — appending mutations
+  /// of one serving setup to the log of another corrupts recovery.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t fingerprint,
+                                                 size_t valid_bytes = 0);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Frames and appends one payload. With `sync` (the default) the frame
+  /// is fsync'd before returning; group-committing callers may batch
+  /// several unsynced appends and call Sync() once.
+  Status Append(std::string_view payload, bool sync = true);
+
+  /// Flushes every appended frame to stable storage.
+  Status Sync();
+
+  /// Bytes in the log (header + frames) as of the last append.
+  size_t size() const { return size_; }
+
+ private:
+  WalWriter(int fd, size_t size) : fd_(fd), size_(size) {}
+
+  int fd_ = -1;
+  size_t size_ = 0;
+};
+
+/// Atomically replaces the log at `path` with an empty one holding just
+/// the header (snapshot compaction: once a state snapshot covers every
+/// applied mutation, the old frames are dead weight).
+Status TruncateWal(const std::string& path, uint64_t fingerprint);
+
+}  // namespace her
+
+#endif  // HER_SERVE_WAL_H_

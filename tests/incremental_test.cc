@@ -169,6 +169,63 @@ TEST_F(IncrementalSystemTest, UpdateGraphMatchesFreshRetrain) {
   }
 }
 
+TEST_F(IncrementalSystemTest, ExpiredUpdateLeavesConsistentResumableState) {
+  DatasetSpec spec = UkgovSpec(84);
+  spec.num_entities = 60;
+  spec.annotations_per_class = 50;
+  const GeneratedDataset data = Generate(spec);
+  const AnnotationSplit split = SplitAnnotations(data.annotations);
+
+  HerConfig cfg;
+  cfg.learn.train_lstm = false;
+  HerSystem sys(data.canonical, data.g, cfg);
+  sys.Train(data.path_pairs, split.validation);
+  for (const Annotation& a : split.test) sys.SPairVertex(a.u, a.v);
+  ASSERT_TRUE(sys.UpdateComplete());
+
+  const VertexId victim = data.true_matches.front().second;
+  ASSERT_GT(data.g.OutDegree(victim), 0u);
+  const Graph updated = RemoveOneEdge(data.g, victim, 0);
+
+  // An already-expired deadline: the affected verdicts must STILL be
+  // retracted (no stale verdict may survive the graph switch), but no
+  // property row can be re-ranked — they all stay pending.
+  RunOptions expired;
+  expired.deadline = RunOptions::Clock::now() - std::chrono::seconds(1);
+  sys.UpdateGraph(updated, expired);
+  EXPECT_FALSE(sys.UpdateComplete());
+
+  // Retraction check: the victim's own pair has no cached verdict.
+  MatchEngine& engine = sys.engine();
+  for (const auto& [t, v] : data.true_matches) {
+    if (v == victim) {
+      EXPECT_EQ(engine.Lookup(sys.canonical().VertexOf(t), v), nullptr);
+    }
+  }
+
+  // Resuming under another expired budget keeps the pending set (progress
+  // is monotone, never lost) and reports the shortfall.
+  const Status parked = sys.CompleteUpdate(expired);
+  EXPECT_FALSE(parked.ok());
+  EXPECT_EQ(parked.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(sys.UpdateComplete());
+
+  // An unbounded completion finishes the parked work...
+  ASSERT_TRUE(sys.CompleteUpdate({}).ok());
+  EXPECT_TRUE(sys.UpdateComplete());
+
+  // ...and the verdicts equal a system that took the update in one
+  // uninterrupted pass.
+  HerSystem fresh(data.canonical, data.g, cfg);
+  fresh.Train(data.path_pairs, split.validation);
+  fresh.UpdateGraph(updated);
+  fresh.SetParams(sys.params());
+  for (const Annotation& a : split.test) {
+    EXPECT_EQ(sys.SPairVertex(a.u, a.v), fresh.SPairVertex(a.u, a.v))
+        << "pair (" << a.u << ", " << a.v << ")";
+  }
+}
+
 TEST_F(IncrementalSystemTest, EdgeInsertionCanCreateMatch) {
   // u(item) with two attributes; v initially has one -> below delta; after
   // inserting the second attribute edge the pair matches.

@@ -41,23 +41,68 @@
 //
 //   her_cli vpair <dir> <relation> <tuple-key>
 //       All graph vertices matching the tuple.
+//
+//   her_cli serve <dataset-dir> <serve-dir> [flags]
+//       Closed-loop driver over the resident HerServer: replays a seeded
+//       mixed read/write workload at a target QPS against a server rooted
+//       at <serve-dir> (model.snap / serve.wal / serve.state), reports
+//       accept/reject/degraded counts and read-latency percentiles, and
+//       survives SIGKILL: a restart with the same arguments recovers from
+//       snapshot + WAL and resumes the workload past the recovered seq.
+//       Flags:
+//         --ops=N --qps=Q --write-ratio=R --deadline-ms=D --seed=S
+//         --apply-batch=N --queue-soft-limit=N --queue-hard-limit=N
+//         --maintenance-deadline-ms=N --checkpoint-every=N
+//         --fault-seed=S --apply-fail-prob=P --poison-prob=P
+//         --kill-at-op=N         raise SIGKILL after submitting N ops
+//         --bench-out=FILE       write the run report as JSON
+//         --verdicts-out=FILE    write post-drain SPair verdicts over the
+//                                annotation pairs (recovery-diff artifact)
+//
+// SIGINT/SIGTERM drain cleanly: serve stops admitting, flushes the queue,
+// writes a final checkpoint and exits 0; evaluate cancels the parallel
+// run cooperatively and reports the partial (sound) result.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <set>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include "common/file_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
 #include "datagen/dataset.h"
 #include "datagen/dataset_io.h"
 #include "learn/her_system.h"
 #include "learn/metrics.h"
+#include "serve/server.h"
 
 namespace her {
 namespace {
+
+/// Set by the SIGINT/SIGTERM handler; long-running commands poll it and
+/// drain instead of dying mid-write. The token feeds RunOptions::cancel so
+/// parallel runs stop at their next cooperative check.
+std::atomic<int> g_signal{0};
+CancelToken g_cancel;
+
+void HandleSignal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_cancel.Cancel();
+}
+
+void InstallSignalHandlers() {
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+}
 
 int Usage() {
   std::fprintf(stderr,
@@ -69,7 +114,15 @@ int Usage() {
                "      [--candidate-mode=exact|ann] [--nprobe=N]\n"
                "      [--partition=hash|edgecut] [--mem-budget-mb=N]\n"
                "  her_cli spair <dir> <relation> <tuple-key> <vertex-id>\n"
-               "  her_cli vpair <dir> <relation> <tuple-key>\n");
+               "  her_cli vpair <dir> <relation> <tuple-key>\n"
+               "  her_cli serve <dataset-dir> <serve-dir>\n"
+               "      [--ops=N] [--qps=Q] [--write-ratio=R] [--deadline-ms=D]\n"
+               "      [--seed=S] [--apply-batch=N] [--queue-soft-limit=N]\n"
+               "      [--queue-hard-limit=N] [--maintenance-deadline-ms=N]\n"
+               "      [--checkpoint-every=N] [--fault-seed=S]\n"
+               "      [--apply-fail-prob=P] [--poison-prob=P]\n"
+               "      [--kill-at-op=N] [--bench-out=FILE]\n"
+               "      [--verdicts-out=FILE]\n");
   return 2;
 }
 
@@ -245,6 +298,9 @@ int CmdEvaluate(int argc, char** argv) {
   if (deadline_ms > 0) {
     options = RunOptions::WithTimeout(std::chrono::milliseconds(deadline_ms));
   }
+  // SIGINT/SIGTERM cancel the run cooperatively: the engines stop at the
+  // next barrier and the partial (sound) Pi below is still reported.
+  options.cancel = &g_cancel;
   const ParallelResult r = loaded->system->APairParallel(
       workers, /*use_blocking=*/true, options, ckpt);
   if (!r.status.ok()) return Fail(r.status);
@@ -282,6 +338,10 @@ int CmdEvaluate(int argc, char** argv) {
     std::printf("degraded: deadline expired with %zu unresolved candidate "
                 "pair(s); reported Pi is a sound partial result\n",
                 r.unresolved_pairs);
+  }
+  if (g_signal.load(std::memory_order_relaxed) != 0) {
+    std::printf("drained after signal %d: partial result reported, durable "
+                "state on disk\n", g_signal.load(std::memory_order_relaxed));
   }
   if (!pi_out.empty()) {
     std::string lines;
@@ -327,13 +387,346 @@ int CmdVpair(int argc, char** argv) {
   return 0;
 }
 
+/// Builds the serve workload as a pure function of (dataset, seed): every
+/// generated write is valid against the logical state no matter which
+/// earlier ops were admitted, so a killed-and-resumed run converges on the
+/// same final state as an uninterrupted one. Inserts draw distinct
+/// (u, v, label) triples absent from the base graph; deletes pop each base
+/// edge at most once; feedback upserts target annotation pairs (always
+/// in bounds). Reads probe annotation pairs (SPair) and tuples (VPair).
+std::vector<ServeOp> BuildServeWorkload(const GeneratedDataset& data,
+                                        uint64_t seed, size_t count,
+                                        double write_ratio,
+                                        std::chrono::milliseconds deadline) {
+  Rng rng(seed);
+  const size_t num_v = data.g.num_vertices();
+  const size_t num_labels = data.g.edge_labels().size();
+
+  struct EdgeRef {
+    VertexId u, v;
+    LabelId label;
+  };
+  std::vector<EdgeRef> delete_pool;
+  for (VertexId u = 0; u < num_v; ++u) {
+    for (const Edge& e : data.g.OutEdges(u)) {
+      delete_pool.push_back({u, e.dst, e.label});
+    }
+  }
+  rng.Shuffle(delete_pool);
+  std::set<std::tuple<VertexId, VertexId, LabelId>> used_inserts;
+
+  const auto base_has = [&](VertexId u, VertexId v, LabelId l) {
+    for (const Edge& e : data.g.OutEdges(u)) {
+      if (e.dst == v && e.label == l) return true;
+    }
+    return false;
+  };
+
+  std::vector<ServeOp> ops;
+  ops.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ServeOp op;
+    op.seq = i + 1;
+    op.deadline = deadline;
+    const bool is_write = rng.Uniform() < write_ratio;
+    if (is_write) {
+      const double w = rng.Uniform();
+      bool placed = false;
+      if (w < 0.45 && num_labels > 0) {
+        for (int tries = 0; tries < 32 && !placed; ++tries) {
+          const auto u = static_cast<VertexId>(rng.Below(num_v));
+          const auto v = static_cast<VertexId>(rng.Below(num_v));
+          const auto l = static_cast<LabelId>(rng.Below(num_labels));
+          if (u == v || base_has(u, v, l)) continue;
+          if (!used_inserts.insert({u, v, l}).second) continue;
+          op.kind = OpKind::kEdgeInsert;
+          op.u = u;
+          op.v = v;
+          op.label = data.g.edge_labels().Name(l);
+          placed = true;
+        }
+      } else if (w < 0.75 && !delete_pool.empty()) {
+        const EdgeRef e = delete_pool.back();
+        delete_pool.pop_back();
+        op.kind = OpKind::kEdgeDelete;
+        op.u = e.u;
+        op.v = e.v;
+        op.label = data.g.EdgeLabelName(e.label);
+        placed = true;
+      }
+      if (!placed) {
+        const Annotation& a = rng.Pick(data.annotations);
+        op.kind = OpKind::kFeedbackUpsert;
+        op.u = a.u;
+        op.v = a.v;
+        op.is_match = a.is_match;
+      }
+    } else {
+      const Annotation& a = rng.Pick(data.annotations);
+      if (rng.Uniform() < 0.7) {
+        op.kind = OpKind::kSPair;
+        op.u = a.u;
+        op.v = a.v;
+      } else {
+        op.kind = OpKind::kVPair;
+        op.u = a.u;
+      }
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+double PercentileMs(const std::vector<double>& sorted_seconds, double p) {
+  if (sorted_seconds.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted_seconds.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_seconds.size())));
+  return sorted_seconds[idx] * 1e3;
+}
+
+int CmdServe(int argc, char** argv) {
+  std::vector<std::string> pos;
+  size_t ops_count = 200;
+  double qps = 0.0;
+  double write_ratio = 0.3;
+  long deadline_ms = 0;
+  uint64_t seed = 1;
+  size_t kill_at_op = 0;
+  std::string bench_out;
+  std::string verdicts_out;
+  ServeConfig config;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--ops=", 0) == 0) {
+      ops_count = std::strtoull(a.c_str() + 6, nullptr, 10);
+    } else if (a.rfind("--qps=", 0) == 0) {
+      qps = std::strtod(a.c_str() + 6, nullptr);
+    } else if (a.rfind("--write-ratio=", 0) == 0) {
+      write_ratio = std::strtod(a.c_str() + 14, nullptr);
+    } else if (a.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::atol(a.c_str() + 14);
+    } else if (a.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (a.rfind("--apply-batch=", 0) == 0) {
+      config.apply_batch =
+          std::max<size_t>(1, std::strtoull(a.c_str() + 14, nullptr, 10));
+    } else if (a.rfind("--queue-soft-limit=", 0) == 0) {
+      config.queue_soft_limit = std::strtoull(a.c_str() + 19, nullptr, 10);
+    } else if (a.rfind("--queue-hard-limit=", 0) == 0) {
+      config.queue_hard_limit = std::strtoull(a.c_str() + 19, nullptr, 10);
+    } else if (a.rfind("--maintenance-deadline-ms=", 0) == 0) {
+      config.maintenance_deadline =
+          std::chrono::milliseconds(std::atol(a.c_str() + 26));
+    } else if (a.rfind("--checkpoint-every=", 0) == 0) {
+      config.checkpoint_every = std::strtoull(a.c_str() + 19, nullptr, 10);
+    } else if (a.rfind("--fault-seed=", 0) == 0) {
+      config.fault_seed = std::strtoull(a.c_str() + 13, nullptr, 10);
+    } else if (a.rfind("--apply-fail-prob=", 0) == 0) {
+      config.apply_fail_prob = std::strtod(a.c_str() + 18, nullptr);
+    } else if (a.rfind("--poison-prob=", 0) == 0) {
+      config.poison_prob = std::strtod(a.c_str() + 14, nullptr);
+    } else if (a.rfind("--kill-at-op=", 0) == 0) {
+      kill_at_op = std::strtoull(a.c_str() + 13, nullptr, 10);
+    } else if (a.rfind("--bench-out=", 0) == 0) {
+      bench_out = a.substr(12);
+    } else if (a.rfind("--verdicts-out=", 0) == 0) {
+      verdicts_out = a.substr(15);
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+      return Usage();
+    } else {
+      pos.push_back(a);
+    }
+  }
+  if (pos.size() < 2) return Usage();
+
+  auto data_or = LoadDataset(pos[0]);
+  if (!data_or.ok()) return Fail(data_or.status());
+  const auto data =
+      std::make_unique<GeneratedDataset>(std::move(data_or).value());
+  config.dir = pos[1];
+  auto server_or = HerServer::Open(config, *data);
+  if (!server_or.ok()) return Fail(server_or.status());
+  HerServer& server = **server_or;
+  if (server.stats().recovered) {
+    std::printf("recovered: %zu WAL record(s) replayed, %zu byte(s) "
+                "discarded, max seq %llu, %zu quarantined\n",
+                static_cast<size_t>(server.stats().wal_records_replayed),
+                static_cast<size_t>(server.stats().wal_bytes_discarded),
+                static_cast<unsigned long long>(server.recovered_max_seq()),
+                server.quarantined_seqs().size());
+  }
+
+  const auto workload =
+      BuildServeWorkload(*data, seed, ops_count, write_ratio,
+                         std::chrono::milliseconds(deadline_ms));
+  size_t skipped = 0;
+  size_t submitted = 0;
+  std::vector<double> accepted_read_lat;
+  std::vector<double> all_lat;
+  WallTimer run_timer;
+  const auto interval =
+      qps > 0.0 ? std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(1.0 / qps))
+                : std::chrono::steady_clock::duration::zero();
+  auto next_slot = std::chrono::steady_clock::now();
+  for (const ServeOp& op : workload) {
+    if (g_signal.load(std::memory_order_relaxed) != 0) break;
+    if (op.seq <= server.recovered_max_seq()) {
+      // Durably covered by the recovered state; a resumed driver must not
+      // re-submit it (the server would reject the stale seq anyway).
+      ++skipped;
+      continue;
+    }
+    if (qps > 0.0) {
+      next_slot += interval;
+      std::this_thread::sleep_until(next_slot);
+    }
+    const OpResult r = server.Submit(op);
+    ++submitted;
+    all_lat.push_back(r.service_seconds);
+    if (!IsWriteOp(op.kind) && r.outcome == OpOutcome::kAccepted) {
+      accepted_read_lat.push_back(r.service_seconds);
+    }
+    if (kill_at_op > 0 && submitted >= kill_at_op) {
+      // Crash hook for the soak test: die as a crashed host would — the
+      // WAL already holds every acknowledged write; no drain, no flush.
+      std::fprintf(stderr, "raising SIGKILL after %zu op(s)\n", submitted);
+      std::fflush(nullptr);
+      std::raise(SIGKILL);
+    }
+  }
+  const double run_seconds = run_timer.Seconds();
+  const int sig = g_signal.load(std::memory_order_relaxed);
+  if (sig != 0) {
+    std::printf("signal %d: draining (final checkpoint + WAL flush)\n", sig);
+  }
+  const Status drained = server.Drain();
+  if (!drained.ok()) return Fail(drained);
+
+  const ServeStats& st = server.stats();
+  const uint64_t accounted = st.accepted_writes + st.rejected_writes +
+                             st.accepted_reads + st.degraded_reads +
+                             st.rejected_reads;
+  std::sort(accepted_read_lat.begin(), accepted_read_lat.end());
+  std::sort(all_lat.begin(), all_lat.end());
+  std::printf(
+      "serve: %zu submitted (%zu resumed past), %.1f qps achieved\n"
+      "  writes: %zu accepted, %zu rejected; reads: %zu accepted, "
+      "%zu degraded, %zu rejected\n"
+      "  applied %zu mutation(s) in %zu batch(es), %zu retries, %zu parked, "
+      "%zu quarantined, %zu checkpoint(s)\n"
+      "  accepted-read latency ms: p50 %.2f p95 %.2f p99 %.2f\n",
+      submitted, skipped,
+      run_seconds > 0 ? static_cast<double>(submitted) / run_seconds : 0.0,
+      static_cast<size_t>(st.accepted_writes),
+      static_cast<size_t>(st.rejected_writes),
+      static_cast<size_t>(st.accepted_reads),
+      static_cast<size_t>(st.degraded_reads),
+      static_cast<size_t>(st.rejected_reads),
+      static_cast<size_t>(st.applied_mutations),
+      static_cast<size_t>(st.apply_batches),
+      static_cast<size_t>(st.apply_retries),
+      static_cast<size_t>(st.apply_parked),
+      static_cast<size_t>(st.quarantined),
+      static_cast<size_t>(st.checkpoints),
+      PercentileMs(accepted_read_lat, 0.50),
+      PercentileMs(accepted_read_lat, 0.95),
+      PercentileMs(accepted_read_lat, 0.99));
+  if (accounted != submitted) {
+    // The zero-silent-drops contract: every submitted op must land in
+    // exactly one outcome bucket.
+    std::fprintf(stderr,
+                 "error: %llu op(s) accounted vs %zu submitted — silent "
+                 "drop detected\n",
+                 static_cast<unsigned long long>(accounted), submitted);
+    return 1;
+  }
+
+  if (!bench_out.empty()) {
+    std::string json = "{\n";
+    const auto add_u64 = [&json](const char* key, uint64_t v, bool comma = true) {
+      json += "  \"";
+      json += key;
+      json += "\": ";
+      json += std::to_string(v);
+      json += comma ? ",\n" : "\n";
+    };
+    const auto add_f = [&json](const char* key, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.4f", v);
+      json += "  \"";
+      json += key;
+      json += "\": ";
+      json += buf;
+      json += ",\n";
+    };
+    json += "  \"dataset\": \"" + data->name + "\",\n";
+    add_u64("ops_submitted", submitted);
+    add_u64("ops_resumed_past", skipped);
+    add_f("qps_target", qps);
+    add_f("qps_achieved",
+          run_seconds > 0 ? static_cast<double>(submitted) / run_seconds
+                          : 0.0);
+    add_u64("deadline_ms", static_cast<uint64_t>(deadline_ms));
+    add_u64("accepted_writes", st.accepted_writes);
+    add_u64("rejected_writes", st.rejected_writes);
+    add_u64("accepted_reads", st.accepted_reads);
+    add_u64("degraded_reads", st.degraded_reads);
+    add_u64("rejected_reads", st.rejected_reads);
+    add_u64("applied_mutations", st.applied_mutations);
+    add_u64("apply_batches", st.apply_batches);
+    add_u64("apply_retries", st.apply_retries);
+    add_u64("apply_parked", st.apply_parked);
+    add_u64("quarantined", st.quarantined);
+    add_u64("wal_records_replayed", st.wal_records_replayed);
+    add_u64("wal_bytes_discarded", st.wal_bytes_discarded);
+    add_u64("checkpoints", st.checkpoints);
+    add_u64("recovered", st.recovered ? 1 : 0);
+    add_f("read_p50_ms", PercentileMs(accepted_read_lat, 0.50));
+    add_f("read_p95_ms", PercentileMs(accepted_read_lat, 0.95));
+    add_f("read_p99_ms", PercentileMs(accepted_read_lat, 0.99));
+    add_f("all_p50_ms", PercentileMs(all_lat, 0.50));
+    add_f("all_p99_ms", PercentileMs(all_lat, 0.99));
+    add_u64("zero_silent_drops", accounted == submitted ? 1 : 0, false);
+    json += "}\n";
+    const Status s = AtomicWriteFile(bench_out, json);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote %s\n", bench_out.c_str());
+  }
+
+  if (!verdicts_out.empty()) {
+    // Final verdicts over the (deterministic) annotation pairs, computed
+    // fresh after the drain: Proposition 4 makes them a pure function of
+    // (graph, params, models, feedback), so an interrupted-and-recovered
+    // run must produce byte-identical lines to an uninterrupted one.
+    std::string lines;
+    for (const Annotation& a : data->annotations) {
+      lines += std::to_string(a.u);
+      lines += ' ';
+      lines += std::to_string(a.v);
+      lines += ' ';
+      lines += server.system().SPairVertex(a.u, a.v) ? '1' : '0';
+      lines += '\n';
+    }
+    const Status s = AtomicWriteFile(verdicts_out, lines);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote %zu verdict(s) to %s\n", data->annotations.size(),
+                verdicts_out.c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  InstallSignalHandlers();
   const std::string cmd = argv[1];
   if (cmd == "generate") return CmdGenerate(argc, argv);
   if (cmd == "evaluate") return CmdEvaluate(argc, argv);
   if (cmd == "spair") return CmdSpair(argc, argv);
   if (cmd == "vpair") return CmdVpair(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
   return Usage();
 }
 

@@ -17,7 +17,7 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target bench_micro bench_candidates \
-  bench_ann bench_hrho bench_hr bench_memo bench_scale
+  bench_ann bench_hrho bench_hr bench_memo bench_scale her_cli
 
 echo "=== bench_micro ==="
 # Note: this benchmark library wants a bare double (no "s" suffix).
@@ -101,3 +101,15 @@ echo "=== bench_scale ==="
   fi
 }
 echo "wrote $(pwd)/BENCH_scale.json"
+
+echo "=== bench_serve ==="
+# Closed-loop serving run: mixed read/write workload with per-op
+# deadlines against the resident HerServer; accept/reject/degraded
+# accounting and read-latency percentiles -> BENCH_serve.json.
+SERVE_TMP="$(mktemp -d)"
+trap 'rm -rf "$SERVE_TMP"' EXIT
+"$BUILD_DIR/tools/her_cli" generate ukgov "$SERVE_TMP/data" 120 7
+"$BUILD_DIR/tools/her_cli" serve "$SERVE_TMP/data" "$SERVE_TMP/srv" \
+  --ops=400 --write-ratio=0.3 --deadline-ms=50 --seed=5 \
+  --checkpoint-every=64 --bench-out=BENCH_serve.json
+echo "wrote $(pwd)/BENCH_serve.json"

@@ -18,7 +18,8 @@ BUILD_DIR="${3:-build-stress}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHER_SANITIZE=thread -DHER_FAULTS=ON
-cmake --build "$BUILD_DIR" -j --target fault_tolerance_test parallel_test
+cmake --build "$BUILD_DIR" -j --target fault_tolerance_test parallel_test \
+  serve_test
 
 for ((i = 0; i < ROUNDS; ++i)); do
   offset=$((SEED + i))
@@ -28,5 +29,9 @@ done
 # The fault-free parallel suite under the same TSan build: the injection
 # probes must not have introduced races on the clean path either.
 "$BUILD_DIR/tests/parallel_test"
+# Serving-layer fault path under the same HER_FAULTS build: poisoned-op
+# quarantine decisions must replay deterministically across a crash.
+"$BUILD_DIR/tests/serve_test" \
+  --gtest_filter='ServeFaultTest.*:ServeRecoveryTest.*'
 
 echo "stress OK (seeds ${SEED}..$((SEED + ROUNDS - 1)), tsan-clean)"

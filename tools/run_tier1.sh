@@ -36,7 +36,7 @@ if [ -n "$HER_SANITIZE" ]; then
     -DHER_SANITIZE="$HER_SANITIZE"
   cmake --build "$SAN_DIR" -j --target parallel_driver_test ml_test \
     sim_test property_test persist_test ann_test flat_table_test \
-    partition_test
+    partition_test serve_test
   "$SAN_DIR/tests/parallel_driver_test"
   # Partitioner invariants + wire-codec corruption suite (the UB target
   # for the varint-delta frame decoder).
@@ -52,6 +52,10 @@ if [ -n "$HER_SANITIZE" ]; then
   # Durable snapshot/checkpoint suite; WarmStartTest trains twice and is
   # covered by plain ctest above, so it is skipped under the sanitizer.
   "$SAN_DIR/tests/persist_test" --gtest_filter='-WarmStartTest.*'
+  # Serving-layer WAL corruption matrix (truncation at every byte, bit
+  # flips, torn tails) — the UB/overflow target for the frame decoder.
+  # The server suites train systems and are covered by plain ctest above.
+  "$SAN_DIR/tests/serve_test" --gtest_filter='WalTest.*'
   echo "tier-1 OK (ctest + ${SAN} parallel driver + kernel tests)"
 else
   echo "tier-1 OK (ctest, sanitizer skipped)"
