@@ -1,0 +1,215 @@
+#ifndef HER_COMMON_ENV_H_
+#define HER_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace her {
+
+/// Sequential write handle opened through an Env. The contract every
+/// durable path in the repo is hardened against:
+///
+///  - Append either writes ALL bytes and returns OK, or returns non-OK —
+///    in which case the on-disk suffix is indeterminate (a short/torn
+///    write may be visible) and the caller must treat the file as damaged
+///    until it repairs or discards it;
+///  - a failed Sync poisons the handle (fsyncgate semantics): the dirty
+///    pages the failed fsync covered may be lost, so every later Append
+///    and Sync on this handle fails too — retrying fsync and believing a
+///    later OK is the classic silent-corruption bug;
+///  - Close without a preceding successful Sync promises nothing about
+///    durability.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  /// Idempotent; releases the descriptor. Append/Sync after Close fail.
+  virtual Status Close() = 0;
+};
+
+/// Minimal filesystem abstraction every durable call site routes through
+/// (WAL, snapshots, BSP checkpoints, graph/CSV saves). The production
+/// implementation is a thin POSIX wrapper (Env::Default()); FaultFsEnv
+/// wraps any Env and injects deterministic storage faults for the
+/// crash-consistency soak harness.
+///
+/// Error message convention: failures originating at this layer — real
+/// errno failures and injected faults alike — carry a "storage:" prefix
+/// in the Status message, so callers (her_cli recovery classification)
+/// can tell an I/O failure from format-level corruption, whose messages
+/// name the format ("wal:", "snapshot:").
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Shared process-wide POSIX environment.
+  static Env* Default();
+
+  /// Creates (or truncates) `path` for sequential writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Opens `path` for appending, creating it when missing. `*size`
+  /// receives the current file size (the append position).
+  virtual Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path, uint64_t* size) = 0;
+
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// Reads at most the first `n` bytes (fewer when the file is shorter).
+  virtual Result<std::string> ReadFilePrefix(const std::string& path,
+                                             size_t n) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Fsyncs the directory itself, making renames/creates inside it
+  /// durable. Best-effort on filesystems that reject directory fds.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// Plain file names (no paths, no subdirectories) inside `dir`.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+};
+
+/// Fault kinds FaultFsEnv can inject at a scheduled operation.
+enum class FaultKind : uint8_t {
+  kEio = 0,        // operation fails with an I/O error
+  kEnospc = 1,     // operation fails with ResourceExhausted (disk full)
+  kShortWrite = 2, // half the bytes land on disk, then EIO (torn write)
+  kFsyncFail = 3,  // fsync fails; the handle is poisoned (fsyncgate)
+  kCrash = 4,      // process "dies": unsynced data is dropped, every
+                   // later operation through this env fails
+};
+
+const char* FaultKindName(FaultKind kind);
+/// Parses "eio|enospc|short|fsync|crash" (her_cli flag syntax).
+Result<FaultKind> ParseFaultKind(const std::string& name);
+
+/// Deterministic, seed-keyed fault schedule. Two trigger mechanisms
+/// compose:
+///
+///  - op-indexed: mutating operations (file create, append, sync,
+///    rename, truncate, remove, dir-sync) whose path contains
+///    `path_filter` are counted 1, 2, 3, ...; ops with index in
+///    [fail_at_op, fail_at_op + fail_op_count) fail with `fail_kind`.
+///    This is what the soak harness enumerates: crash-at-every-syscall
+///    is a loop over fail_at_op with fail_kind = kCrash.
+///  - budgeted ENOSPC: once `enospc_after_bytes` bytes have been written
+///    through the env, every further write fails with ResourceExhausted
+///    (0 = unlimited). Models a disk filling up mid-run.
+///  - probabilistic: each op additionally draws by Mix64(seed, op index);
+///    a draw under write_fail_prob / read_fail_prob injects kEio. Pure
+///    function of (seed, op index) — rerunning a schedule replays it.
+struct FaultFsPlan {
+  uint64_t seed = 0;
+  uint64_t enospc_after_bytes = 0;
+  uint64_t fail_at_op = 0;  // 1-indexed; 0 disables op-indexed faults
+  uint64_t fail_op_count = 1;
+  FaultKind fail_kind = FaultKind::kEio;
+  /// Only ops whose path contains this substring are counted/failed
+  /// (empty = all paths). Lets a schedule target one durable file, e.g.
+  /// "serve.state" for ENOSPC-mid-checkpoint.
+  std::string path_filter;
+  double write_fail_prob = 0.0;
+  double read_fail_prob = 0.0;
+};
+
+struct FaultFsStats {
+  uint64_t mutating_ops = 0;  // counted ops matching the path filter
+  uint64_t read_ops = 0;
+  uint64_t bytes_written = 0;
+  uint64_t faults_injected = 0;
+  uint64_t files_poisoned = 0;  // handles killed by fsyncgate
+  bool crashed = false;
+};
+
+/// Deterministic fault-injecting Env wrapper. All data lives in the real
+/// filesystem of the wrapped `base` env; the wrapper tracks, per path,
+/// how many bytes were covered by the last successful fsync so a
+/// simulated crash can drop the unsynced suffix exactly as a power cut
+/// drops dirty pages:
+///
+///  - kCrash truncates every written file back to its last-synced size
+///    (a created-but-never-synced file becomes 0 bytes — the ".tmp
+///    debris" the startup sweep must clean), leaves completed renames in
+///    place, rolls nothing else back, and fails the crashing op and every
+///    later op with "storage: simulated crash";
+///  - a failed fsync (kFsyncFail) immediately truncates the file to its
+///    last-synced size and poisons the handle — writes that "succeeded"
+///    before a failed fsync are gone, which is precisely the fsyncgate
+///    behavior callers must survive;
+///  - kShortWrite persists the first half of the buffer, then fails; the
+///    torn suffix stays visible until a sync, crash, or repair.
+///
+/// Not thread-safe against concurrent use of one handle; concurrent use
+/// of distinct files serializes on an internal mutex.
+class FaultFsEnv : public Env {
+ public:
+  FaultFsEnv(Env* base, FaultFsPlan plan);
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path, uint64_t* size) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Result<std::string> ReadFilePrefix(const std::string& path,
+                                     size_t n) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+
+  const FaultFsPlan& plan() const { return plan_; }
+  /// Swaps the schedule mid-run (e.g. "operator freed disk space"):
+  /// counters keep running, the crashed flag is NOT reset.
+  void set_plan(FaultFsPlan plan);
+
+  FaultFsStats stats() const;
+  bool crashed() const;
+
+ private:
+  friend class FaultFile;
+
+  /// Counts one mutating op on `path` and decides its fate. OK: the full
+  /// `bytes` may be written (`*allowed` = bytes). Non-OK: the error to
+  /// surface, with `*injected` naming the fault and `*allowed` the torn
+  /// prefix that still lands on disk (short writes, exhausted ENOSPC
+  /// budget). kCrash flips the whole env into the crashed state here.
+  Status CheckMutation(const std::string& path, uint64_t bytes,
+                       FaultKind* injected, uint64_t* allowed);
+  Status CheckRead(const std::string& path);
+  void EnterCrash();
+  /// fsyncgate bookkeeping: truncates `path` back to its last-synced
+  /// size (the dirty pages a failed fsync covered are lost, not kept).
+  void PoisonAfterFailedSync(const std::string& path);
+  void MarkSynced(const std::string& path, uint64_t size);
+
+  Env* base_;
+  mutable std::mutex mu_;
+  FaultFsPlan plan_;
+  FaultFsStats stats_;
+  bool crashed_ = false;
+  /// Bytes of each written-to path known durable (covered by the last
+  /// successful sync, or pre-existing before the first open).
+  std::unordered_map<std::string, uint64_t> synced_size_;
+};
+
+}  // namespace her
+
+#endif  // HER_COMMON_ENV_H_

@@ -1,91 +1,64 @@
 #include "common/file_util.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-
 namespace her {
-namespace {
 
-Status Errno(const std::string& op, const std::string& path) {
-  return Status::IOError(op + " " + path + ": " + std::strerror(errno));
-}
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const auto cleanup = [&](Status st) {
+    // Best-effort: never leave a half-written tmp behind on an error we
+    // got to observe. (A crash fault also fails this unlink — then the
+    // startup sweep removes the debris.)
+    (void)env->RemoveFile(tmp);
+    return st;
+  };
 
-/// Opens the directory containing `path` and fsyncs it, making a rename
-/// inside it durable. Best-effort on filesystems that reject directory
-/// fds; a failure to open is not an error (the data file itself is
-/// already synced).
-Status SyncParentDir(const std::string& path) {
-  size_t slash = path.find_last_of('/');
-  std::string dir = (slash == std::string::npos) ? "." : path.substr(0, slash);
-  if (dir.empty()) dir = "/";
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return Status::OK();
-  Status st = Status::OK();
-  if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP) {
-    st = Errno("fsync dir", dir);
+  auto file_or = env->NewWritableFile(tmp);
+  if (!file_or.ok()) return cleanup(file_or.status());
+  std::unique_ptr<WritableFile> file = std::move(file_or).value();
+
+  Status st = file->Append(contents);
+  if (st.ok()) st = file->Sync();
+  if (st.ok()) st = file->Close();
+  if (!st.ok()) {
+    (void)file->Close();
+    return cleanup(st);
   }
-  ::close(fd);
-  return st;
+  st = env->RenameFile(tmp, path);
+  if (!st.ok()) return cleanup(st);
+  return env->SyncDir(path.find_last_of('/') == std::string::npos
+                          ? std::string(".")
+                          : path.substr(0, path.find_last_of('/')));
 }
-
-}  // namespace
 
 Status AtomicWriteFile(const std::string& path, std::string_view contents) {
-  const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Errno("open", tmp);
+  return AtomicWriteFile(Env::Default(), path, contents);
+}
 
-  size_t off = 0;
-  while (off < contents.size()) {
-    ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Status st = Errno("write", tmp);
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return st;
-    }
-    off += static_cast<size_t>(n);
-  }
-
-  if (::fsync(fd) != 0) {
-    Status st = Errno("fsync", tmp);
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    return st;
-  }
-  if (::close(fd) != 0) {
-    Status st = Errno("close", tmp);
-    ::unlink(tmp.c_str());
-    return st;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    Status st = Errno("rename", path);
-    ::unlink(tmp.c_str());
-    return st;
-  }
-  return SyncParentDir(path);
+Result<std::string> ReadFileToString(Env* env, const std::string& path) {
+  return env->ReadFileToString(path);
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::string data;
-  char buf[1 << 16];
-  while (in.read(buf, sizeof buf) || in.gcount() > 0) {
-    data.append(buf, static_cast<size_t>(in.gcount()));
-    if (in.eof()) break;
+  return Env::Default()->ReadFileToString(path);
+}
+
+Result<size_t> SweepStaleTmpFiles(Env* env, const std::string& dir) {
+  if (!env->FileExists(dir)) return size_t{0};
+  auto names_or = env->ListDir(dir);
+  if (!names_or.ok()) return names_or.status();
+  size_t removed = 0;
+  for (const std::string& name : *names_or) {
+    constexpr std::string_view kSuffix = ".tmp";
+    if (name.size() <= kSuffix.size()) continue;
+    if (name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      continue;
+    }
+    HER_RETURN_NOT_OK(env->RemoveFile(dir + "/" + name));
+    ++removed;
   }
-  // eof+fail is the normal end-of-read state; badbit means the stream
-  // lost integrity mid-read (disk error) and the buffer is silently
-  // truncated — exactly the case that must not pass as success.
-  if (in.bad()) return Status::IOError("I/O error reading " + path);
-  return data;
+  return removed;
 }
 
 }  // namespace her

@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/env.h"
 #include "common/status.h"
 
 namespace her {
@@ -12,15 +13,27 @@ namespace her {
 /// fsyncs it, renames it over `path`, then fsyncs the containing
 /// directory so the rename itself is durable. A crash at any point
 /// leaves either the previous good file or the complete new one —
-/// never a partial write. Every writer in the repo (graphs, datasets,
-/// CSVs, snapshots) routes through this.
+/// never a partial write. Every failure path removes the half-written
+/// tmp file (best-effort — a simulated crash also kills the unlink,
+/// which is what the startup sweep below exists for). Every writer in
+/// the repo (graphs, datasets, CSVs, snapshots, WAL truncation) routes
+/// through this.
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view contents);
 Status AtomicWriteFile(const std::string& path, std::string_view contents);
 
 /// Reads a whole file, distinguishing "cannot open" and real I/O errors
 /// (badbit mid-read) from a normal EOF; an empty file yields an empty
 /// string, not an error — format parsers reject it with their own
 /// message.
+Result<std::string> ReadFileToString(Env* env, const std::string& path);
 Result<std::string> ReadFileToString(const std::string& path);
+
+/// Startup sweep next to snapshots/checkpoints: removes every "*.tmp"
+/// file directly inside `dir` — debris a crash between AtomicWriteFile's
+/// tmp write and rename leaves behind. Returns how many were removed.
+/// A missing directory sweeps zero files (not an error).
+Result<size_t> SweepStaleTmpFiles(Env* env, const std::string& dir);
 
 }  // namespace her
 

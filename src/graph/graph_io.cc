@@ -137,16 +137,19 @@ Result<Graph> GraphFromText(std::string_view text) {
   return std::move(builder).Build();
 }
 
-Status SaveGraph(const Graph& g, const std::string& path) {
+Status SaveGraph(const Graph& g, const std::string& path, Env* env) {
   // Atomic install (tmp + fsync + rename): a crash mid-save can never
   // leave a truncated or torn graph file under the final name.
-  return AtomicWriteFile(path, GraphToText(g));
+  return AtomicWriteFile(env != nullptr ? env : Env::Default(), path,
+                         GraphToText(g));
 }
 
-Result<Graph> LoadGraph(const std::string& path) {
-  // ReadFileToString checks the stream after reading, so an I/O error
-  // mid-read surfaces as IOError instead of silently parsing a prefix.
-  HER_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+Result<Graph> LoadGraph(const std::string& path, Env* env) {
+  // ReadFileToString checks for I/O errors after reading, so a failure
+  // mid-read surfaces as a Status instead of silently parsing a prefix.
+  HER_ASSIGN_OR_RETURN(
+      std::string text,
+      ReadFileToString(env != nullptr ? env : Env::Default(), path));
   return GraphFromText(text);
 }
 

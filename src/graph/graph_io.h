@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "graph/graph.h"
 
@@ -20,9 +21,11 @@ std::string GraphToText(const Graph& g);
 /// Parses the format produced by GraphToText.
 Result<Graph> GraphFromText(std::string_view text);
 
-/// File convenience wrappers.
-Status SaveGraph(const Graph& g, const std::string& path);
-Result<Graph> LoadGraph(const std::string& path);
+/// File convenience wrappers; `env` routes the I/O (Env::Default() when
+/// null). Saving installs atomically (tmp + fsync + rename).
+Status SaveGraph(const Graph& g, const std::string& path,
+                 Env* env = nullptr);
+Result<Graph> LoadGraph(const std::string& path, Env* env = nullptr);
 
 /// Escapes/unescapes a label for the single-line format.
 std::string EscapeLabel(std::string_view label);

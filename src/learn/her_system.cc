@@ -122,7 +122,7 @@ uint64_t HerSystem::Fingerprint() const {
                           config_.learn.seed);
 }
 
-Status HerSystem::SaveSnapshot(const std::string& path) const {
+Status HerSystem::SaveSnapshot(const std::string& path, Env* env) const {
   if (!trained_) {
     return Status::FailedPrecondition(
         "SaveSnapshot requires a trained system");
@@ -147,7 +147,7 @@ Status HerSystem::SaveSnapshot(const std::string& path) const {
   }
   engine_->SaveEngineState(snap.AddSection("engine_state"));
   engine_->SaveWarmCaches(snap.AddSection("warm_caches"));
-  return snap.WriteToFile(path);
+  return snap.WriteToFile(path, env);
 }
 
 Status HerSystem::LoadModelsFromSnapshot(ByteReader* r) {
@@ -194,7 +194,8 @@ Status HerSystem::LoadModelsFromSnapshot(ByteReader* r) {
 
 void HerSystem::TrainOrLoad(const std::string& snapshot_path,
                             std::span<const PathPairExample> path_pairs,
-                            std::span<const Annotation> validation) {
+                            std::span<const Annotation> validation,
+                            Env* env) {
   training_pairs_.assign(path_pairs.begin(), path_pairs.end());
   double snap_seconds = 0.0;
 
@@ -208,7 +209,7 @@ void HerSystem::TrainOrLoad(const std::string& snapshot_path,
                  "snapshot-covered); training cold" << std::endl;
   } else {
     WallTimer t;
-    auto snap_or = SnapshotReader::Open(snapshot_path, Fingerprint());
+    auto snap_or = SnapshotReader::Open(snapshot_path, Fingerprint(), env);
     snap_seconds += t.Seconds();
     if (snap_or.ok()) {
       snap.emplace(std::move(snap_or).value());
@@ -362,7 +363,7 @@ void HerSystem::TrainOrLoad(const std::string& snapshot_path,
   // Self-priming: whenever anything was rebuilt, persist the refreshed
   // snapshot so the next restart starts fully warm.
   if (!warm_models || !warm_ptable || !warm_params || !warm_ann) {
-    const Status st = SaveSnapshot(snapshot_path);
+    const Status st = SaveSnapshot(snapshot_path, env);
     if (!st.ok()) {
       std::cerr << "her: snapshot save failed (" << st.ToString() << ")"
                 << std::endl;

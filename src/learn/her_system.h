@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ann/ivf_index.h"
+#include "common/env.h"
 #include "core/candidates.h"
 #include "core/drivers.h"
 #include "core/match_engine.h"
@@ -74,12 +75,13 @@ class HerSystem {
   /// start leaves Stats::ptable_build_seconds at zero.
   void TrainOrLoad(const std::string& snapshot_path,
                    std::span<const PathPairExample> path_pairs,
-                   std::span<const Annotation> validation);
+                   std::span<const Annotation> validation,
+                   Env* env = nullptr);
 
   /// Saves trained models, tuned thresholds, the property table and the
   /// engine's warm caches to `path` (checksummed snapshot, atomically
   /// installed). Requires a trained system.
-  Status SaveSnapshot(const std::string& path) const;
+  Status SaveSnapshot(const std::string& path, Env* env = nullptr) const;
 
   /// Binds snapshots and BSP checkpoints to this exact setup: digests of
   /// G_D and G, the configured thresholds and the training seed.

@@ -15,6 +15,7 @@
 
 #include "common/bytes.h"
 #include "common/check.h"
+#include "common/file_util.h"
 #include "common/proc_stats.h"
 #include "common/timer.h"
 #include "parallel/wire_format.h"
@@ -389,7 +390,7 @@ Status WriteBspCheckpoint(const CheckpointOptions& ckpt, size_t next_round,
     w->PutVarint(next_round);  // this shard's epoch
     w->PutU64(roots_digest);
     SaveWorker(*workers[f], w);
-    HER_RETURN_NOT_OK(shard.WriteToFile(ShardPath(ckpt, f)));
+    HER_RETURN_NOT_OK(shard.WriteToFile(ShardPath(ckpt, f), ckpt.env));
     (*shard_epochs)[f] = next_round;
   }
   SnapshotWriter snap(ckpt.fingerprint);
@@ -403,7 +404,7 @@ Status WriteBspCheckpoint(const CheckpointOptions& ckpt, size_t next_round,
   meta->PutDouble(result.simulated_seconds);
   meta->PutVarint(shard_epochs->size());
   for (const uint64_t e : *shard_epochs) meta->PutVarint(e);
-  return snap.WriteToFile(MetaPath(ckpt));
+  return snap.WriteToFile(MetaPath(ckpt), ckpt.env);
 }
 
 /// Progress counters restored alongside the worker state, so a resumed
@@ -427,7 +428,8 @@ Status TryRestoreBspMeta(const CheckpointOptions& ckpt, uint64_t roots_digest,
                                 ? SnapshotReader::kAnyFingerprint
                                 : ckpt.fingerprint;
   HER_ASSIGN_OR_RETURN(SnapshotReader snap,
-                       SnapshotReader::Open(MetaPath(ckpt), expected));
+                       SnapshotReader::Open(MetaPath(ckpt), expected,
+                                            ckpt.env));
   HER_ASSIGN_OR_RETURN(ByteReader meta, snap.Section(kBspMetaSection));
   uint64_t next_round = 0;
   uint64_t stored_workers = 0;
@@ -486,7 +488,7 @@ Status TryRestoreShard(const CheckpointOptions& ckpt, uint32_t fragment,
                                 : ckpt.fingerprint;
   HER_ASSIGN_OR_RETURN(
       SnapshotReader snap,
-      SnapshotReader::Open(ShardPath(ckpt, fragment), expected));
+      SnapshotReader::Open(ShardPath(ckpt, fragment), expected, ckpt.env));
   HER_ASSIGN_OR_RETURN(ByteReader r, snap.Section(kBspShardSection));
   uint64_t frag = 0;
   uint64_t epoch = 0;
@@ -649,6 +651,16 @@ ParallelResult BspAllMatch::RunOnCandidates(std::vector<MatchPair> candidates,
   std::vector<uint8_t> bootstrap(n, 0);
   bool any_bootstrap = false;
   if (ckpt_enabled && ckpt.resume) {
+    // A crash mid-install leaves orphaned *.tmp files next to the shards;
+    // sweep them before restore so debris never accumulates across runs.
+    auto swept = SweepStaleTmpFiles(ckpt.env != nullptr ? ckpt.env
+                                                        : Env::Default(),
+                                    ckpt.dir);
+    if (swept.ok() && *swept > 0) {
+      std::cerr << "her: swept " << *swept
+                << " stale checkpoint tmp file(s) in " << ckpt.dir
+                << std::endl;
+    }
     RestoredProgress progress;
     const Status st = TryRestoreBspMeta(ckpt, roots_digest, n, &progress);
     if (st.ok()) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/run_options.h"
 #include "common/status.h"
 #include "core/candidates.h"
@@ -47,6 +48,9 @@ struct CheckpointOptions {
   /// kill-and-resume harness uses this as a deterministic SIGKILL point.
   /// 0 disables.
   size_t halt_after_supersteps = 0;
+  /// Filesystem the checkpoint shards + meta go through. Null =
+  /// Env::Default(); the chaos harness passes a FaultFsEnv. Borrowed.
+  Env* env = nullptr;
 };
 
 /// Configuration of the shared-nothing BSP runtime (Section VI-B). One

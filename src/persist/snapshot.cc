@@ -66,13 +66,15 @@ std::string SnapshotWriter::Serialize() const {
   return out;
 }
 
-Status SnapshotWriter::WriteToFile(const std::string& path) const {
-  return AtomicWriteFile(path, Serialize());
+Status SnapshotWriter::WriteToFile(const std::string& path, Env* env) const {
+  return AtomicWriteFile(env ? env : Env::Default(), path, Serialize());
 }
 
 Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
-                                            uint64_t expected_fingerprint) {
-  HER_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+                                            uint64_t expected_fingerprint,
+                                            Env* env) {
+  HER_ASSIGN_OR_RETURN(std::string data,
+                       ReadFileToString(env ? env : Env::Default(), path));
   return Parse(std::move(data), expected_fingerprint);
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/env.h"
 #include "common/status.h"
 
 namespace her {
@@ -50,8 +51,10 @@ class SnapshotWriter {
   /// Serializes header + index + payloads into one buffer.
   std::string Serialize() const;
 
-  /// Atomic install: tmp file, fsync, rename, fsync directory.
-  Status WriteToFile(const std::string& path) const;
+  /// Atomic install: tmp file, fsync, rename, fsync directory — through
+  /// `env` (Env::Default() when null). An ENOSPC/EIO anywhere in the
+  /// sequence leaves the previous snapshot untouched under `path`.
+  Status WriteToFile(const std::string& path, Env* env = nullptr) const;
 
  private:
   struct Section {
@@ -72,10 +75,12 @@ class SnapshotWriter {
 /// rest — the caller cold-rebuilds just that section.
 class SnapshotReader {
  public:
-  /// Reads and validates `path`. `expected_fingerprint` must match the
-  /// stored one; pass `kAnyFingerprint` to skip the binding check.
+  /// Reads and validates `path` through `env` (Env::Default() when
+  /// null). `expected_fingerprint` must match the stored one; pass
+  /// `kAnyFingerprint` to skip the binding check.
   static Result<SnapshotReader> Open(const std::string& path,
-                                     uint64_t expected_fingerprint);
+                                     uint64_t expected_fingerprint,
+                                     Env* env = nullptr);
 
   /// Same validation over an in-memory buffer (takes ownership).
   static Result<SnapshotReader> Parse(std::string data,

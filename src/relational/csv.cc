@@ -173,16 +173,18 @@ std::string RelationToCsv(const Relation& relation) {
   return out;
 }
 
-Result<std::string> ReadFile(const std::string& path) {
-  // Checks the stream after the read loop: an I/O error mid-file is an
-  // IOError, never a silently truncated relation.
-  return ReadFileToString(path);
+Result<std::string> ReadFile(const std::string& path, Env* env) {
+  // Checks for I/O errors after the read loop: a failure mid-file is a
+  // Status, never a silently truncated relation.
+  return ReadFileToString(env != nullptr ? env : Env::Default(), path);
 }
 
-Status WriteFile(const std::string& path, std::string_view content) {
+Status WriteFile(const std::string& path, std::string_view content,
+                 Env* env) {
   // Atomic install (tmp + fsync + rename): a crash mid-write can never
   // leave a torn CSV/graph/annotation file under the final name.
-  return AtomicWriteFile(path, content);
+  return AtomicWriteFile(env != nullptr ? env : Env::Default(), path,
+                         content);
 }
 
 }  // namespace her

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "relational/relational.h"
 
@@ -34,11 +35,13 @@ Status LoadRelationFromCsv(std::string_view csv_text, Relation* relation);
 /// Writes the relation (with a leading key column) as CSV text.
 std::string RelationToCsv(const Relation& relation);
 
-/// Reads a whole file into a string.
-Result<std::string> ReadFile(const std::string& path);
+/// Reads a whole file into a string through `env` (Env::Default() when
+/// null).
+Result<std::string> ReadFile(const std::string& path, Env* env = nullptr);
 
-/// Writes a string to a file, truncating.
-Status WriteFile(const std::string& path, std::string_view content);
+/// Replaces the file atomically (tmp + fsync + rename) through `env`.
+Status WriteFile(const std::string& path, std::string_view content,
+                 Env* env = nullptr);
 
 }  // namespace her
 

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <iostream>
+#include <mutex>
 #include <thread>
 
 #include "common/bytes.h"
 #include "common/check.h"
+#include "common/file_util.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "learn/metrics.h"
@@ -53,7 +56,9 @@ const char* OpOutcomeName(OpOutcome outcome) {
 }
 
 HerServer::HerServer(ServeConfig config, const GeneratedDataset& data)
-    : config_(std::move(config)), data_(&data) {
+    : config_(std::move(config)),
+      data_(&data),
+      env_(config_.env != nullptr ? config_.env : Env::Default()) {
   // Logical edge state starts as the base graph, with its label dictionary
   // as the stable label space every rebuilt Graph re-interns in id order.
   edges_.resize(data.g.num_vertices());
@@ -76,6 +81,12 @@ Result<std::unique_ptr<HerServer>> HerServer::Open(
                            "': " + ec.message());
   }
   std::unique_ptr<HerServer> server(new HerServer(std::move(config), data));
+  // A crash between "write tmp" and "rename into place" leaves orphaned
+  // *.tmp debris no live process will ever clean up; sweep it before any
+  // recovery read can get confused by it.
+  HER_ASSIGN_OR_RETURN(const size_t swept,
+                       SweepStaleTmpFiles(server->env_, server->config_.dir));
+  server->stats_.tmp_files_swept = swept;
   HER_RETURN_NOT_OK(server->Recover());
   return server;
 }
@@ -85,7 +96,7 @@ Status HerServer::Recover() {
   system_ = std::make_unique<HerSystem>(data_->canonical, data_->g,
                                         config_.her);
   system_->TrainOrLoad(config_.dir + "/model.snap", data_->path_pairs,
-                       split.validation);
+                       split.validation, env_);
   // The binding key of serve.state and serve.wal: the fingerprint of the
   // BASE setup (graphs, thresholds, seed), captured before any mutation.
   fingerprint_ = system_->Fingerprint();
@@ -106,7 +117,7 @@ Status HerServer::Recover() {
 
   const std::string wal_path = config_.dir + "/serve.wal";
   size_t wal_valid_bytes = 0;
-  auto replay = ReadWal(wal_path);
+  auto replay = ReadWal(wal_path, env_);
   if (replay.ok()) {
     if (replay->fingerprint != fingerprint_) {
       return Status::FailedPrecondition(
@@ -124,7 +135,7 @@ Status HerServer::Recover() {
   }
 
   HER_ASSIGN_OR_RETURN(wal_, WalWriter::Open(wal_path, fingerprint_,
-                                             wal_valid_bytes));
+                                             wal_valid_bytes, env_));
   recovered_max_seq_ = last_seq_;
   phase_ = ServePhase::kServing;
   return Status::OK();
@@ -133,7 +144,7 @@ Status HerServer::Recover() {
 Status HerServer::LoadStateSnapshot(bool* loaded) {
   *loaded = false;
   const std::string path = config_.dir + "/serve.state";
-  auto reader = SnapshotReader::Open(path, fingerprint_);
+  auto reader = SnapshotReader::Open(path, fingerprint_, env_);
   if (!reader.ok()) {
     // Missing, damaged or stale snapshots degrade to the base state (the
     // WAL still replays on top); only programming errors would make this
@@ -463,6 +474,7 @@ double HerServer::BacklogSeconds() const {
 }
 
 OpResult HerServer::Submit(const ServeOp& op) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpResult result;
   WallTimer timer;
   const bool is_write = IsWriteOp(op.kind);
@@ -502,6 +514,15 @@ OpResult HerServer::ServeWrite(const ServeOp& op) {
     return result;
   };
 
+  // Degraded durability: every write submission first gives the repair a
+  // (backoff-gated) chance; if the server is still degraded the write is
+  // refused — nothing that cannot be durably logged gets acknowledged.
+  if (!MaybeRepairLocked()) {
+    return reject(Status::ResourceExhausted(
+        "serve: durability degraded (" + degraded_reason_.ToString() +
+        "); write refused until checkpoint repair succeeds"));
+  }
+
   Mutation m;
   m.seq = op.seq;
   m.kind = op.kind;
@@ -528,8 +549,18 @@ OpResult HerServer::ServeWrite(const ServeOp& op) {
 
   // Durability point: the mutation is CRC-framed and fsync'd BEFORE any
   // state changes — an acknowledged write survives SIGKILL from here on.
-  const Status logged = wal_->Append(EncodeMutation(m));
-  if (!logged.ok()) return reject(logged);
+  // A failed append (ENOSPC, EIO, failed fsync) must never acknowledge:
+  // the op is rejected, last_seq_ stays (the client may retry the seq),
+  // and the server degrades — the log tail is indeterminate until a
+  // checkpoint repair replaces the file.
+  const Status logged =
+      wal_ != nullptr ? wal_->Append(EncodeMutation(m))
+                      : Status::IOError("serve: WAL writer unavailable");
+  if (!logged.ok()) {
+    ++stats_.wal_append_failures;
+    EnterDegraded(logged);
+    return reject(logged);
+  }
   last_seq_ = op.seq;
 
   if (PlannedFailures(m.seq) > config_.max_apply_retries) {
@@ -544,13 +575,18 @@ OpResult HerServer::ServeWrite(const ServeOp& op) {
       pending_.push_back(m);
       if (pending_.size() >= config_.apply_batch) {
         ApplyPending(std::chrono::milliseconds{0});
-        if (config_.checkpoint_every > 0 &&
-            applied_since_checkpoint_ >= config_.checkpoint_every) {
-          // Snapshot compaction failing is not a request failure; the WAL
-          // still covers everything.
-          (void)Checkpoint();
-        }
       }
+    }
+    // Checkpoint cadence is counted in APPLIED mutations, wherever the
+    // apply happened — reads flush the queue too, so gating this on a
+    // full write batch would let a read-heavy workload starve the
+    // snapshot cadence indefinitely.
+    if (config_.checkpoint_every > 0 &&
+        applied_since_checkpoint_ >= config_.checkpoint_every) {
+      // Snapshot compaction failing is not a request failure — this op
+      // is already durably logged; the failure degrades durability for
+      // FUTURE writes instead (handled inside).
+      (void)CheckpointLocked();
     }
   }
 
@@ -661,30 +697,95 @@ Status HerServer::WriteStateSnapshot() const {
     feedback->PutVarint(pair.second);
     feedback->PutU8(verdict ? 1 : 0);
   }
-  return writer.WriteToFile(config_.dir + "/serve.state");
+  return writer.WriteToFile(config_.dir + "/serve.state", env_);
 }
 
 Status HerServer::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+Status HerServer::CheckpointLocked() {
   // Flush so the snapshot covers a clean prefix: every admitted op is
   // either applied or quarantined when the state file is cut.
   ApplyPending(std::chrono::milliseconds{0});
+  const uint64_t prev_applied = applied_seq_;
   applied_seq_ = last_seq_;
-  HER_RETURN_NOT_OK(WriteStateSnapshot());
+  Status st = WriteStateSnapshot();
+  if (!st.ok()) {
+    // Atomic install failed closed: the previous serve.state is untouched
+    // and still pairs with the full WAL. Roll the in-memory frontier back
+    // to match the disk that actually exists.
+    applied_seq_ = prev_applied;
+    ++stats_.checkpoint_failures;
+    EnterDegraded(st);
+    return st;
+  }
   // Truncation replaces the log file (rename); reopen the writer on the
   // new inode. Crash between the two leaves snapshot + full WAL — replay
   // skips everything at or below the snapshot's applied seq.
-  HER_RETURN_NOT_OK(TruncateWal(config_.dir + "/serve.wal", fingerprint_));
-  HER_ASSIGN_OR_RETURN(wal_, WalWriter::Open(config_.dir + "/serve.wal",
-                                             fingerprint_, 0));
+  st = TruncateWal(config_.dir + "/serve.wal", fingerprint_, env_);
+  if (!st.ok()) {
+    ++stats_.checkpoint_failures;
+    EnterDegraded(st);
+    return st;
+  }
+  auto writer = WalWriter::Open(config_.dir + "/serve.wal", fingerprint_, 0,
+                                env_);
+  if (!writer.ok()) {
+    // The old handle appends to the renamed-over inode; frames written
+    // there would vanish. Drop it — degraded mode keeps writes out until
+    // a repair reopens the log.
+    wal_.reset();
+    ++stats_.checkpoint_failures;
+    EnterDegraded(writer.status());
+    return writer.status();
+  }
+  wal_ = std::move(writer).value();
   applied_since_checkpoint_ = 0;
   ++stats_.checkpoints;
+  if (degraded_) {
+    degraded_ = false;
+    degraded_reason_ = Status::OK();
+    ++stats_.durability_repairs;
+    std::cerr << "serve: durability repaired (checkpoint succeeded); "
+                 "accepting writes again" << std::endl;
+  }
   return Status::OK();
 }
 
+void HerServer::EnterDegraded(const Status& why) {
+  degraded_reason_ = why;
+  if (degraded_) return;  // ongoing episode keeps its backoff schedule
+  degraded_ = true;
+  ++stats_.durability_degraded;
+  repair_attempts_ = 0;
+  writes_until_repair_ = 0;  // first repair attempt is immediate
+  std::cerr << "serve: durability degraded (" << why.ToString()
+            << "); rejecting writes, serving reads, retrying checkpoint "
+               "with backoff" << std::endl;
+}
+
+bool HerServer::MaybeRepairLocked() {
+  if (!degraded_) return true;
+  if (writes_until_repair_ > 0) {
+    --writes_until_repair_;
+    return false;
+  }
+  if (CheckpointLocked().ok()) return true;  // success clears degraded_
+  // Exponential op-count backoff: the k-th failed repair waits 2^k write
+  // submissions (capped) before the next attempt, so a persistently full
+  // disk is not hammered with a snapshot write per rejected op.
+  ++repair_attempts_;
+  writes_until_repair_ = 1ull << std::min(repair_attempts_, 8);
+  return false;
+}
+
 Status HerServer::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (phase_ == ServePhase::kStopped) return Status::OK();
   phase_ = ServePhase::kDraining;
-  const Status st = Checkpoint();
+  const Status st = CheckpointLocked();
   phase_ = ServePhase::kStopped;
   return st;
 }

@@ -4,10 +4,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/env.h"
 #include "common/hash.h"
 #include "common/status.h"
 #include "datagen/dataset.h"
@@ -127,6 +129,10 @@ struct ServeConfig {
   uint64_t fault_seed = 0;
   double apply_fail_prob = 0.0;
   double poison_prob = 0.0;
+  /// Filesystem every durable byte goes through — model.snap, serve.state,
+  /// serve.wal, tmp sweeps. Null = Env::Default(); tests and the chaos
+  /// harness pass a FaultFsEnv here. Borrowed; must outlive the server.
+  Env* env = nullptr;
 };
 
 struct ServeStats {
@@ -143,6 +149,11 @@ struct ServeStats {
   uint64_t wal_records_replayed = 0;
   uint64_t wal_bytes_discarded = 0;  // damaged WAL tail dropped at recovery
   uint64_t checkpoints = 0;
+  uint64_t checkpoint_failures = 0;   // snapshot/truncate/reopen failures
+  uint64_t wal_append_failures = 0;   // writes refused at the durability point
+  uint64_t durability_degraded = 0;   // times the server entered degraded mode
+  uint64_t durability_repairs = 0;    // degraded episodes ended by a repair
+  uint64_t tmp_files_swept = 0;       // stale *.tmp debris removed at Open
   bool recovered = false;  // state came from snapshot/WAL, not cold start
 };
 
@@ -153,9 +164,18 @@ struct ServeStats {
 /// applied through HerSystem::UpdateGraph, so Open() replays snapshot +
 /// WAL back to the exact acknowledged state.
 ///
-/// Single-threaded by design: ops are admitted and served in submission
-/// order (the BSP engine underneath parallelizes within a query), which
-/// is what makes the kill-replay bit-equality matrix testable.
+/// Storage failures follow the degraded-durability contract: a checkpoint
+/// or WAL-append failure (ENOSPC, EIO, failed fsync) never corrupts the
+/// on-disk pair — the previous snapshot + WAL stay replayable — and flips
+/// the server into degraded mode: reads keep being served, writes are
+/// rejected with ResourceExhausted (nothing unlogged is ever acknowledged),
+/// and each write submission retries the checkpoint repair under op-count
+/// exponential backoff until one succeeds.
+///
+/// Ops are admitted and served in submission order under one mutex (the
+/// BSP engine underneath parallelizes within a query), which is what makes
+/// the kill-replay bit-equality matrix testable; Submit/Checkpoint/Drain
+/// are safe to call from concurrent threads.
 class HerServer {
  public:
   /// Warm-starts (TrainOrLoad), then recovers: state snapshot first, then
@@ -183,8 +203,16 @@ class HerServer {
   Status Checkpoint();
 
   ServePhase phase() const { return phase_; }
+  /// Stats are mutated under the server mutex; read them quiesced (no
+  /// concurrent Submit/Checkpoint in flight).
   const ServeStats& stats() const { return stats_; }
   HerSystem& system() { return *system_; }
+
+  /// True while storage failures have writes rejected (see class comment).
+  bool durability_degraded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return degraded_;
+  }
 
   /// Highest op seq durably recovered at Open (0 on a cold start); a
   /// resuming driver skips everything at or below it.
@@ -215,6 +243,17 @@ class HerServer {
   Status ReplayWalRecords(const std::vector<std::string>& records);
   Status WriteStateSnapshot() const;
 
+  /// Checkpoint body; caller holds mu_. On failure the previous on-disk
+  /// snapshot + WAL stay usable and the server enters degraded mode.
+  Status CheckpointLocked();
+  /// Flips into degraded-durability mode (idempotent; keeps the backoff
+  /// schedule of an ongoing episode, refreshes the reason).
+  void EnterDegraded(const Status& why);
+  /// Degraded-mode repair gate, called per write submission: attempts
+  /// CheckpointLocked() under op-count exponential backoff (first attempt
+  /// immediate). Returns true when the server is (back) in good standing.
+  bool MaybeRepairLocked();
+
   /// Validation against the logical edge state (applied + queued).
   Status ValidateMutation(const Mutation& m) const;
   /// Mutates the logical edge/feedback state (no engine work).
@@ -241,10 +280,20 @@ class HerServer {
 
   ServeConfig config_;
   const GeneratedDataset* data_;
+  Env* env_ = nullptr;
   std::unique_ptr<HerSystem> system_;
   std::unique_ptr<WalWriter> wal_;
   uint64_t fingerprint_ = 0;
   ServePhase phase_ = ServePhase::kStarting;
+
+  /// Serializes Submit/Checkpoint/Drain (and guards everything below).
+  mutable std::mutex mu_;
+
+  /// Degraded-durability episode state (see class comment).
+  bool degraded_ = false;
+  Status degraded_reason_;
+  int repair_attempts_ = 0;
+  uint64_t writes_until_repair_ = 0;
 
   /// Logical graph state: per-src adjacency of (dst, label) with labels
   /// interned in the base graph's dictionary — the stable label space

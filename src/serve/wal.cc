@@ -1,9 +1,5 @@
 #include "serve/wal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 
 #include "common/bytes.h"
@@ -12,10 +8,6 @@
 
 namespace her {
 namespace {
-
-Status Errno(const std::string& op, const std::string& path) {
-  return Status::IOError(op + " " + path + ": " + std::strerror(errno));
-}
 
 uint32_t ReadU32Le(const char* p) {
   uint32_t v = 0;
@@ -40,29 +32,26 @@ std::string WalHeader(uint64_t fingerprint) {
   return w.data();
 }
 
-Status WriteAll(int fd, std::string_view data, const std::string& path) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Errno("write", path);
-    }
-    off += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
 }  // namespace
 
-Result<WalReplay> ReadWal(const std::string& path) {
+Result<WalReplay> ReadWal(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
   // Distinguish "no log yet" (a fresh server, not an error) from an
   // unreadable or damaged file before touching the contents.
-  if (::access(path.c_str(), F_OK) != 0) {
+  if (!env->FileExists(path)) {
     return Status::NotFound("wal: no log at " + path);
   }
-  HER_ASSIGN_OR_RETURN(const std::string data, ReadFileToString(path));
+  HER_ASSIGN_OR_RETURN(const std::string data, env->ReadFileToString(path));
   if (data.size() < kWalHeaderSize) {
+    // A header that never became complete acknowledged nothing: a crash
+    // between creating the log and the first fsync leaves an empty or
+    // magic-prefixed stub, and starting fresh loses no accepted write.
+    // Anything else this short is an alien file and needs an operator.
+    const size_t n = std::min(data.size(), sizeof kWalMagic);
+    if (std::memcmp(data.data(), kWalMagic, n) == 0) {
+      return Status::NotFound("wal: " + path +
+                              " header never completed (torn at creation)");
+    }
     return Status::IOError("wal: " + path + " too short for a header (" +
                            std::to_string(data.size()) + " bytes)");
   }
@@ -99,81 +88,90 @@ Result<WalReplay> ReadWal(const std::string& path) {
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
                                                    uint64_t fingerprint,
-                                                   size_t valid_bytes) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) return Errno("open", path);
-  const off_t end = ::lseek(fd, 0, SEEK_END);
-  if (end < 0) {
-    ::close(fd);
-    return Errno("lseek", path);
+                                                   size_t valid_bytes,
+                                                   Env* env) {
+  if (env == nullptr) env = Env::Default();
+  const bool existed = env->FileExists(path);
+  if (existed) {
+    HER_ASSIGN_OR_RETURN(uint64_t size, env->FileSize(path));
+    if (size > 0 && size < kWalHeaderSize) {
+      // Torn at creation (see ReadWal): if what exists is a prefix of our
+      // magic, no frame was ever acknowledged — recreate from scratch.
+      HER_ASSIGN_OR_RETURN(const std::string head,
+                           env->ReadFilePrefix(path, kWalHeaderSize));
+      const size_t n = std::min(head.size(), sizeof kWalMagic);
+      if (std::memcmp(head.data(), kWalMagic, n) != 0) {
+        return Status::IOError("wal: " + path + " header unreadable");
+      }
+      HER_RETURN_NOT_OK(env->TruncateFile(path, 0));
+    } else if (size > 0) {
+      // Existing log: bind-check the stored header before appending.
+      HER_ASSIGN_OR_RETURN(const std::string head,
+                           env->ReadFilePrefix(path, kWalHeaderSize));
+      if (head.size() < kWalHeaderSize) {
+        return Status::IOError("wal: " + path + " header unreadable");
+      }
+      if (std::memcmp(head.data(), kWalMagic, sizeof kWalMagic) != 0) {
+        return Status::IOError("wal: " + path + " has wrong magic");
+      }
+      const uint64_t stored = ReadU64Le(head.data() + sizeof kWalMagic);
+      if (stored != fingerprint) {
+        return Status::FailedPrecondition(
+            "wal: " + path + " belongs to a different serving setup");
+      }
+      // Drop a damaged tail so new frames never land after garbage.
+      if (valid_bytes >= kWalHeaderSize && valid_bytes < size) {
+        HER_RETURN_NOT_OK(env->TruncateFile(path, valid_bytes));
+      }
+    }
   }
-  size_t size = static_cast<size_t>(end);
+  uint64_t size = 0;
+  HER_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                       env->NewAppendableFile(path, &size));
+  std::unique_ptr<WalWriter> writer(new WalWriter(std::move(file), size));
   if (size == 0) {
     const std::string header = WalHeader(fingerprint);
-    const Status st = WriteAll(fd, header, path);
-    if (!st.ok()) {
-      ::close(fd);
-      return st;
-    }
-    size = header.size();
-  } else {
-    // Existing log: bind-check the stored fingerprint before appending.
-    char buf[kWalHeaderSize];
-    if (::pread(fd, buf, sizeof buf, 0) !=
-        static_cast<ssize_t>(sizeof buf)) {
-      ::close(fd);
-      return Status::IOError("wal: " + path + " header unreadable");
-    }
-    if (std::memcmp(buf, kWalMagic, sizeof kWalMagic) != 0) {
-      ::close(fd);
-      return Status::IOError("wal: " + path + " has wrong magic");
-    }
-    const uint64_t stored = ReadU64Le(buf + sizeof kWalMagic);
-    if (stored != fingerprint) {
-      ::close(fd);
-      return Status::FailedPrecondition(
-          "wal: " + path + " belongs to a different serving setup");
-    }
-    // Drop a damaged tail so new frames never land after garbage.
-    if (valid_bytes >= kWalHeaderSize && valid_bytes < size) {
-      if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
-        ::close(fd);
-        return Errno("ftruncate", path);
-      }
-      if (::lseek(fd, 0, SEEK_END) < 0) {
-        ::close(fd);
-        return Errno("lseek", path);
-      }
-      size = valid_bytes;
-    }
+    HER_RETURN_NOT_OK(writer->file_->Append(header));
+    writer->size_ = header.size();
   }
-  return std::unique_ptr<WalWriter>(new WalWriter(fd, size));
-}
-
-WalWriter::~WalWriter() {
-  if (fd_ >= 0) ::close(fd_);
+  return writer;
 }
 
 Status WalWriter::Append(std::string_view payload, bool sync) {
+  if (!failed_.ok()) {
+    // Sticky: the tail may hold a torn frame from the failed write;
+    // appending a fresh valid frame after it would turn a visible error
+    // into silent corruption at replay.
+    return Status::IOError("wal: writer failed earlier (" +
+                           failed_.ToString() + "); log needs repair");
+  }
   ByteWriter frame;
   frame.PutU32(static_cast<uint32_t>(payload.size()));
   frame.PutU32(Crc32(payload));
   frame.PutBytes(payload.data(), payload.size());
-  HER_RETURN_NOT_OK(WriteAll(fd_, frame.data(), "wal"));
+  const Status st = file_->Append(frame.data());
+  if (!st.ok()) {
+    failed_ = st;
+    return st;
+  }
   size_ += frame.size();
   if (sync) return Sync();
   return Status::OK();
 }
 
 Status WalWriter::Sync() {
-  if (::fsync(fd_) != 0 && errno != EINVAL && errno != ENOTSUP) {
-    return Errno("fsync", "wal");
+  if (!failed_.ok()) {
+    return Status::IOError("wal: writer failed earlier (" +
+                           failed_.ToString() + "); log needs repair");
   }
-  return Status::OK();
+  const Status st = file_->Sync();
+  if (!st.ok()) failed_ = st;
+  return st;
 }
 
-Status TruncateWal(const std::string& path, uint64_t fingerprint) {
-  return AtomicWriteFile(path, WalHeader(fingerprint));
+Status TruncateWal(const std::string& path, uint64_t fingerprint, Env* env) {
+  return AtomicWriteFile(env ? env : Env::Default(), path,
+                         WalHeader(fingerprint));
 }
 
 }  // namespace her

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 
 namespace her {
@@ -50,8 +51,9 @@ struct WalReplay {
 /// magic is an IOError — nothing in it can be trusted, which is different
 /// from a torn tail and needs operator attention rather than a silent
 /// fresh start. Frame-level damage is NOT an error: the valid prefix is
-/// returned with the damage described in the replay report.
-Result<WalReplay> ReadWal(const std::string& path);
+/// returned with the damage described in the replay report. `env` routes
+/// the reads (Env::Default() when null).
+Result<WalReplay> ReadWal(const std::string& path, Env* env = nullptr);
 
 /// Append-only writer. Every Append frames one payload and, by default,
 /// fsyncs before returning — the durability point an accepted mutation is
@@ -65,34 +67,50 @@ class WalWriter {
   /// of one serving setup to the log of another corrupts recovery.
   static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
                                                  uint64_t fingerprint,
-                                                 size_t valid_bytes = 0);
+                                                 size_t valid_bytes = 0,
+                                                 Env* env = nullptr);
 
-  ~WalWriter();
+  ~WalWriter() = default;
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
   /// Frames and appends one payload. With `sync` (the default) the frame
-  /// is fsync'd before returning; group-committing callers may batch
-  /// several unsynced appends and call Sync() once.
+  /// is fsync'd before returning — only then is the op acknowledgeable;
+  /// group-committing callers may batch several unsynced appends and
+  /// call Sync() once.
+  ///
+  /// Failure is STICKY: after any failed append or sync (ENOSPC, EIO, a
+  /// failed fsync) the log's tail is indeterminate — a torn frame may be
+  /// on disk — so every later Append refuses with the original failure
+  /// rather than writing a valid frame after garbage. The owner must
+  /// discard this writer and repair the log (truncate to the valid
+  /// prefix, or compact via snapshot + TruncateWal) before appending
+  /// again.
   Status Append(std::string_view payload, bool sync = true);
 
   /// Flushes every appended frame to stable storage.
   Status Sync();
 
+  /// Non-OK once the writer has failed; see Append on stickiness.
+  const Status& failure() const { return failed_; }
+
   /// Bytes in the log (header + frames) as of the last append.
   size_t size() const { return size_; }
 
  private:
-  WalWriter(int fd, size_t size) : fd_(fd), size_(size) {}
+  WalWriter(std::unique_ptr<WritableFile> file, size_t size)
+      : file_(std::move(file)), size_(size) {}
 
-  int fd_ = -1;
+  std::unique_ptr<WritableFile> file_;
   size_t size_ = 0;
+  Status failed_;
 };
 
 /// Atomically replaces the log at `path` with an empty one holding just
 /// the header (snapshot compaction: once a state snapshot covers every
 /// applied mutation, the old frames are dead weight).
-Status TruncateWal(const std::string& path, uint64_t fingerprint);
+Status TruncateWal(const std::string& path, uint64_t fingerprint,
+                   Env* env = nullptr);
 
 }  // namespace her
 

@@ -21,6 +21,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/file_util.h"
@@ -551,6 +552,41 @@ TEST(ServeRecoveryTest, RestartAfterCleanDrainIsIdempotent) {
   EXPECT_EQ((*second)->stats().wal_records_replayed, 0u);
   EXPECT_GT((*second)->recovered_max_seq(), 0u);
   EXPECT_EQ(Verdicts(**second, data), want);
+}
+
+// Submit/Checkpoint/Drain are documented safe from concurrent threads
+// (one server mutex): a writer thread racing a checkpointer and a read
+// hammer must neither corrupt accounting (every op in exactly one
+// bucket) nor trip TSan — the CI faultfs-soak job runs this under
+// sanitizers.
+TEST(ServeConcurrencyTest, CheckpointRacesSubmitSafely) {
+  const GeneratedDataset data = Generate(SmallSpec(71));
+  const std::string dir = FreshDir("serve_conc");
+  auto server = HerServer::Open(FastConfig(dir), data);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const auto ops = TestWorkload(data, 40);
+  constexpr int kConcurrentReads = 25;
+
+  std::thread checkpointer([&] {
+    for (int i = 0; i < 15; ++i) (void)(*server)->Checkpoint();
+  });
+  std::thread reader([&] {
+    ServeOp op;
+    op.kind = OpKind::kSPair;
+    op.u = data.annotations[0].u;
+    op.v = data.annotations[0].v;
+    for (int i = 0; i < kConcurrentReads; ++i) (void)(*server)->Submit(op);
+  });
+  for (const ServeOp& op : ops) (*server)->Submit(op);
+  checkpointer.join();
+  reader.join();
+
+  const ServeStats& st = (*server)->stats();
+  EXPECT_EQ(st.accepted_writes + st.rejected_writes + st.accepted_reads +
+                st.degraded_reads + st.rejected_reads,
+            ops.size() + kConcurrentReads);
+  ASSERT_TRUE((*server)->Drain().ok());
+  EXPECT_EQ((*server)->queue_depth(), 0u);
 }
 
 TEST(ServeFaultTest, QuarantineDecisionsReplayDeterministically) {

@@ -76,6 +76,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/env.h"
 #include "common/file_util.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -122,13 +123,45 @@ int Usage() {
                "      [--checkpoint-every=N] [--fault-seed=S]\n"
                "      [--apply-fail-prob=P] [--poison-prob=P]\n"
                "      [--kill-at-op=N] [--bench-out=FILE]\n"
-               "      [--verdicts-out=FILE]\n");
+               "      [--verdicts-out=FILE]\n"
+               "      [--faultfs-seed=S] [--faultfs-enospc-after-mb=N]\n"
+               "      [--faultfs-fail-at-op=N] [--faultfs-fail-op-count=N]\n"
+               "      [--faultfs-fail-kind=eio|enospc|short|fsync|crash]\n"
+               "      [--faultfs-path-filter=SUBSTR]\n"
+               "      [--faultfs-write-fail-prob=P] "
+               "[--faultfs-read-fail-prob=P]\n");
   return 2;
 }
 
 int Fail(const Status& s) {
   std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
   return 1;
+}
+
+/// Recovery-failure triage for `serve`: a distinct exit code per failure
+/// class plus one structured stderr line, so the chaos harness (and an
+/// operator's runbook) can branch on WHAT failed without parsing prose.
+///   40 = storage   — the I/O layer failed (ENOSPC, EIO, injected fault);
+///                    retrying on healthy storage can succeed;
+///   41 = corruption — the bytes on disk are not a valid log/snapshot;
+///                    needs repair or restore, retrying will not help;
+///   42 = fingerprint_mismatch — durable state from a DIFFERENT setup
+///                    (dataset, params or seed changed under the dir).
+int FailServeRecovery(const Status& s) {
+  const std::string text = s.ToString();
+  const char* cls = "corruption";
+  int code = 41;
+  if (s.code() == StatusCode::kFailedPrecondition) {
+    cls = "fingerprint_mismatch";
+    code = 42;
+  } else if (s.code() == StatusCode::kResourceExhausted ||
+             text.find("storage:") != std::string::npos) {
+    cls = "storage";
+    code = 40;
+  }
+  std::fprintf(stderr, "serve-recovery-failed class=%s exit=%d status=%s\n",
+               cls, code, text.c_str());
+  return code;
 }
 
 Result<DatasetSpec> SpecFor(const std::string& profile, int entities,
@@ -496,6 +529,8 @@ int CmdServe(int argc, char** argv) {
   std::string bench_out;
   std::string verdicts_out;
   ServeConfig config;
+  FaultFsPlan faultfs_plan;
+  bool faultfs_enabled = false;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--ops=", 0) == 0) {
@@ -528,6 +563,34 @@ int CmdServe(int argc, char** argv) {
       config.poison_prob = std::strtod(a.c_str() + 14, nullptr);
     } else if (a.rfind("--kill-at-op=", 0) == 0) {
       kill_at_op = std::strtoull(a.c_str() + 13, nullptr, 10);
+    } else if (a.rfind("--faultfs-seed=", 0) == 0) {
+      faultfs_plan.seed = std::strtoull(a.c_str() + 15, nullptr, 10);
+      faultfs_enabled = true;
+    } else if (a.rfind("--faultfs-enospc-after-mb=", 0) == 0) {
+      faultfs_plan.enospc_after_bytes =
+          std::strtoull(a.c_str() + 26, nullptr, 10) * (1ull << 20);
+      faultfs_enabled = true;
+    } else if (a.rfind("--faultfs-fail-at-op=", 0) == 0) {
+      faultfs_plan.fail_at_op = std::strtoull(a.c_str() + 21, nullptr, 10);
+      faultfs_enabled = true;
+    } else if (a.rfind("--faultfs-fail-op-count=", 0) == 0) {
+      faultfs_plan.fail_op_count =
+          std::strtoull(a.c_str() + 24, nullptr, 10);
+      faultfs_enabled = true;
+    } else if (a.rfind("--faultfs-fail-kind=", 0) == 0) {
+      auto kind = ParseFaultKind(a.substr(20));
+      if (!kind.ok()) return Fail(kind.status());
+      faultfs_plan.fail_kind = *kind;
+      faultfs_enabled = true;
+    } else if (a.rfind("--faultfs-path-filter=", 0) == 0) {
+      faultfs_plan.path_filter = a.substr(22);
+      faultfs_enabled = true;
+    } else if (a.rfind("--faultfs-write-fail-prob=", 0) == 0) {
+      faultfs_plan.write_fail_prob = std::strtod(a.c_str() + 26, nullptr);
+      faultfs_enabled = true;
+    } else if (a.rfind("--faultfs-read-fail-prob=", 0) == 0) {
+      faultfs_plan.read_fail_prob = std::strtod(a.c_str() + 25, nullptr);
+      faultfs_enabled = true;
     } else if (a.rfind("--bench-out=", 0) == 0) {
       bench_out = a.substr(12);
     } else if (a.rfind("--verdicts-out=", 0) == 0) {
@@ -546,8 +609,20 @@ int CmdServe(int argc, char** argv) {
   const auto data =
       std::make_unique<GeneratedDataset>(std::move(data_or).value());
   config.dir = pos[1];
+  std::unique_ptr<FaultFsEnv> faultfs;
+  if (faultfs_enabled) {
+    faultfs = std::make_unique<FaultFsEnv>(Env::Default(), faultfs_plan);
+    config.env = faultfs.get();
+    std::printf("faultfs: seed=%llu kind=%s fail_at_op=%llu count=%llu "
+                "filter='%s'\n",
+                static_cast<unsigned long long>(faultfs_plan.seed),
+                FaultKindName(faultfs_plan.fail_kind),
+                static_cast<unsigned long long>(faultfs_plan.fail_at_op),
+                static_cast<unsigned long long>(faultfs_plan.fail_op_count),
+                faultfs_plan.path_filter.c_str());
+  }
   auto server_or = HerServer::Open(config, *data);
-  if (!server_or.ok()) return Fail(server_or.status());
+  if (!server_or.ok()) return FailServeRecovery(server_or.status());
   HerServer& server = **server_or;
   if (server.stats().recovered) {
     std::printf("recovered: %zu WAL record(s) replayed, %zu byte(s) "
@@ -617,6 +692,9 @@ int CmdServe(int argc, char** argv) {
       "%zu degraded, %zu rejected\n"
       "  applied %zu mutation(s) in %zu batch(es), %zu retries, %zu parked, "
       "%zu quarantined, %zu checkpoint(s)\n"
+      "  durability: %zu degraded episode(s), %zu repair(s), "
+      "%zu checkpoint failure(s), %zu WAL append failure(s), "
+      "%zu tmp file(s) swept\n"
       "  accepted-read latency ms: p50 %.2f p95 %.2f p99 %.2f\n",
       submitted, skipped,
       run_seconds > 0 ? static_cast<double>(submitted) / run_seconds : 0.0,
@@ -631,6 +709,11 @@ int CmdServe(int argc, char** argv) {
       static_cast<size_t>(st.apply_parked),
       static_cast<size_t>(st.quarantined),
       static_cast<size_t>(st.checkpoints),
+      static_cast<size_t>(st.durability_degraded),
+      static_cast<size_t>(st.durability_repairs),
+      static_cast<size_t>(st.checkpoint_failures),
+      static_cast<size_t>(st.wal_append_failures),
+      static_cast<size_t>(st.tmp_files_swept),
       PercentileMs(accepted_read_lat, 0.50),
       PercentileMs(accepted_read_lat, 0.95),
       PercentileMs(accepted_read_lat, 0.99));
@@ -683,6 +766,18 @@ int CmdServe(int argc, char** argv) {
     add_u64("wal_records_replayed", st.wal_records_replayed);
     add_u64("wal_bytes_discarded", st.wal_bytes_discarded);
     add_u64("checkpoints", st.checkpoints);
+    add_u64("checkpoint_failures", st.checkpoint_failures);
+    add_u64("wal_append_failures", st.wal_append_failures);
+    add_u64("durability_degraded", st.durability_degraded);
+    add_u64("durability_repairs", st.durability_repairs);
+    add_u64("tmp_files_swept", st.tmp_files_swept);
+    if (faultfs != nullptr) {
+      const FaultFsStats fs = faultfs->stats();
+      add_u64("faultfs_mutating_ops", fs.mutating_ops);
+      add_u64("faultfs_faults_injected", fs.faults_injected);
+      add_u64("faultfs_files_poisoned", fs.files_poisoned);
+      add_u64("faultfs_crashed", fs.crashed ? 1 : 0);
+    }
     add_u64("recovered", st.recovered ? 1 : 0);
     add_f("read_p50_ms", PercentileMs(accepted_read_lat, 0.50));
     add_f("read_p95_ms", PercentileMs(accepted_read_lat, 0.95));

@@ -19,19 +19,24 @@ BUILD_DIR="${3:-build-stress}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHER_SANITIZE=thread -DHER_FAULTS=ON
 cmake --build "$BUILD_DIR" -j --target fault_tolerance_test parallel_test \
-  serve_test
+  serve_test faultfs_test
 
 for ((i = 0; i < ROUNDS; ++i)); do
   offset=$((SEED + i))
   echo "=== stress round $((i + 1))/${ROUNDS}: HER_STRESS_SEED=${offset} ==="
   HER_STRESS_SEED="$offset" "$BUILD_DIR/tests/fault_tolerance_test"
+  # Storage-layer chaos under the same rotating seed: the probabilistic
+  # FaultFs schedules (checkpoint write faults, fsync gates) shift each
+  # round while the op-indexed crash matrices stay pinned.
+  HER_STRESS_SEED="$offset" "$BUILD_DIR/tests/faultfs_test"
 done
 # The fault-free parallel suite under the same TSan build: the injection
 # probes must not have introduced races on the clean path either.
 "$BUILD_DIR/tests/parallel_test"
 # Serving-layer fault path under the same HER_FAULTS build: poisoned-op
-# quarantine decisions must replay deterministically across a crash.
+# quarantine decisions must replay deterministically across a crash, and
+# a checkpoint racing concurrent submits must be TSan-clean.
 "$BUILD_DIR/tests/serve_test" \
-  --gtest_filter='ServeFaultTest.*:ServeRecoveryTest.*'
+  --gtest_filter='ServeFaultTest.*:ServeRecoveryTest.*:ServeConcurrencyTest.*'
 
 echo "stress OK (seeds ${SEED}..$((SEED + ROUNDS - 1)), tsan-clean)"
